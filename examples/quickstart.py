@@ -1,0 +1,84 @@
+"""Quickstart: build a mall, index it, run both query types.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CompositeIndex, ObjectGenerator, build_mall, iRQ, ikNNQ
+from repro.queries import QueryStats
+
+
+def main() -> None:
+    # A 3-floor shopping mall: 300 m x 300 m floors, rooms along
+    # hallways, staircase shafts in the corners.
+    space = build_mall(
+        floors=3,
+        bands=3,
+        rooms_per_band_side=5,
+        floor_size=300.0,
+        hallway_width=5.0,
+        stair_size=15.0,
+        seed=7,
+    )
+    print(f"Building: {space}")
+
+    # 500 moving objects with 10 m uncertainty regions, 50 Gaussian
+    # instances each (the paper's positioning model).
+    generator = ObjectGenerator(space, radius=10.0, n_instances=50, seed=7)
+    objects = generator.generate(500)
+    print(f"Objects:  {len(objects)} uncertain objects")
+
+    # The composite index: indR-tree + skeleton tier + topological
+    # layer + object buckets.
+    index = CompositeIndex.build(space, objects)
+    times = ", ".join(
+        f"{layer}={1000 * t:.1f}ms" for layer, t in index.build_times.items()
+    )
+    print(f"Index:    built ({times})")
+
+    # A query point somewhere in the building.
+    q = space.random_point(seed=42)
+    print(f"\nQuery point: ({q.x:.1f}, {q.y:.1f}) on floor {q.floor}")
+
+    # ASCII peek at the query's floor ('Q' marks the query point).
+    from repro.viz import render_floor
+
+    print()
+    print(render_floor(space, q.floor, width=76, marks={"Q": q},
+                       show_legend=False))
+
+    # Indoor range query: who is within 60 m of walking distance?
+    stats = QueryStats()
+    hits = iRQ(q, 60.0, index, stats=stats)
+    print(f"\niRQ(r=60m): {len(hits)} objects in range")
+    print(
+        f"  filtering pruned {stats.filtering_ratio:.1%} of objects, "
+        f"bounds pruned {stats.pruning_ratio:.1%}; "
+        f"only {stats.refined} needed exact evaluation"
+    )
+    for obj in list(hits)[:5]:
+        d = hits.distances[obj.object_id]
+        label = f"{d:.1f} m" if d is not None else "<= 60 m (by bounds)"
+        print(f"  {obj.object_id}: expected indoor distance {label}")
+
+    # k nearest neighbours: the 5 closest objects by expected distance.
+    knn = ikNNQ(q, 5, index)
+    print(f"\nikNNQ(k=5): {sorted(knn.ids())}")
+
+    # Objects move; the index follows incrementally.
+    some = next(iter(objects))
+    new_center = space.random_point(seed=43)
+    from repro.geometry import Circle
+
+    index.move_object(
+        some.object_id,
+        Circle(new_center, 10.0),
+        generator.sample_instances(Circle(new_center, 10.0)),
+    )
+    print(f"\nMoved {some.object_id}; index updated incrementally.")
+    print(f"iRQ again: {len(iRQ(q, 60.0, index))} objects in range")
+
+
+if __name__ == "__main__":
+    main()

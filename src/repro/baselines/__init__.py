@@ -1,0 +1,28 @@
+"""Baselines and ablation variants.
+
+* :class:`NaiveEvaluator` — index-free exhaustive evaluation; the
+  correctness oracle for the query processors.
+* :class:`PrecomputedDistanceIndex` — the door-to-door pre-computation
+  alternative of prior work ([16], [24]), whose maintenance cost under
+  topology changes is the comparison of Figure 15(d).
+* :mod:`repro.baselines.variants` — named ablation entry points
+  (no-pruning, no-skeleton) used by the Figure 14/15 benchmarks.
+"""
+
+from repro.baselines.naive import NaiveEvaluator
+from repro.baselines.precompute import PrecomputedDistanceIndex
+from repro.baselines.variants import (
+    iknnq_euclidean_filter,
+    iknnq_without_pruning,
+    irq_euclidean_filter,
+    irq_without_pruning,
+)
+
+__all__ = [
+    "NaiveEvaluator",
+    "PrecomputedDistanceIndex",
+    "irq_without_pruning",
+    "irq_euclidean_filter",
+    "iknnq_without_pruning",
+    "iknnq_euclidean_filter",
+]

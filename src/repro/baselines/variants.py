@@ -1,0 +1,46 @@
+"""Named ablation variants of the query processors.
+
+Thin wrappers over the ``with_pruning`` / ``use_skeleton`` switches of
+:func:`repro.queries.iRQ` and :func:`repro.queries.ikNNQ`, so the
+benchmark tables read like the paper's legends ("withoutPruning",
+"withoutSkeleton").
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.index.composite import CompositeIndex
+from repro.queries.engine import QueryResult
+from repro.queries.knn import ikNNQ
+from repro.queries.range_query import iRQ
+from repro.queries.stats import QueryStats
+
+
+def irq_without_pruning(
+    q: Point, r: float, index: CompositeIndex, stats: QueryStats | None = None
+) -> QueryResult:
+    """Figure 14(b): iRQ with phase 3 disabled — every filtered
+    candidate is refined exactly."""
+    return iRQ(q, r, index, with_pruning=False, stats=stats)
+
+
+def irq_euclidean_filter(
+    q: Point, r: float, index: CompositeIndex, stats: QueryStats | None = None
+) -> QueryResult:
+    """Figure 15(a): iRQ filtering by plain Euclidean MINDIST instead of
+    the skeleton distance."""
+    return iRQ(q, r, index, use_skeleton=False, stats=stats)
+
+
+def iknnq_without_pruning(
+    q: Point, k: int, index: CompositeIndex, stats: QueryStats | None = None
+) -> QueryResult:
+    """Figure 14(d): ikNNQ with phase 3 disabled."""
+    return ikNNQ(q, k, index, with_pruning=False, stats=stats)
+
+
+def iknnq_euclidean_filter(
+    q: Point, k: int, index: CompositeIndex, stats: QueryStats | None = None
+) -> QueryResult:
+    """ikNNQ counterpart of the Euclidean-only filter ablation."""
+    return ikNNQ(q, k, index, use_skeleton=False, stats=stats)

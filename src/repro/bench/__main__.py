@@ -1,0 +1,78 @@
+"""Command-line harness: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench                    # every panel, active profile
+    python -m repro.bench fig12a fig15d      # selected panels
+    REPRO_BENCH_SCALE=medium python -m repro.bench fig14a
+
+Each panel prints its series table (the same rows/series the paper
+plots) and, with ``--out DIR``, writes it to ``DIR/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.workloads import WorkloadFactory, active_profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation figures of Xie et al., "
+        "ICDE 2013.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"panels to run (default: all); one of {sorted(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write per-panel tables into",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available panels and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(ALL_FIGURES):
+            print(name)
+        return 0
+
+    selected = args.figures or sorted(ALL_FIGURES)
+    unknown = [f for f in selected if f not in ALL_FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {unknown}; choose from {sorted(ALL_FIGURES)}"
+        )
+
+    profile = active_profile()
+    print(f"profile: {profile.name} (override with REPRO_BENCH_SCALE)")
+    factory = WorkloadFactory(profile)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in selected:
+        t0 = time.perf_counter()
+        result = ALL_FIGURES[name](factory)
+        elapsed = time.perf_counter() - t0
+        table = result.to_table()
+        print()
+        print(table)
+        print(f"  [{name} took {elapsed:.1f}s]")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

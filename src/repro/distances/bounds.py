@@ -1,0 +1,255 @@
+"""Upper/lower bounds for expected indoor distances (Section II-D).
+
+The query processors prune objects by interval arithmetic instead of
+exact evaluation:
+
+* **Topological bounds** (Lemmas 1-2, Eq. 7): per subregion ``S``,
+  ``tmin(S) = min_d (|q, d|_I + |d, S|_E^min)`` over the entry doors of
+  ``S``'s partition (plus the direct path for the query's own
+  partition), and symmetrically ``tmax``; then
+  ``min tmin <= |q, O|_I <= max tmax``.
+* **Topological Looser Upper Bound** (Lemma 3, "TLU"): like ``tmax``
+  but with *some* known path length instead of the shortest — cheap to
+  obtain during seed selection, used to set the kNN search radius.
+* **Markov lower bound** (Lemma 4) and **probabilistic bounds**
+  (Lemma 5): for multi-partition objects, split the expectation at a
+  prefix of subregions sorted by minimum distance and bound each part.
+  As printed, the paper's Lemma 5 assumes the prefix/suffix distance
+  ranges separate; we implement the always-valid refinement (prefix
+  bounded by its own extrema, suffix by its own) which degenerates to
+  the topological bounds exactly as the paper notes — see DESIGN.md.
+* **Weighted topological bounds** (extension, not in the paper):
+  ``sum_j mass_j * tmin_j <= E <= sum_j mass_j * tmax_j`` — strictly
+  tighter than Lemmas 1-2 whenever an object spans partitions; exposed
+  for the bounds-tightness ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.objects.uncertain import Subregion, UncertainObject
+from repro.space.doors_graph import DoorDistances
+from repro.space.floorplan import IndoorSpace
+
+
+@dataclass(frozen=True)
+class DistanceInterval:
+    """``[lower, upper]`` enclosing an (expected) indoor distance."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-9:
+            raise QueryError(
+                f"inverted interval [{self.lower}, {self.upper}]"
+            )
+
+    def entirely_within(self, r: float) -> bool:
+        """The true distance is certainly <= r."""
+        return self.upper <= r
+
+    def entirely_beyond(self, r: float) -> bool:
+        """The true distance is certainly > r."""
+        return self.lower > r
+
+    def intersect(self, other: "DistanceInterval") -> "DistanceInterval":
+        """Combine two valid intervals into a tighter one."""
+        return DistanceInterval(
+            max(self.lower, other.lower), min(self.upper, other.upper)
+        )
+
+
+@dataclass(frozen=True)
+class SubregionStats:
+    """``tmin``/``tmax`` of one subregion (Lemmas 1-2 ingredients)."""
+
+    partition_id: str
+    tmin: float
+    tmax: float
+    mass: float
+
+
+def subregion_stats(
+    q: Point,
+    subregion: Subregion,
+    dd: DoorDistances,
+    space: IndoorSpace,
+    unreached_floor: float | None = None,
+) -> SubregionStats:
+    """Compute ``tmin(S)`` and ``tmax(S)`` for one subregion.
+
+    ``tmin(S) = min_{ds} (|q, ds|_I + |ds, S|_E^min)`` and
+    ``tmax(S) = min_{ds} (|q, ds|_I + |ds, S|_E^max)`` — note both take
+    the *min* over doors: tmax bounds the worst instance of the best
+    door.  For the query's own partition the direct Euclidean path
+    participates as well.
+
+    ``unreached_floor`` handles a subtlety of the subgraph phase: when
+    ``dd`` came from a cutoff/subgraph-restricted Dijkstra with bound
+    ``c``, a door it did not reach is *proven* to be farther than ``c``
+    (every shorter path lies inside the restriction).  Passing ``c``
+    here turns "unreachable" into the valid finite lower bound
+    ``tmin = c`` (the upper bound stays infinite), keeping the interval
+    sound for multi-partition objects that straddle the search radius.
+    """
+    fh = space.floor_height
+    instances = subregion.instances
+    tmin = math.inf
+    tmax = math.inf
+    for door in space.entry_doors(subregion.partition_id):
+        w = dd.distance_to(door.door_id)
+        if not math.isfinite(w):
+            continue
+        tmin = min(tmin, w + instances.min_distance_to(door.midpoint, fh))
+        tmax = min(tmax, w + instances.max_distance_to(door.midpoint, fh))
+    if subregion.partition_id == dd.source_partition:
+        tmin = min(tmin, instances.min_distance_to(q, fh))
+        tmax = min(tmax, instances.max_distance_to(q, fh))
+    if not math.isfinite(tmin) and unreached_floor is not None:
+        tmin = unreached_floor
+    return SubregionStats(subregion.partition_id, tmin, tmax, subregion.mass)
+
+
+def topological_bounds(stats: list[SubregionStats]) -> DistanceInterval:
+    """Lemmas 1-2: ``min tmin <= |q, O|_I <= max tmax`` (Eq. 7 when the
+    object overlaps a single partition)."""
+    if not stats:
+        raise QueryError("no subregions to bound")
+    return DistanceInterval(
+        min(s.tmin for s in stats), max(s.tmax for s in stats)
+    )
+
+
+def weighted_topological_bounds(stats: list[SubregionStats]) -> DistanceInterval:
+    """Extension: mass-weighted per-subregion bounds (tighter than
+    Lemmas 1-2 for multi-partition objects; see module docstring)."""
+    if not stats:
+        raise QueryError("no subregions to bound")
+    total_mass = sum(s.mass for s in stats)
+    lo = sum(s.tmin * s.mass for s in stats) / total_mass
+    hi = sum(s.tmax * s.mass for s in stats) / total_mass
+    return DistanceInterval(lo, hi)
+
+
+def markov_lower_bound(stats: list[SubregionStats]) -> float:
+    """Lemma 4: a prefix-mass lower bound.
+
+    With subregions sorted by ``tmin``, at least ``1 - p_hat_i`` of the
+    probability mass lies at distance >= the suffix minimum, so
+    ``E >= (1 - p_hat_i) * tmin(S[i+1])``, maximised over ``i``.
+    """
+    if not stats:
+        raise QueryError("no subregions to bound")
+    ordered = sorted(stats, key=lambda s: s.tmin)
+    total_mass = sum(s.mass for s in ordered)
+    best = ordered[0].tmin * 0.0  # E >= 0 trivially
+    p_hat = 0.0
+    for i in range(len(ordered) - 1):
+        p_hat += ordered[i].mass / total_mass
+        best = max(best, (1.0 - p_hat) * ordered[i + 1].tmin)
+    return best
+
+
+def probabilistic_bounds(stats: list[SubregionStats]) -> DistanceInterval:
+    """Lemma 5: split the expectation at every prefix and bound both
+    parts by their own extrema.
+
+    ``E = E_prefix * p_hat + E_suffix * (1 - p_hat)`` with
+    ``E_prefix >= min prefix tmin``, ``E_suffix >= suffix tmin`` (and
+    symmetrically for the upper bound).  The ``i = 0`` split recovers
+    the plain topological bounds, so this never loses tightness.
+    """
+    if not stats:
+        raise QueryError("no subregions to bound")
+    ordered = sorted(stats, key=lambda s: s.tmin)
+    m = len(ordered)
+    total_mass = sum(s.mass for s in ordered)
+    suffix_min = [0.0] * m
+    suffix_max = [0.0] * m
+    running_min, running_max = math.inf, -math.inf
+    for i in range(m - 1, -1, -1):
+        running_min = min(running_min, ordered[i].tmin)
+        running_max = max(running_max, ordered[i].tmax)
+        suffix_min[i] = running_min
+        suffix_max[i] = running_max
+    best_lo = suffix_min[0]  # i = 0 split: plain topological LB
+    best_hi = suffix_max[0]
+    prefix_min, prefix_max = math.inf, -math.inf
+    p_hat = 0.0
+    for i in range(m - 1):
+        p_hat += ordered[i].mass / total_mass
+        prefix_min = min(prefix_min, ordered[i].tmin)
+        prefix_max = max(prefix_max, ordered[i].tmax)
+        lo_i = _mul(p_hat, prefix_min) + _mul(1.0 - p_hat, suffix_min[i + 1])
+        hi_i = _mul(p_hat, prefix_max) + _mul(1.0 - p_hat, suffix_max[i + 1])
+        best_lo = max(best_lo, lo_i)
+        best_hi = min(best_hi, hi_i)
+    return DistanceInterval(best_lo, max(best_lo, best_hi))
+
+
+def _mul(mass: float, bound: float) -> float:
+    """``mass * bound`` with the convention ``0 * inf = 0`` (a zero-mass
+    part contributes nothing regardless of its distance)."""
+    if mass == 0.0:
+        return 0.0
+    return mass * bound
+
+
+def object_bounds(
+    q: Point,
+    obj: UncertainObject,
+    dd: DoorDistances,
+    space: IndoorSpace,
+    grid=None,
+    use_probabilistic: bool = True,
+    unreached_floor: float | None = None,
+) -> DistanceInterval:
+    """The pruning interval for one object, per Table III.
+
+    Single-partition objects get the topological bounds (Eq. 7);
+    multi-partition objects get the probabilistic bounds (Eq. 8), which
+    degenerate to topological when subregion ranges overlap completely.
+    ``unreached_floor`` — see :func:`subregion_stats`.
+    """
+    stats = [
+        subregion_stats(q, s, dd, space, unreached_floor=unreached_floor)
+        for s in obj.subregions(space, grid)
+    ]
+    if len(stats) == 1 or not use_probabilistic:
+        return topological_bounds(stats)
+    return probabilistic_bounds(stats)
+
+
+def topological_looser_upper_bound(
+    q: Point,
+    obj: UncertainObject,
+    known_paths: dict[str, tuple[Point, float]],
+    space: IndoorSpace,
+    grid=None,
+) -> float:
+    """Lemma 3 (TLU): an upper bound from *some* known path per
+    partition, no shortest-path computation required.
+
+    ``known_paths`` maps a partition id to ``(arrival_door_midpoint,
+    path_length)`` — any valid path from ``q`` to that door (e.g. the
+    greedy expansion of kSeedsSelection).  The bound is
+    ``max_S (path_length + |arrival, S|_E^max)``; infinite when some
+    subregion's partition has no known path.
+    """
+    fh = space.floor_height
+    worst = 0.0
+    for subregion in obj.subregions(space, grid):
+        entry = known_paths.get(subregion.partition_id)
+        if entry is None:
+            return math.inf
+        arrival, length = entry
+        worst = max(
+            worst,
+            length + subregion.instances.max_distance_to(arrival, fh),
+        )
+    return worst

@@ -1,0 +1,25 @@
+"""Euclidean distances and the Euclidean lower bound (Section II-D.1).
+
+``|q, O|_E^min <= |q, O|_I`` always holds — movement can never be
+shorter than the straight line — but no Euclidean-only *upper* bound
+exists, which is why the topological bounds of
+:mod:`repro.distances.bounds` carry the real pruning power.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import DEFAULT_FLOOR_HEIGHT, Point
+from repro.objects.uncertain import UncertainObject
+
+
+def euclidean(p: Point, q: Point, floor_height: float = DEFAULT_FLOOR_HEIGHT) -> float:
+    """``|p, q|_E`` (re-exported for API symmetry with ``|p, q|_I``)."""
+    return p.distance(q, floor_height)
+
+
+def euclidean_lower_bound(
+    q: Point, obj: UncertainObject, floor_height: float = DEFAULT_FLOOR_HEIGHT
+) -> float:
+    """``|q, O|_E^min = min_i |q, s_i|_E`` — a lower bound of the
+    expected indoor distance (every instance is at least this far)."""
+    return obj.instances.min_distance_to(q, floor_height)

@@ -1,0 +1,311 @@
+"""Partition decomposition into index units (Algorithm 3 of the paper).
+
+Irregular partitions degrade indR-tree quality in two ways:
+
+* *concave* footprints (an L- or U-shaped hallway) put dead space in the
+  leaf MBR;
+* *imbalanced* footprints (a long thin corridor) produce elongated MBRs.
+
+Algorithm 3 fixes both: concave regions are split at *turning points*
+(reflex vertices), preferring the turning point closest to the middle of
+the longer dimension; rectangles whose short/long side ratio falls below
+``T_shape`` are halved along the longer dimension, recursively.
+
+Implementation notes
+--------------------
+Floor-plan partitions are rectilinear, so decomposition can work on the
+vertex grid: the distinct vertex x/y coordinates slice the footprint into
+grid cells, every reflex-vertex coordinate is a grid line, and cutting at
+a grid line never creates new corner shapes.  Concave regions are split
+on the cell grid (connected components after the cut), and each resulting
+full-rectangle region is then balance-split.  The output is a list of
+:class:`~repro.geometry.rect.Rect` index units whose union is exactly the
+input footprint.
+
+Non-rectilinear footprints (the paper mentions circular rooms) must be
+polygonised to a rectilinear approximation first — see
+:func:`rectilinearize`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+#: Default shape threshold used by the paper's running example.
+DEFAULT_T_SHAPE = 0.5
+
+
+def decompose_partition_geometry(
+    footprint: Rect | Polygon, t_shape: float = DEFAULT_T_SHAPE
+) -> list[Rect]:
+    """Decompose a partition footprint into regular index units.
+
+    Parameters
+    ----------
+    footprint:
+        The partition geometry — a :class:`Rect` or a rectilinear
+        :class:`Polygon`.
+    t_shape:
+        Minimum allowed short/long side ratio of an index unit, in
+        ``(0, 1]``.  ``t_shape <= 0`` disables balance splitting (useful
+        for ablations).
+
+    Returns
+    -------
+    list[Rect]
+        Disjoint rectangles covering the footprint exactly.
+    """
+    if t_shape > 1.0:
+        raise GeometryError(f"T_shape must be <= 1, got {t_shape}")
+    if isinstance(footprint, Rect):
+        return _split_imbalanced(footprint, t_shape)
+    if not footprint.is_rectilinear():
+        raise GeometryError(
+            "decomposition requires a rectilinear footprint; call "
+            "rectilinearize() on curved shapes first"
+        )
+    if footprint.is_rectangle():
+        return _split_imbalanced(footprint.bounds(), t_shape)
+
+    xs, ys, cells = _grid_cells(footprint)
+    units: list[Rect] = []
+    for region in _concave_split(cells, xs, ys):
+        rect = _cells_bounding_rect(region, xs, ys)
+        units.extend(_split_imbalanced(rect, t_shape))
+    return units
+
+
+def rectilinearize(polygon: Polygon, resolution: int = 8) -> Polygon:
+    """Approximate an arbitrary simple polygon by a rectilinear one.
+
+    A staircase approximation built from the occupancy grid of the
+    polygon's bounding rectangle at ``resolution x resolution`` cells.
+    The result covers roughly the same area and is safe to feed into
+    :func:`decompose_partition_geometry`.
+    """
+    if polygon.is_rectilinear():
+        return polygon
+    bounds = polygon.bounds()
+    if resolution < 2:
+        raise GeometryError(f"resolution must be >= 2, got {resolution}")
+    dx = bounds.width / resolution
+    dy = bounds.height / resolution
+    occupied: set[tuple[int, int]] = set()
+    for i in range(resolution):
+        for j in range(resolution):
+            cx = bounds.minx + (i + 0.5) * dx
+            cy = bounds.miny + (j + 0.5) * dy
+            if polygon.contains_xy(cx, cy):
+                occupied.add((i, j))
+    if not occupied:
+        raise GeometryError("polygon too small for the chosen resolution")
+    # Keep the largest connected component, then trace its outline.
+    component = max(_components(occupied), key=len)
+    return _trace_cell_outline(component, bounds.minx, bounds.miny, dx, dy)
+
+
+# ---------------------------------------------------------------------------
+# grid-cell machinery
+# ---------------------------------------------------------------------------
+
+
+def _grid_cells(
+    polygon: Polygon,
+) -> tuple[list[float], list[float], set[tuple[int, int]]]:
+    """Slice a rectilinear polygon into grid cells.
+
+    Returns the sorted distinct x and y coordinates and the set of cell
+    indices ``(i, j)`` (cell i spans ``xs[i]..xs[i+1]``) whose center lies
+    inside the polygon.
+    """
+    xs = sorted({v[0] for v in polygon.vertices})
+    ys = sorted({v[1] for v in polygon.vertices})
+    cells = set()
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            cx = (xs[i] + xs[i + 1]) / 2.0
+            cy = (ys[j] + ys[j + 1]) / 2.0
+            if polygon.contains_xy(cx, cy):
+                cells.add((i, j))
+    if not cells:
+        raise GeometryError("degenerate rectilinear polygon (no interior cells)")
+    return xs, ys, cells
+
+
+def _components(cells: set[tuple[int, int]]) -> list[set[tuple[int, int]]]:
+    """4-adjacency connected components of a cell set."""
+    remaining = set(cells)
+    out = []
+    while remaining:
+        seed = next(iter(remaining))
+        comp = {seed}
+        remaining.discard(seed)
+        queue = deque([seed])
+        while queue:
+            i, j = queue.popleft()
+            for n in ((i + 1, j), (i - 1, j), (i, j + 1), (i, j - 1)):
+                if n in remaining:
+                    remaining.discard(n)
+                    comp.add(n)
+                    queue.append(n)
+        out.append(comp)
+    return out
+
+
+def _cells_bounding_rect(
+    cells: set[tuple[int, int]], xs: list[float], ys: list[float]
+) -> Rect:
+    imin = min(c[0] for c in cells)
+    imax = max(c[0] for c in cells)
+    jmin = min(c[1] for c in cells)
+    jmax = max(c[1] for c in cells)
+    return Rect(xs[imin], ys[jmin], xs[imax + 1], ys[jmax + 1])
+
+
+def _is_full_rectangle(
+    cells: set[tuple[int, int]],
+) -> bool:
+    imin = min(c[0] for c in cells)
+    imax = max(c[0] for c in cells)
+    jmin = min(c[1] for c in cells)
+    jmax = max(c[1] for c in cells)
+    return len(cells) == (imax - imin + 1) * (jmax - jmin + 1)
+
+
+def _concave_split(
+    cells: set[tuple[int, int]], xs: list[float], ys: list[float]
+) -> list[set[tuple[int, int]]]:
+    """Recursively split a concave cell region into full rectangles.
+
+    Mirrors the concave branch of Algorithm 3: each cut is a grid line
+    perpendicular to the region's longer dimension, chosen as close to
+    the middle of that dimension as possible (every reflex-vertex
+    coordinate is a grid line, so cuts happen at turning points).
+    """
+    out: list[set[tuple[int, int]]] = []
+    stack = [cells]
+    while stack:
+        region = stack.pop()
+        if _is_full_rectangle(region):
+            out.append(region)
+            continue
+        rect = _cells_bounding_rect(region, xs, ys)
+        imin = min(c[0] for c in region)
+        imax = max(c[0] for c in region)
+        jmin = min(c[1] for c in region)
+        jmax = max(c[1] for c in region)
+        if rect.width >= rect.height and imax > imin:
+            mid = (rect.minx + rect.maxx) / 2.0
+            cut = min(
+                range(imin + 1, imax + 1),
+                key=lambda i: abs(xs[i] - mid),
+            )
+            left = {c for c in region if c[0] < cut}
+            right = {c for c in region if c[0] >= cut}
+        else:
+            mid = (rect.miny + rect.maxy) / 2.0
+            cut = min(
+                range(jmin + 1, jmax + 1),
+                key=lambda j: abs(ys[j] - mid),
+            )
+            left = {c for c in region if c[1] < cut}
+            right = {c for c in region if c[1] >= cut}
+        for half in (left, right):
+            if half:
+                stack.extend(_components(half))
+    return out
+
+
+def _split_imbalanced(rect: Rect, t_shape: float) -> list[Rect]:
+    """Recursively halve a rectangle until its aspect ratio is regular.
+
+    Implements the convex branch of Algorithm 3: while the short/long
+    side ratio is below ``t_shape``, split at the middle of the longer
+    dimension.  Halving a ratio-``p`` rectangle yields ``min(2p,
+    1/(2p))``, so for ``t_shape > 1/sqrt(2)`` the target may be
+    unreachable; splitting stops as soon as another halving would not
+    strictly improve the ratio (otherwise the recursion would oscillate
+    between ``p`` and ``1/(2p)`` forever).
+    """
+    if t_shape <= 0.0:
+        return [rect]
+    out: list[Rect] = []
+    stack = [rect]
+    while stack:
+        r = stack.pop()
+        ratio = r.aspect_ratio()
+        if ratio >= t_shape or r.area == 0.0:
+            out.append(r)
+            continue
+        long_side = max(r.width, r.height)
+        short_side = min(r.width, r.height)
+        halved = long_side / 2.0
+        new_ratio = (
+            short_side / halved if halved >= short_side else halved / short_side
+        )
+        if new_ratio <= ratio + 1e-12:
+            out.append(r)  # no halving can improve this shape further
+            continue
+        if r.width >= r.height:
+            stack.extend(r.split_x((r.minx + r.maxx) / 2.0))
+        else:
+            stack.extend(r.split_y((r.miny + r.maxy) / 2.0))
+    return out
+
+
+def _trace_cell_outline(
+    cells: set[tuple[int, int]], x0: float, y0: float, dx: float, dy: float
+) -> Polygon:
+    """Trace the outer boundary of a 4-connected cell set into a polygon.
+
+    Standard boundary-edge stitching: collect the boundary edges of every
+    cell (edges not shared with a neighbour) and walk them into a ring.
+    """
+    edges: dict[tuple[float, float], tuple[float, float]] = {}
+    for i, j in cells:
+        corners = {
+            "s": ((i, j), (i + 1, j)),
+            "e": ((i + 1, j), (i + 1, j + 1)),
+            "n": ((i + 1, j + 1), (i, j + 1)),
+            "w": ((i, j + 1), (i, j)),
+        }
+        neighbours = {
+            "s": (i, j - 1),
+            "e": (i + 1, j),
+            "n": (i, j + 1),
+            "w": (i - 1, j),
+        }
+        for side, (a, b) in corners.items():
+            if neighbours[side] in cells:
+                continue
+            pa = (x0 + a[0] * dx, y0 + a[1] * dy)
+            pb = (x0 + b[0] * dx, y0 + b[1] * dy)
+            edges[pa] = pb
+    if not edges:
+        raise GeometryError("empty outline")
+    start = next(iter(edges))
+    ring = [start]
+    cur = edges[start]
+    while cur != start:
+        ring.append(cur)
+        cur = edges[cur]
+        if len(ring) > len(edges) + 1:
+            raise GeometryError("outline tracing failed (non-manifold cells)")
+    return Polygon(_drop_collinear(ring))
+
+
+def _drop_collinear(ring: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    out: list[tuple[float, float]] = []
+    n = len(ring)
+    for k in range(n):
+        ax, ay = ring[(k - 1) % n]
+        bx, by = ring[k]
+        cx, cy = ring[(k + 1) % n]
+        cross = (bx - ax) * (cy - by) - (by - ay) * (cx - bx)
+        if abs(cross) > 1e-12:
+            out.append(ring[k])
+    return out if len(out) >= 3 else ring

@@ -1,0 +1,118 @@
+"""The ``o-table`` and ``h-table`` of the object layer (Section III-A).
+
+* ``h-table`` maps an index unit to the indoor partition it belongs to
+  (the inverse of decomposition);
+* ``o-table`` maps an object to the set of index units it overlaps, so
+  object deletion never searches the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IndexError_
+
+
+@dataclass
+class HTable:
+    """``{index unit} -> indoor partition`` (and the reverse view)."""
+
+    _unit_to_partition: dict[str, str] = field(default_factory=dict)
+    _partition_to_units: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, unit_id: str, partition_id: str) -> None:
+        if unit_id in self._unit_to_partition:
+            raise IndexError_(f"unit {unit_id!r} already mapped")
+        self._unit_to_partition[unit_id] = partition_id
+        self._partition_to_units.setdefault(partition_id, set()).add(unit_id)
+
+    def remove_unit(self, unit_id: str) -> str:
+        partition_id = self._unit_to_partition.pop(unit_id, None)
+        if partition_id is None:
+            raise IndexError_(f"unknown unit {unit_id!r}")
+        units = self._partition_to_units.get(partition_id)
+        if units:
+            units.discard(unit_id)
+            if not units:
+                del self._partition_to_units[partition_id]
+        return partition_id
+
+    def remove_partition(self, partition_id: str) -> set[str]:
+        units = self._partition_to_units.pop(partition_id, set())
+        for unit_id in units:
+            self._unit_to_partition.pop(unit_id, None)
+        return units
+
+    def partition_of(self, unit_id: str) -> str:
+        try:
+            return self._unit_to_partition[unit_id]
+        except KeyError:
+            raise IndexError_(f"unknown unit {unit_id!r}") from None
+
+    def units_of(self, partition_id: str) -> set[str]:
+        return set(self._partition_to_units.get(partition_id, set()))
+
+    def __len__(self) -> int:
+        return len(self._unit_to_partition)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._unit_to_partition
+
+
+@dataclass
+class OTable:
+    """``{object} -> 2^{index unit}`` (and the reverse buckets).
+
+    The reverse view *is* the object layer's per-leaf bucket list: for a
+    leaf unit, ``objects_in(unit)`` is the bucket of objects overlapping
+    that unit.
+    """
+
+    _object_to_units: dict[str, set[str]] = field(default_factory=dict)
+    _unit_to_objects: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, object_id: str, unit_ids: set[str]) -> None:
+        if object_id in self._object_to_units:
+            raise IndexError_(f"object {object_id!r} already indexed")
+        self._object_to_units[object_id] = set(unit_ids)
+        for unit_id in unit_ids:
+            self._unit_to_objects.setdefault(unit_id, set()).add(object_id)
+
+    def remove(self, object_id: str) -> set[str]:
+        units = self._object_to_units.pop(object_id, None)
+        if units is None:
+            raise IndexError_(f"unknown object {object_id!r}")
+        for unit_id in units:
+            bucket = self._unit_to_objects.get(unit_id)
+            if bucket:
+                bucket.discard(object_id)
+                if not bucket:
+                    del self._unit_to_objects[unit_id]
+        return units
+
+    def drop_unit(self, unit_id: str) -> set[str]:
+        """Detach a (deleted) unit from every object that overlapped it.
+
+        Returns the affected object ids so the caller can re-resolve
+        their units.
+        """
+        objects = self._unit_to_objects.pop(unit_id, set())
+        for object_id in objects:
+            self._object_to_units.get(object_id, set()).discard(unit_id)
+        return objects
+
+    def units_of(self, object_id: str) -> set[str]:
+        try:
+            return set(self._object_to_units[object_id])
+        except KeyError:
+            raise IndexError_(f"unknown object {object_id!r}") from None
+
+    def objects_in(self, unit_id: str) -> set[str]:
+        """The leaf bucket of one index unit."""
+        return set(self._unit_to_objects.get(unit_id, set()))
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._object_to_units
+
+    def __len__(self) -> int:
+        return len(self._object_to_units)

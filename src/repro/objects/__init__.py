@@ -1,0 +1,26 @@
+"""Uncertain indoor moving objects (Section II-B).
+
+An object's location is imprecise: positioning reports a circular
+*uncertainty region* and the location is a random variable inside it,
+represented by a set of discrete *instances* ``{(s_i, p_i)}`` with
+``sum p_i = 1`` — the paper's instance representation, which is general
+for arbitrary distributions.
+
+Because the region may straddle walls, an object's instances are divided
+into *uncertainty subregions* ``S[j]``, one per overlapped partition
+(Figure 6); the distance machinery in :mod:`repro.distances` works per
+subregion.
+"""
+
+from repro.objects.instances import InstanceSet
+from repro.objects.uncertain import Subregion, UncertainObject
+from repro.objects.generator import ObjectGenerator
+from repro.objects.population import ObjectPopulation
+
+__all__ = [
+    "InstanceSet",
+    "Subregion",
+    "UncertainObject",
+    "ObjectGenerator",
+    "ObjectPopulation",
+]

@@ -1,0 +1,154 @@
+"""Object population generator (Section V-A parameters).
+
+The paper generates objects "randomly distributed in a given building",
+with circular uncertainty regions of radius 5/10/15 m and a pdf of 100
+Gaussian sampling points (mean = circle center, standard deviation =
+diameter / 6, i.e. the circle is the 3-sigma boundary).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.objects.instances import InstanceSet
+from repro.objects.population import ObjectPopulation
+from repro.objects.uncertain import UncertainObject, _contains_many
+from repro.space.floorplan import IndoorSpace
+from repro.space.grid import PartitionGrid
+from repro.space.partition import PartitionKind
+
+
+@dataclass
+class ObjectGenerator:
+    """Generate uncertain objects inside a space.
+
+    Parameters
+    ----------
+    space:
+        The building to populate.
+    radius:
+        Uncertainty-region radius in metres (paper: 5 / **10** / 15).
+    n_instances:
+        Sampling points per object (paper: 100).
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    space: IndoorSpace
+    radius: float = 10.0
+    n_instances: int = 100
+    seed: int | None = None
+    #: object ids are ``f"{id_prefix}{n}"``; override to avoid clashes
+    #: when several generators feed one population/index.
+    id_prefix: str = "o"
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ReproError("radius must be non-negative")
+        if self.n_instances < 1:
+            raise ReproError("need at least one instance per object")
+        self._rng = np.random.default_rng(self.seed)
+        self._grid = PartitionGrid.build(self.space)
+        self._placeable = [
+            p
+            for p in self.space.partitions.values()
+            if p.kind is not PartitionKind.STAIRCASE
+        ]
+        if not self._placeable:
+            raise ReproError("space has no non-staircase partitions")
+        self._id_counter = itertools.count(1)
+
+    @property
+    def grid(self) -> PartitionGrid:
+        """The partition grid (reusable by callers, e.g. for subregion
+        resolution)."""
+        return self._grid
+
+    # ------------------------------------------------------------------
+
+    def generate(self, n: int) -> ObjectPopulation:
+        """Generate ``n`` objects as a population."""
+        population = ObjectPopulation(self.space, grid=self._grid)
+        for _ in range(n):
+            population.insert(self.generate_one())
+        return population
+
+    def generate_one(self, center: Point | None = None) -> UncertainObject:
+        """Generate a single object (optionally at a given center)."""
+        if center is None:
+            center = self._random_center()
+        object_id = f"{self.id_prefix}{next(self._id_counter)}"
+        region = Circle(center, self.radius)
+        instances = self.sample_instances(region)
+        return UncertainObject(object_id, region, instances)
+
+    # ------------------------------------------------------------------
+
+    def _random_center(self) -> Point:
+        for _ in range(1000):
+            partition = self._placeable[
+                int(self._rng.integers(len(self._placeable)))
+            ]
+            x, y = partition.bounds.random_xy(self._rng)
+            if partition.contains_xy(x, y):
+                return Point(x, y, partition.floor)
+        raise ReproError("failed to place an object center")
+
+    def sample_instances(self, region: Circle) -> InstanceSet:
+        """Gaussian sampling points, truncated to the region and to the
+        building's partitions.
+
+        sigma = diameter / 6 per the paper, so ~99.7% of raw draws land
+        inside the circle; draws outside the circle or inside walls are
+        rejected and redrawn.  If rejection starves (tiny rooms), the
+        remaining instances collapse to the nearest accepted sample or
+        the center — mass is always preserved.
+        """
+        n = self.n_instances
+        if region.radius == 0.0:
+            xy = np.tile([region.center.x, region.center.y], (n, 1))
+            return InstanceSet.uniform(xy, region.floor)
+        sigma = region.diameter / 6.0
+        candidates = self._grid.candidates_for_rect(
+            region.bounds(), region.floor
+        )
+        inside_any = None
+        accepted = np.empty((0, 2))
+        for _attempt in range(12):
+            need = n - accepted.shape[0]
+            if need <= 0:
+                break
+            draw = self._rng.normal(
+                loc=(region.center.x, region.center.y),
+                scale=sigma,
+                size=(max(need * 2, 16), 2),
+            )
+            in_circle = (
+                (draw[:, 0] - region.center.x) ** 2
+                + (draw[:, 1] - region.center.y) ** 2
+            ) <= region.radius**2
+            draw = draw[in_circle]
+            if draw.shape[0] == 0:
+                continue
+            inside_any = np.zeros(draw.shape[0], dtype=bool)
+            for partition in candidates:
+                inside_any |= _contains_many(partition, draw)
+                if inside_any.all():
+                    break
+            draw = draw[inside_any]
+            accepted = np.vstack([accepted, draw[:need]])
+        if accepted.shape[0] < n:
+            filler = (
+                accepted[-1]
+                if accepted.shape[0]
+                else np.array([region.center.x, region.center.y])
+            )
+            pad = np.tile(filler, (n - accepted.shape[0], 1))
+            accepted = np.vstack([accepted, pad])
+        return InstanceSet.uniform(accepted, region.floor)

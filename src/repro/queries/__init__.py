@@ -1,0 +1,40 @@
+"""Distance-aware query processing (Section IV).
+
+Both query types run the paper's four phases:
+
+1. **filtering** — RangeSearch over the tree tier with the skeleton
+   distance bound (Algorithm 4; no false negatives by Lemma 6);
+2. **subgraph** — single-source Dijkstra over the candidate partitions
+   only;
+3. **pruning** — topological/probabilistic distance intervals decide
+   most candidates without exact evaluation;
+4. **refinement** — exact expected distances for the undecided rest.
+
+:func:`iRQ` implements Algorithm 1, :func:`ikNNQ` Algorithm 2 (with
+kSeedsSelection, Algorithm 5).  Per-phase wall-clock timings and pruning
+counters are collected in :class:`QueryStats` — they regenerate the
+paper's Figures 12-14.
+"""
+
+from repro.queries.stats import QueryStats
+from repro.queries.engine import QueryResult
+from repro.queries.range_query import iRQ
+from repro.queries.knn import ikNNQ, k_seeds_selection
+from repro.queries.prob_range import iPRQ
+from repro.queries.session import QuerySession
+from repro.queries.selectivity import (
+    candidate_upper_bound,
+    estimate_irq_result_size,
+)
+
+__all__ = [
+    "QueryStats",
+    "QueryResult",
+    "iRQ",
+    "ikNNQ",
+    "k_seeds_selection",
+    "iPRQ",
+    "QuerySession",
+    "candidate_upper_bound",
+    "estimate_irq_result_size",
+]

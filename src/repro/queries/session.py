@@ -1,0 +1,78 @@
+"""Query sessions: computation reuse across related queries.
+
+The paper's future work (Section VII) calls out "reusing computational
+efforts on indoor distances when multiple, related queries are issued
+within a short period".  A :class:`QuerySession` does exactly that: it
+memoises the single-source Dijkstra per query point, so a burst of
+queries from one location (a kiosk issuing an iRQ, then an ikNNQ, then
+a widened iRQ) pays for the subgraph phase once.
+
+The cached search is *unrestricted* (no subgraph, no cutoff), which
+makes it reusable for any radius/k; the trade-off — one slightly more
+expensive first search against zero-cost repeats — is measured by the
+``ablation_a4`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.index.composite import CompositeIndex
+from repro.queries.engine import QueryResult, locate_source
+from repro.queries.knn import ikNNQ
+from repro.queries.range_query import iRQ
+from repro.queries.stats import QueryStats
+from repro.space.doors_graph import DoorDistances
+
+
+@dataclass
+class QuerySession:
+    """A reuse context for queries issued from recurring locations."""
+
+    index: CompositeIndex
+    _cache: dict[tuple[float, float, int], DoorDistances] = field(
+        default_factory=dict
+    )
+    _cached_version: int = -1
+    hits: int = 0
+    misses: int = 0
+
+    def door_distances(self, q: Point) -> DoorDistances:
+        """The (memoised) full single-source search from ``q``."""
+        space = self.index.space
+        if self._cached_version != space.topology_version:
+            # Any topology change invalidates every cached search.
+            self._cache.clear()
+            self._cached_version = space.topology_version
+        key = (q.x, q.y, q.floor)
+        dd = self._cache.get(key)
+        if dd is None:
+            self.misses += 1
+            source = locate_source(self.index, q)
+            dd = self.index.doors_graph.dijkstra_from_point(q, source)
+            self._cache[key] = dd
+        else:
+            self.hits += 1
+        return dd
+
+    # ------------------------------------------------------------------
+
+    def irq(
+        self, q: Point, r: float, stats: QueryStats | None = None
+    ) -> QueryResult:
+        """iRQ with the subgraph phase served from the session cache."""
+        dd = self.door_distances(q)
+        return iRQ(q, r, self.index, stats=stats, precomputed_dd=dd)
+
+    def iknnq(
+        self, q: Point, k: int, stats: QueryStats | None = None
+    ) -> QueryResult:
+        """ikNNQ with the subgraph phase served from the session cache."""
+        dd = self.door_distances(q)
+        return ikNNQ(q, k, self.index, stats=stats, precomputed_dd=dd)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,41 @@
+"""The indoor-space model (Section II-A of the paper).
+
+An :class:`IndoorSpace` is a set of *partitions* (rooms, hallways,
+staircases) interconnected by *doors*.  Doors may be unidirectional
+(security gates).  The doors graph ``G_d`` (Figure 3) is derived from the
+model by :class:`~repro.space.doors_graph.DoorsGraph`.
+
+The synthetic shopping-mall generator lives in :mod:`repro.space.mall`;
+temporal topology variations (sliding walls, closed doors) in
+:mod:`repro.space.events`.
+"""
+
+from repro.space.door import Door, DoorDirection
+from repro.space.partition import Partition, PartitionKind
+from repro.space.floorplan import IndoorSpace
+from repro.space.builder import SpaceBuilder
+from repro.space.doors_graph import DoorsGraph
+from repro.space.events import (
+    CloseDoor,
+    MergePartitions,
+    OpenDoor,
+    SetDoorDirection,
+    SplitPartition,
+    TopologyEvent,
+)
+
+__all__ = [
+    "Door",
+    "DoorDirection",
+    "Partition",
+    "PartitionKind",
+    "IndoorSpace",
+    "SpaceBuilder",
+    "DoorsGraph",
+    "TopologyEvent",
+    "SplitPartition",
+    "MergePartitions",
+    "OpenDoor",
+    "CloseDoor",
+    "SetDoorDirection",
+]

@@ -1,0 +1,208 @@
+"""Fluent construction of indoor spaces.
+
+:class:`SpaceBuilder` keeps examples and tests readable: rooms are added
+by footprint, doors are placed automatically on the shared wall of two
+rectangular partitions (or at an explicit point), and staircases come
+with their two entrance doors wired to the surrounding partitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SpaceError
+from repro.geometry.point import DEFAULT_FLOOR_HEIGHT, Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+from repro.space.door import Door, DoorDirection
+from repro.space.floorplan import IndoorSpace
+from repro.space.partition import Partition, PartitionKind
+
+
+class SpaceBuilder:
+    """Build an :class:`IndoorSpace` step by step.
+
+    Example::
+
+        b = SpaceBuilder()
+        b.add_room("r1", Rect(0, 0, 10, 10))
+        b.add_room("r2", Rect(10, 0, 20, 10))
+        b.connect("r1", "r2")                  # door on the shared wall
+        space = b.build()
+    """
+
+    def __init__(self, floor_height: float = DEFAULT_FLOOR_HEIGHT) -> None:
+        self._space = IndoorSpace(floor_height=floor_height)
+        self._door_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+
+    def add_room(
+        self,
+        partition_id: str,
+        footprint: Rect | Polygon,
+        floor: int = 0,
+        kind: PartitionKind = PartitionKind.ROOM,
+    ) -> "SpaceBuilder":
+        self._space.add_partition(
+            Partition(partition_id, footprint, floor, kind)
+        )
+        return self
+
+    def add_hallway(
+        self, partition_id: str, footprint: Rect | Polygon, floor: int = 0
+    ) -> "SpaceBuilder":
+        return self.add_room(
+            partition_id, footprint, floor, kind=PartitionKind.HALLWAY
+        )
+
+    def add_staircase(
+        self,
+        partition_id: str,
+        footprint: Rect,
+        lower_floor: int,
+        upper_floor: int | None = None,
+    ) -> "SpaceBuilder":
+        """Add a staircase shaft spanning ``lower_floor..upper_floor``.
+
+        Entrance doors are *not* created here — call :meth:`connect` for
+        each entrance, giving the floor the entrance sits on.
+        """
+        if upper_floor is None:
+            upper_floor = lower_floor + 1
+        self._space.add_partition(
+            Partition(
+                partition_id,
+                footprint,
+                lower_floor,
+                PartitionKind.STAIRCASE,
+                upper_floor=upper_floor,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # doors
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        from_partition: str,
+        to_partition: str,
+        at: Point | None = None,
+        door_id: str | None = None,
+        direction: DoorDirection = DoorDirection.BIDIRECTIONAL,
+        floor: int | None = None,
+    ) -> "SpaceBuilder":
+        """Add a door between two partitions.
+
+        When ``at`` is omitted the door is placed at the midpoint of the
+        shared wall of the two (rectangular) footprints; ``floor`` selects
+        the entrance floor for doors involving a staircase (defaults to
+        the lower partition's floor).
+        """
+        space = self._space
+        pa = space.partition(from_partition)
+        pb = space.partition(to_partition)
+        if door_id is None:
+            door_id = f"d{next(self._door_counter)}"
+            while door_id in space.doors:  # skip explicitly taken ids
+                door_id = f"d{next(self._door_counter)}"
+        if floor is None:
+            floor = self._common_floor(pa, pb)
+        if at is None:
+            at = self._shared_wall_midpoint(pa, pb, floor)
+        elif at.floor != floor:
+            at = at.on_floor(floor)
+        door = Door(
+            door_id,
+            at,
+            (from_partition, to_partition),
+            direction=direction,
+        )
+        space.add_door(door)
+        return self
+
+    def one_way(
+        self,
+        from_partition: str,
+        to_partition: str,
+        at: Point | None = None,
+        door_id: str | None = None,
+        floor: int | None = None,
+    ) -> "SpaceBuilder":
+        """Add a one-way door permitting only ``from -> to`` movement."""
+        return self.connect(
+            from_partition,
+            to_partition,
+            at=at,
+            door_id=door_id,
+            direction=DoorDirection.ONE_WAY,
+            floor=floor,
+        )
+
+    # ------------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> IndoorSpace:
+        if validate:
+            problems = self._space.validate()
+            if problems:
+                raise SpaceError(
+                    "invalid space: " + "; ".join(problems[:5])
+                    + ("; ..." if len(problems) > 5 else "")
+                )
+        return self._space
+
+    @property
+    def space(self) -> IndoorSpace:
+        """The space under construction (for advanced tweaks)."""
+        return self._space
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _common_floor(pa: Partition, pb: Partition) -> int:
+        lo = max(pa.floor, pb.floor)
+        hi = min(pa.upper_floor, pb.upper_floor)
+        if lo > hi:
+            raise SpaceError(
+                f"partitions {pa.partition_id!r} and {pb.partition_id!r} "
+                f"share no floor; pass floor= explicitly"
+            )
+        return lo
+
+    @staticmethod
+    def _shared_wall_midpoint(pa: Partition, pb: Partition, floor: int) -> Point:
+        """Midpoint of the wall shared by two rectangular partitions."""
+        ra, rb = pa.bounds, pb.bounds
+        edges_a = _rect_edges(ra)
+        edges_b = _rect_edges(rb)
+        best: Segment | None = None
+        for ea in edges_a:
+            for eb in edges_b:
+                shared = ea.overlap_1d(eb)
+                if shared is not None and (
+                    best is None or shared.length > best.length
+                ):
+                    best = shared
+        if best is None:
+            raise SpaceError(
+                f"partitions {pa.partition_id!r} and {pb.partition_id!r} "
+                f"share no wall; pass at= explicitly"
+            )
+        x, y = best.midpoint
+        return Point(x, y, floor)
+
+
+def _rect_edges(rect: Rect) -> list[Segment]:
+    return [
+        Segment(rect.minx, rect.miny, rect.maxx, rect.miny),
+        Segment(rect.maxx, rect.miny, rect.maxx, rect.maxy),
+        Segment(rect.maxx, rect.maxy, rect.minx, rect.maxy),
+        Segment(rect.minx, rect.maxy, rect.minx, rect.miny),
+    ]

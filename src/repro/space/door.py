@@ -1,0 +1,113 @@
+"""Doors — the connectors between indoor partitions.
+
+Every door joins exactly two partitions (the paper's simplifying
+assumption, Section III-A.4).  A door can be *bidirectional* or *one-way*
+(e.g. airport security exits, door ``d_12`` in Figure 1); one-way doors
+induce directed edges in the doors graph.  Doors can also be temporarily
+closed by topology events.
+
+Door-related distances use the door's midpoint (paper, footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SpaceError
+from repro.geometry.point import Point
+
+
+class DoorDirection(enum.Enum):
+    """Movement permissions through a door."""
+
+    BIDIRECTIONAL = "both"
+    ONE_WAY = "one_way"
+
+
+@dataclass(eq=False)
+class Door:
+    """A door between two partitions.
+
+    Parameters
+    ----------
+    door_id:
+        Unique identifier.
+    midpoint:
+        The door's midpoint; all door-to-door distances are measured
+        from here.  For a staircase entrance the midpoint's ``floor`` is
+        the floor of that entrance.
+    partitions:
+        The pair of partition ids the door connects.  For a one-way door
+        the order is significant: movement is allowed from
+        ``partitions[0]`` to ``partitions[1]`` only.
+    direction:
+        :attr:`DoorDirection.BIDIRECTIONAL` (default) or
+        :attr:`DoorDirection.ONE_WAY`.
+    is_open:
+        Closed doors are skipped by the doors graph (temporal variation,
+        Section I).
+    """
+
+    door_id: str
+    midpoint: Point
+    partitions: tuple[str, str]
+    direction: DoorDirection = DoorDirection.BIDIRECTIONAL
+    is_open: bool = field(default=True)
+
+    def __post_init__(self) -> None:
+        if len(self.partitions) != 2:
+            raise SpaceError(
+                f"door {self.door_id!r} must connect exactly two partitions"
+            )
+        if self.partitions[0] == self.partitions[1]:
+            raise SpaceError(
+                f"door {self.door_id!r} connects a partition to itself"
+            )
+
+    # Identity semantics: a door is its id.
+    def __hash__(self) -> int:
+        return hash(self.door_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Door) and other.door_id == self.door_id
+
+    # -- topology predicates ----------------------------------------------
+
+    def connects(self, partition_id: str) -> bool:
+        return partition_id in self.partitions
+
+    def other_side(self, partition_id: str) -> str:
+        """The partition on the other side of the door."""
+        a, b = self.partitions
+        if partition_id == a:
+            return b
+        if partition_id == b:
+            return a
+        raise SpaceError(
+            f"door {self.door_id!r} does not touch partition {partition_id!r}"
+        )
+
+    def allows_exit(self, partition_id: str) -> bool:
+        """May one *leave* ``partition_id`` through this door?"""
+        if not self.is_open or not self.connects(partition_id):
+            return False
+        if self.direction is DoorDirection.BIDIRECTIONAL:
+            return True
+        return self.partitions[0] == partition_id
+
+    def allows_entry(self, partition_id: str) -> bool:
+        """May one *enter* ``partition_id`` through this door?"""
+        if not self.is_open or not self.connects(partition_id):
+            return False
+        if self.direction is DoorDirection.BIDIRECTIONAL:
+            return True
+        return self.partitions[1] == partition_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arrow = "<->" if self.direction is DoorDirection.BIDIRECTIONAL else "->"
+        state = "" if self.is_open else " (closed)"
+        return (
+            f"Door({self.door_id}: {self.partitions[0]}{arrow}"
+            f"{self.partitions[1]}{state})"
+        )

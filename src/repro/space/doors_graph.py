@@ -1,0 +1,235 @@
+"""The doors graph ``G_d`` (Section II-A, Figure 3) and Dijkstra search.
+
+Vertices are doors; a directed edge ``d_i -> d_j`` exists when both doors
+belong to a common partition ``P`` such that ``d_i`` permits *entering*
+``P`` and ``d_j`` permits *leaving* it.  A bidirectional door pair hence
+yields edges both ways; a one-way door acquires in-/out-edges exactly as
+in Figure 3(b).  Edge weights are intra-partition distances between door
+midpoints (footnote 1 of the paper).
+
+The paper does not materialise a separate graph — the composite index's
+topological layer plays that role.  This module is that layer's
+algorithmic engine: it derives adjacency from an :class:`IndoorSpace`
+(optionally restricted to a candidate-partition subset, the *subgraph
+phase* of query processing) and runs single-source Dijkstra seeded at a
+query point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SpaceError, UnreachableError
+from repro.geometry.point import Point
+from repro.space.floorplan import IndoorSpace
+
+
+@dataclass(frozen=True)
+class DoorDistances:
+    """Result of a single-source Dijkstra from a query point.
+
+    ``dist[d]`` is the indoor distance ``|q, d|_I`` from the source point
+    to door ``d``'s midpoint, *including* the initial in-partition leg
+    ``|q, d_q|_E``.  ``predecessor[d]`` supports path reconstruction
+    (``None`` marks a seed door of the source partition).
+    """
+
+    source: Point
+    source_partition: str
+    dist: dict[str, float]
+    predecessor: dict[str, str | None]
+
+    def distance_to(self, door_id: str) -> float:
+        """``|q, d|_I``; infinity when the door is unreachable."""
+        return self.dist.get(door_id, math.inf)
+
+    def path_to(self, door_id: str) -> list[str]:
+        """Door sequence of the shortest path ``q ~> door_id``."""
+        if door_id not in self.dist:
+            raise UnreachableError(
+                f"door {door_id!r} unreachable from {self.source}"
+            )
+        path: list[str] = []
+        cur: str | None = door_id
+        while cur is not None:
+            path.append(cur)
+            cur = self.predecessor[cur]
+        path.reverse()
+        return path
+
+
+@dataclass
+class DoorsGraph:
+    """Directed, weighted doors graph derived from an indoor space.
+
+    ``adjacency[d]`` is a list of ``(neighbour_door, weight,
+    partition_id)`` triples, where ``partition_id`` names the partition
+    the edge crosses — that is what lets the subgraph phase restrict
+    relaxation to candidate partitions.
+    """
+
+    space: IndoorSpace
+    adjacency: dict[str, list[tuple[str, float, str]]] = field(
+        default_factory=dict
+    )
+    _built_for_version: int = -1
+
+    @staticmethod
+    def from_space(space: IndoorSpace) -> "DoorsGraph":
+        graph = DoorsGraph(space)
+        graph.rebuild()
+        return graph
+
+    def rebuild(self) -> None:
+        """(Re)derive the adjacency from the space's current topology."""
+        space = self.space
+        adjacency: dict[str, list[tuple[str, float, str]]] = {
+            door_id: [] for door_id in space.doors
+        }
+        for partition in space.partitions.values():
+            pid = partition.partition_id
+            doors = space.doors_of(pid)
+            for d_in in doors:
+                if not d_in.allows_entry(pid):
+                    continue
+                for d_out in doors:
+                    if d_out.door_id == d_in.door_id:
+                        continue
+                    if not d_out.allows_exit(pid):
+                        continue
+                    weight = space.door_to_door(d_in, d_out)
+                    adjacency[d_in.door_id].append(
+                        (d_out.door_id, weight, pid)
+                    )
+        self.adjacency = adjacency
+        self._built_for_version = space.topology_version
+
+    def ensure_fresh(self) -> None:
+        if self._built_for_version != self.space.topology_version:
+            self.rebuild()
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self.adjacency.values())
+
+    # ------------------------------------------------------------------
+    # Dijkstra
+    # ------------------------------------------------------------------
+
+    def dijkstra_from_point(
+        self,
+        q: Point,
+        source_partition: str | None = None,
+        allowed_partitions: set[str] | None = None,
+        cutoff: float | None = None,
+    ) -> DoorDistances:
+        """Single-source shortest door distances from a query point.
+
+        The search is seeded with every door through which the source
+        partition can be exited (initial distance ``|q, d_q|_E``) and
+        relaxes directed door-to-door edges.  When ``allowed_partitions``
+        is given, only edges crossing those partitions are relaxed — the
+        *subgraph phase* of Algorithms 1 and 2.  ``cutoff`` stops the
+        search beyond a distance bound (safe for range queries: any path
+        longer than the range cannot qualify).
+        """
+        self.ensure_fresh()
+        space = self.space
+        if source_partition is None:
+            located = space.locate(q)
+            if located is None:
+                raise SpaceError(f"query point {q} is outside every partition")
+            source_partition = located.partition_id
+
+        seeds: dict[str, float] = {}
+        for door in space.exit_doors(source_partition):
+            d = q.distance(door.midpoint, space.floor_height)
+            if door.door_id not in seeds or d < seeds[door.door_id]:
+                seeds[door.door_id] = d
+
+        dist: dict[str, float] = {}
+        predecessor: dict[str, str | None] = {}
+        heap: list[tuple[float, str]] = []
+        for door_id, d in seeds.items():
+            dist[door_id] = d
+            predecessor[door_id] = None
+            heapq.heappush(heap, (d, door_id))
+
+        while heap:
+            d, door_id = heapq.heappop(heap)
+            if d > dist.get(door_id, math.inf):
+                continue  # stale entry
+            if cutoff is not None and d > cutoff:
+                continue
+            for nbr, weight, pid in self.adjacency.get(door_id, ()):
+                if (
+                    allowed_partitions is not None
+                    and pid not in allowed_partitions
+                ):
+                    continue
+                nd = d + weight
+                if cutoff is not None and nd > cutoff:
+                    continue
+                if nd < dist.get(nbr, math.inf):
+                    dist[nbr] = nd
+                    predecessor[nbr] = door_id
+                    heapq.heappush(heap, (nd, nbr))
+
+        return DoorDistances(q, source_partition, dist, predecessor)
+
+    def dijkstra_between_doors(
+        self, source_door: str, cutoff: float | None = None
+    ) -> dict[str, float]:
+        """All-door shortest distances from one door midpoint.
+
+        This is the building block of the pre-computation baseline
+        ([16]/[24]-style, measured in Figure 15(d)).
+        """
+        self.ensure_fresh()
+        if source_door not in self.adjacency:
+            raise SpaceError(f"unknown door {source_door!r}")
+        dist = {source_door: 0.0}
+        heap = [(0.0, source_door)]
+        while heap:
+            d, door_id = heapq.heappop(heap)
+            if d > dist.get(door_id, math.inf):
+                continue
+            if cutoff is not None and d > cutoff:
+                continue
+            for nbr, weight, _pid in self.adjacency.get(door_id, ()):
+                nd = d + weight
+                if nd < dist.get(nbr, math.inf):
+                    dist[nbr] = nd
+                    heapq.heappush(heap, (nd, nbr))
+        return dist
+
+    # ------------------------------------------------------------------
+    # point-to-point indoor distance (reference implementation)
+    # ------------------------------------------------------------------
+
+    def indoor_distance(self, q: Point, p: Point) -> float:
+        """Exact indoor distance ``|q, p|_I`` between two points (Eq. 1).
+
+        Reference implementation used by the naive baseline and tests;
+        query processing uses the phased algorithms instead.
+        """
+        space = self.space
+        pq = space.locate(q)
+        pp = space.locate(p)
+        if pq is None or pp is None:
+            raise SpaceError("both points must lie inside the space")
+        best = math.inf
+        if pq.partition_id == pp.partition_id:
+            best = q.distance(p, space.floor_height)
+        dd = self.dijkstra_from_point(q, pq.partition_id)
+        for door in space.entry_doors(pp.partition_id):
+            d = dd.distance_to(door.door_id)
+            if not math.isfinite(d):
+                continue
+            total = d + door.midpoint.distance(p, space.floor_height)
+            best = min(best, total)
+        if not math.isfinite(best):
+            raise UnreachableError(f"{p} unreachable from {q}")
+        return best

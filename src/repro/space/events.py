@@ -1,0 +1,267 @@
+"""Temporal topology variations (Section I and Section III-C).
+
+Indoor partitions change over time: a conference hall is split by a
+sliding wall (Figure 1, room 21), rooms are merged back, doors are closed
+in emergencies, security gates flip direction.  Events mutate an
+:class:`~repro.space.floorplan.IndoorSpace` and report exactly what
+changed so the composite index can update incrementally instead of
+rebuilding — the paper's key maintenance advantage over distance
+pre-computation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.space.door import Door, DoorDirection
+from repro.space.floorplan import IndoorSpace
+from repro.space.partition import Partition
+
+
+@dataclass
+class EventResult:
+    """What an event changed; consumed by CompositeIndex.apply_event."""
+
+    removed_partitions: list[Partition] = field(default_factory=list)
+    added_partitions: list[Partition] = field(default_factory=list)
+    removed_doors: list[Door] = field(default_factory=list)
+    added_doors: list[Door] = field(default_factory=list)
+    modified_doors: list[Door] = field(default_factory=list)
+
+
+class TopologyEvent(abc.ABC):
+    """A reversible-by-inverse mutation of the indoor topology."""
+
+    @abc.abstractmethod
+    def apply(self, space: IndoorSpace) -> EventResult:
+        """Mutate the space and describe the change."""
+
+
+@dataclass
+class SplitPartition(TopologyEvent):
+    """Split a rectangular partition along an axis-aligned line.
+
+    Mounting the sliding wall of Figure 1's room 21 is
+    ``SplitPartition("room21", axis="x", coord=...)`` — afterwards the
+    two halves do not communicate directly, and paths must detour through
+    doors ``d_41``/``d_42`` exactly as the paper describes.  Pass
+    ``connecting_door=True`` for splits that keep an opening.
+    """
+
+    partition_id: str
+    axis: str  # "x" splits by a vertical line x=coord, "y" by horizontal
+    coord: float
+    new_ids: tuple[str, str] | None = None
+    connecting_door: bool = False
+    connecting_door_id: str | None = None
+
+    def apply(self, space: IndoorSpace) -> EventResult:
+        old = space.partition(self.partition_id)
+        if not isinstance(old.footprint, Rect):
+            raise TopologyError(
+                f"can only split rectangular partitions, "
+                f"{self.partition_id!r} is not one"
+            )
+        if old.is_staircase:
+            raise TopologyError("cannot split a staircase")
+        rect = old.footprint
+        if self.axis == "x":
+            if not (rect.minx < self.coord < rect.maxx):
+                raise TopologyError(
+                    f"x={self.coord} does not cross {self.partition_id!r}"
+                )
+            r1, r2 = rect.split_x(self.coord)
+        elif self.axis == "y":
+            if not (rect.miny < self.coord < rect.maxy):
+                raise TopologyError(
+                    f"y={self.coord} does not cross {self.partition_id!r}"
+                )
+            r1, r2 = rect.split_y(self.coord)
+        else:
+            raise TopologyError(f"axis must be 'x' or 'y', got {self.axis!r}")
+
+        id1, id2 = self.new_ids or (
+            f"{self.partition_id}_a",
+            f"{self.partition_id}_b",
+        )
+
+        # Snapshot attached doors, then remove the old partition (which
+        # detaches them), add the halves, and re-attach each door to the
+        # half its midpoint falls into.
+        doors = [space.doors[d] for d in list(old.door_ids)]
+        space.remove_partition(self.partition_id)
+        p1 = space.add_partition(
+            Partition(id1, r1, old.floor, old.kind)
+        )
+        p2 = space.add_partition(
+            Partition(id2, r2, old.floor, old.kind)
+        )
+        result = EventResult(
+            removed_partitions=[old], added_partitions=[p1, p2]
+        )
+        for door in doors:
+            mid = door.midpoint
+            target = id1 if r1.contains_xy(mid.x, mid.y) else id2
+            new_partitions = tuple(
+                target if pid == self.partition_id else pid
+                for pid in door.partitions
+            )
+            new_door = Door(
+                door.door_id,
+                door.midpoint,
+                new_partitions,  # type: ignore[arg-type]
+                direction=door.direction,
+                is_open=door.is_open,
+            )
+            space.add_door(new_door)
+            result.removed_doors.append(door)
+            result.added_doors.append(new_door)
+
+        if self.connecting_door:
+            did = self.connecting_door_id or f"{self.partition_id}_splitdoor"
+            if self.axis == "x":
+                at = Point(
+                    self.coord, (rect.miny + rect.maxy) / 2.0, old.floor
+                )
+            else:
+                at = Point(
+                    (rect.minx + rect.maxx) / 2.0, self.coord, old.floor
+                )
+            door = Door(did, at, (id1, id2))
+            space.add_door(door)
+            result.added_doors.append(door)
+        return result
+
+
+@dataclass
+class MergePartitions(TopologyEvent):
+    """Merge two adjacent rectangular partitions into one.
+
+    Dismounting the sliding wall of Figure 1: the two meeting-style
+    partitions become a single banquet-style one.  The footprints must
+    union to an exact rectangle; doors between the two halves disappear.
+    """
+
+    partition_ids: tuple[str, str]
+    new_id: str | None = None
+
+    def apply(self, space: IndoorSpace) -> EventResult:
+        ida, idb = self.partition_ids
+        pa, pb = space.partition(ida), space.partition(idb)
+        if pa.is_staircase or pb.is_staircase:
+            raise TopologyError("cannot merge staircases")
+        if pa.floor != pb.floor:
+            raise TopologyError("cannot merge partitions on different floors")
+        if not isinstance(pa.footprint, Rect) or not isinstance(
+            pb.footprint, Rect
+        ):
+            raise TopologyError("can only merge rectangular partitions")
+        union = pa.footprint.union(pb.footprint)
+        if abs(union.area - (pa.footprint.area + pb.footprint.area)) > 1e-9:
+            raise TopologyError(
+                f"{ida!r} and {idb!r} do not tile a rectangle"
+            )
+        new_id = self.new_id or f"{ida}+{idb}"
+
+        doors_a = [space.doors[d] for d in list(pa.door_ids)]
+        doors_b = [space.doors[d] for d in list(pb.door_ids)]
+        internal = {
+            d.door_id
+            for d in doors_a
+            if set(d.partitions) == {ida, idb}
+        }
+        space.remove_partition(ida)
+        space.remove_partition(idb)
+        merged = space.add_partition(
+            Partition(new_id, union, pa.floor, pa.kind)
+        )
+        result = EventResult(
+            removed_partitions=[pa, pb], added_partitions=[merged]
+        )
+        seen: set[str] = set()
+        for door in doors_a + doors_b:
+            if door.door_id in seen:
+                continue
+            seen.add(door.door_id)
+            result.removed_doors.append(door)
+            if door.door_id in internal:
+                continue  # the sliding wall's own opening disappears
+            new_partitions = tuple(
+                new_id if pid in (ida, idb) else pid
+                for pid in door.partitions
+            )
+            new_door = Door(
+                door.door_id,
+                door.midpoint,
+                new_partitions,  # type: ignore[arg-type]
+                direction=door.direction,
+                is_open=door.is_open,
+            )
+            space.add_door(new_door)
+            result.added_doors.append(new_door)
+        return result
+
+
+@dataclass
+class CloseDoor(TopologyEvent):
+    """Temporarily close a door (emergency blocking, booked rooms)."""
+
+    door_id: str
+
+    def apply(self, space: IndoorSpace) -> EventResult:
+        door = space.door(self.door_id)
+        if not door.is_open:
+            raise TopologyError(f"door {self.door_id!r} is already closed")
+        door.is_open = False
+        space.topology_version += 1
+        return EventResult(modified_doors=[door])
+
+
+@dataclass
+class OpenDoor(TopologyEvent):
+    """Re-open a previously closed door."""
+
+    door_id: str
+
+    def apply(self, space: IndoorSpace) -> EventResult:
+        door = space.door(self.door_id)
+        if door.is_open:
+            raise TopologyError(f"door {self.door_id!r} is already open")
+        door.is_open = True
+        space.topology_version += 1
+        return EventResult(modified_doors=[door])
+
+
+@dataclass
+class SetDoorDirection(TopologyEvent):
+    """Change a door's direction (e.g. flip a security gate).
+
+    For ``DoorDirection.ONE_WAY``, ``from_partition`` selects the side
+    movement starts from.
+    """
+
+    door_id: str
+    direction: DoorDirection
+    from_partition: str | None = None
+
+    def apply(self, space: IndoorSpace) -> EventResult:
+        door = space.door(self.door_id)
+        if self.direction is DoorDirection.ONE_WAY:
+            if self.from_partition is None:
+                raise TopologyError(
+                    "one-way direction needs from_partition"
+                )
+            if not door.connects(self.from_partition):
+                raise TopologyError(
+                    f"door {self.door_id!r} does not touch "
+                    f"{self.from_partition!r}"
+                )
+            other = door.other_side(self.from_partition)
+            door.partitions = (self.from_partition, other)
+        door.direction = self.direction
+        space.topology_version += 1
+        return EventResult(modified_doors=[door])

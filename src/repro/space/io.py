@@ -1,0 +1,110 @@
+"""JSON import/export of indoor spaces.
+
+Floor plans are long-lived assets; a downstream user needs to load the
+same building across sessions and tools.  The schema is deliberately
+plain: a dict with ``floor_height``, ``partitions`` and ``doors``
+arrays, footprints either rectangles (``[minx, miny, maxx, maxy]``) or
+polygons (vertex lists).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SpaceError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.space.door import Door, DoorDirection
+from repro.space.floorplan import IndoorSpace
+from repro.space.partition import Partition, PartitionKind
+
+SCHEMA_VERSION = 1
+
+
+def space_to_dict(space: IndoorSpace) -> dict[str, Any]:
+    """Serialise a space to a JSON-compatible dict."""
+    partitions = []
+    for p in space.partitions.values():
+        entry: dict[str, Any] = {
+            "id": p.partition_id,
+            "kind": p.kind.value,
+            "floor": p.floor,
+        }
+        if p.upper_floor != p.floor:
+            entry["upper_floor"] = p.upper_floor
+        if isinstance(p.footprint, Rect):
+            entry["rect"] = [
+                p.footprint.minx, p.footprint.miny,
+                p.footprint.maxx, p.footprint.maxy,
+            ]
+        else:
+            entry["polygon"] = [list(v) for v in p.footprint.vertices]
+        partitions.append(entry)
+    doors = []
+    for d in space.doors.values():
+        entry = {
+            "id": d.door_id,
+            "partitions": list(d.partitions),
+            "midpoint": [d.midpoint.x, d.midpoint.y, d.midpoint.floor],
+            "direction": d.direction.value,
+        }
+        if not d.is_open:
+            entry["closed"] = True
+        doors.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "floor_height": space.floor_height,
+        "partitions": partitions,
+        "doors": doors,
+    }
+
+
+def space_from_dict(data: dict[str, Any]) -> IndoorSpace:
+    """Deserialise a space (inverse of :func:`space_to_dict`)."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SpaceError(
+            f"unsupported schema version {data.get('schema')!r}"
+        )
+    space = IndoorSpace(floor_height=float(data["floor_height"]))
+    for entry in data["partitions"]:
+        if "rect" in entry:
+            footprint: Rect | Polygon = Rect(*entry["rect"])
+        elif "polygon" in entry:
+            footprint = Polygon(entry["polygon"])
+        else:
+            raise SpaceError(
+                f"partition {entry.get('id')!r} has no footprint"
+            )
+        space.add_partition(
+            Partition(
+                entry["id"],
+                footprint,
+                int(entry["floor"]),
+                PartitionKind(entry["kind"]),
+                upper_floor=int(entry.get("upper_floor", entry["floor"])),
+            )
+        )
+    for entry in data["doors"]:
+        x, y, floor = entry["midpoint"]
+        door = Door(
+            entry["id"],
+            Point(float(x), float(y), int(floor)),
+            tuple(entry["partitions"]),  # type: ignore[arg-type]
+            DoorDirection(entry["direction"]),
+            is_open=not entry.get("closed", False),
+        )
+        space.add_door(door)
+    return space
+
+
+def save_space(space: IndoorSpace, path: str | Path) -> None:
+    """Write a space to a JSON file."""
+    Path(path).write_text(json.dumps(space_to_dict(space), indent=2))
+
+
+def load_space(path: str | Path) -> IndoorSpace:
+    """Read a space from a JSON file."""
+    return space_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,119 @@
+"""Partitions — rooms, hallways and staircases (Section II-A).
+
+A partition is an atomic indoor element with geometry (a planar
+footprint aligned to one floor, or a vertical span for staircases) and
+topology (its doors).  The paper treats hallways and staircases as rooms;
+we keep a ``kind`` tag because staircases get special treatment in the
+skeleton tier and hallways in the decomposition step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SpaceError
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+class PartitionKind(enum.Enum):
+    ROOM = "room"
+    HALLWAY = "hallway"
+    STAIRCASE = "staircase"
+
+
+@dataclass(eq=False)
+class Partition:
+    """An indoor partition.
+
+    Parameters
+    ----------
+    partition_id:
+        Unique identifier.
+    footprint:
+        Planar geometry — a :class:`Rect` or a rectilinear
+        :class:`Polygon`.  A staircase's footprint is its shaft cross
+        section (shared by both floors it spans).
+    floor:
+        The (lowest) floor the partition lies on.
+    kind:
+        Room, hallway or staircase.
+    upper_floor:
+        For staircases, the highest floor of the span; equals ``floor``
+        for everything else.
+    """
+
+    partition_id: str
+    footprint: Rect | Polygon
+    floor: int
+    kind: PartitionKind = PartitionKind.ROOM
+    upper_floor: int | None = None
+    door_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.upper_floor is None:
+            self.upper_floor = self.floor
+        if self.upper_floor < self.floor:
+            raise SpaceError(
+                f"partition {self.partition_id!r}: upper_floor < floor"
+            )
+        if (
+            self.kind is not PartitionKind.STAIRCASE
+            and self.upper_floor != self.floor
+        ):
+            raise SpaceError(
+                f"partition {self.partition_id!r}: only staircases may span floors"
+            )
+
+    def __hash__(self) -> int:
+        return hash(self.partition_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Partition)
+            and other.partition_id == self.partition_id
+        )
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def bounds(self) -> Rect:
+        if isinstance(self.footprint, Rect):
+            return self.footprint
+        return self.footprint.bounds()
+
+    @property
+    def floor_span(self) -> tuple[int, int]:
+        """``(lowest, highest)`` floor of the partition."""
+        return (self.floor, self.upper_floor)
+
+    @property
+    def is_staircase(self) -> bool:
+        return self.kind is PartitionKind.STAIRCASE
+
+    def spans_floor(self, floor: int) -> bool:
+        return self.floor <= floor <= self.upper_floor
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        if isinstance(self.footprint, Rect):
+            return self.footprint.contains_xy(x, y)
+        return self.footprint.contains_xy(x, y)
+
+    def contains_point(self, point) -> bool:
+        """Full containment test: right floor span *and* inside footprint."""
+        return self.spans_floor(point.floor) and self.contains_xy(point.x, point.y)
+
+    @property
+    def area(self) -> float:
+        if isinstance(self.footprint, Rect):
+            return self.footprint.area
+        return self.footprint.area
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = (
+            f"floors {self.floor}-{self.upper_floor}"
+            if self.upper_floor != self.floor
+            else f"floor {self.floor}"
+        )
+        return f"Partition({self.partition_id}, {self.kind.value}, {span})"

@@ -1,0 +1,131 @@
+"""ASCII rendering of floor plans.
+
+Terminal-friendly visual checks for builders of spaces and debuggers of
+queries: partitions are drawn as labelled regions, doors as ``+``,
+staircases shaded, and arbitrary marks (query points, objects) overlaid.
+
+Example::
+
+    from repro import build_mall
+    from repro.viz import render_floor
+
+    print(render_floor(build_mall(floors=2), floor=0, width=100))
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.errors import SpaceError
+from repro.geometry.point import Point
+from repro.space.floorplan import IndoorSpace
+from repro.space.partition import PartitionKind
+
+#: glyph cycle for labelling partitions
+_LABELS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def render_floor(
+    space: IndoorSpace,
+    floor: int = 0,
+    width: int = 80,
+    marks: dict[str, Point] | None = None,
+    show_legend: bool = True,
+) -> str:
+    """Render one floor as an ASCII grid.
+
+    Parameters
+    ----------
+    space, floor:
+        What to draw.
+    width:
+        Character width of the canvas; the height follows the floor's
+        aspect ratio (each character cell is roughly square on screen,
+        so vertical resolution is halved).
+    marks:
+        Optional ``{glyph: point}`` overlays, e.g. ``{"Q": q}`` for a
+        query point; only single-character glyphs on this floor are
+        drawn.
+    show_legend:
+        Append a label -> partition-id legend.
+    """
+    partitions = [p for p in space.partitions.values() if p.spans_floor(floor)]
+    if not partitions:
+        raise SpaceError(f"no partitions on floor {floor}")
+    bounds = partitions[0].bounds
+    for p in partitions[1:]:
+        bounds = bounds.union(p.bounds)
+    if width < 10:
+        raise SpaceError("width must be at least 10 characters")
+    sx = (width - 1) / max(bounds.width, 1e-9)
+    height = max(3, int(round(bounds.height * sx / 2.0)) + 1)
+    sy = (height - 1) / max(bounds.height, 1e-9)
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = int(round((x - bounds.minx) * sx))
+        row = height - 1 - int(round((y - bounds.miny) * sy))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    legend: list[tuple[str, str]] = []
+    ordered = sorted(partitions, key=lambda p: p.partition_id)
+    for idx, partition in enumerate(ordered):
+        if partition.kind is PartitionKind.STAIRCASE:
+            glyph = "#"
+        else:
+            glyph = _LABELS[idx % len(_LABELS)]
+            legend.append((glyph, partition.partition_id))
+        r = partition.bounds
+        r0, c0 = to_cell(r.minx, r.maxy)
+        r1, c1 = to_cell(r.maxx, r.miny)
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                on_edge = row in (r0, r1) or col in (c0, c1)
+                if on_edge:
+                    canvas[row][col] = glyph if partition.kind is (
+                        PartitionKind.STAIRCASE
+                    ) else ("-" if row in (r0, r1) else "|")
+                elif canvas[row][col] == " ":
+                    # interior: label once near the top-left corner
+                    if row == r0 + 1 and col == c0 + 1:
+                        canvas[row][col] = glyph
+
+    for door in space.doors.values():
+        if door.midpoint.floor != floor:
+            continue
+        row, col = to_cell(door.midpoint.x, door.midpoint.y)
+        canvas[row][col] = "+"
+
+    for glyph, point in (marks or {}).items():
+        if point.floor != floor or len(glyph) != 1:
+            continue
+        row, col = to_cell(point.x, point.y)
+        canvas[row][col] = glyph
+
+    lines = ["".join(row).rstrip() for row in canvas]
+    out = [f"floor {floor}  ({bounds.width:g} m x {bounds.height:g} m)"]
+    out.extend(lines)
+    if show_legend and legend:
+        out.append("")
+        out.append("legend: # staircase, + door")
+        for glyph, pid in legend:
+            out.append(f"  {glyph} = {pid}")
+    return "\n".join(out)
+
+
+def render_building(
+    space: IndoorSpace, width: int = 80, marks: dict[str, Point] | None = None
+) -> str:
+    """Render every floor, bottom to top."""
+    floors = sorted(
+        {
+            f
+            for p in space.partitions.values()
+            for f in range(p.floor, p.upper_floor + 1)
+        }
+    )
+    return "\n\n".join(
+        render_floor(space, f, width=width, marks=marks, show_legend=False)
+        for f in reversed(floors)
+    )

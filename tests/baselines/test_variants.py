@@ -1,0 +1,73 @@
+"""Ablation variants must return exactly the same results, only slower
+or with different internal statistics."""
+
+import pytest
+
+from repro.baselines import (
+    NaiveEvaluator,
+    iknnq_euclidean_filter,
+    iknnq_without_pruning,
+    irq_euclidean_filter,
+    irq_without_pruning,
+)
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import QueryStats, iRQ, ikNNQ
+
+
+@pytest.fixture(scope="module")
+def setup(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=10, seed=91)
+    pop = gen.generate(50)
+    index = CompositeIndex.build(small_mall, pop)
+    oracle = NaiveEvaluator(small_mall, pop)
+    return index, oracle
+
+
+class TestIRQVariants:
+    @pytest.mark.parametrize("variant", [irq_without_pruning, irq_euclidean_filter])
+    def test_same_results(self, setup, small_mall, variant):
+        index, oracle = setup
+        q = small_mall.random_point(seed=7)
+        expected = oracle.range_query(q, 45.0)
+        assert variant(q, 45.0, index).ids() == expected
+
+    def test_no_pruning_refines_more(self, setup, small_mall):
+        index, _ = setup
+        q = small_mall.random_point(seed=8)
+        s_with, s_without = QueryStats(), QueryStats()
+        iRQ(q, 45.0, index, stats=s_with)
+        irq_without_pruning(q, 45.0, index, stats=s_without)
+        assert s_without.refined >= s_with.refined
+
+    def test_euclidean_filter_retrieves_more_partitions(self, setup, small_mall):
+        index, _ = setup
+        # Cross-floor queries show the skeleton advantage most clearly.
+        q = small_mall.random_point(seed=9)
+        s_with, s_without = QueryStats(), QueryStats()
+        iRQ(q, 45.0, index, stats=s_with)
+        irq_euclidean_filter(q, 45.0, index, stats=s_without)
+        assert s_without.partitions_retrieved >= s_with.partitions_retrieved
+
+
+class TestIKNNQVariants:
+    @pytest.mark.parametrize(
+        "variant", [iknnq_without_pruning, iknnq_euclidean_filter]
+    )
+    def test_same_results(self, setup, small_mall, variant):
+        index, oracle = setup
+        q = small_mall.random_point(seed=10)
+        k = 12
+        exact = oracle.all_distances(q)
+        kth = oracle.kth_distance(q, k)
+        result = variant(q, k, index)
+        assert len(result) == k
+        for oid in result.ids():
+            assert exact[oid] <= kth + 1e-6
+
+    def test_no_pruning_refines_all_candidates(self, setup, small_mall):
+        index, _ = setup
+        q = small_mall.random_point(seed=11)
+        stats = QueryStats()
+        iknnq_without_pruning(q, 10, index, stats=stats)
+        assert stats.refined == stats.candidates_after_filtering

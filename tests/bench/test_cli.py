@@ -1,0 +1,30 @@
+"""Tests for the `python -m repro.bench` command-line harness."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.figures import ALL_FIGURES
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_FIGURES:
+            assert name in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99z"])
+
+    def test_single_panel_runs_and_writes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert main(["fig15d", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 15(d)" in out
+        written = tmp_path / "fig15d.txt"
+        assert written.exists()
+        assert "pre-computation" in written.read_text()
+
+    def test_all_figure_names_have_functions(self):
+        assert len(ALL_FIGURES) == 16  # 4 figures x 4 panels

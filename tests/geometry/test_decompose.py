@@ -1,0 +1,128 @@
+"""Unit tests for repro.geometry.decompose (Algorithm 3)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Circle, Point, Polygon, Rect
+from repro.geometry.decompose import (
+    decompose_partition_geometry,
+    rectilinearize,
+)
+
+L_SHAPE = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+U_SHAPE = Polygon(
+    [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)]
+)
+
+
+def total_area(rects):
+    return sum(r.area for r in rects)
+
+
+def assert_disjoint(rects):
+    for i, a in enumerate(rects):
+        for b in rects[i + 1 :]:
+            inter = a.intersection(b)
+            assert inter is None or inter.area == pytest.approx(0.0)
+
+
+class TestRectangleInput:
+    def test_square_stays_whole(self):
+        units = decompose_partition_geometry(Rect(0, 0, 10, 10), t_shape=0.5)
+        assert units == [Rect(0, 0, 10, 10)]
+
+    def test_imbalanced_rect_is_halved(self):
+        units = decompose_partition_geometry(Rect(0, 0, 40, 10), t_shape=0.5)
+        assert total_area(units) == pytest.approx(400.0)
+        assert all(u.aspect_ratio() >= 0.5 for u in units)
+        assert len(units) == 2
+
+    def test_extreme_corridor(self):
+        units = decompose_partition_geometry(Rect(0, 0, 80, 5), t_shape=0.5)
+        assert total_area(units) == pytest.approx(400.0)
+        assert all(u.aspect_ratio() >= 0.5 for u in units)
+        assert_disjoint(units)
+
+    def test_t_shape_zero_disables_split(self):
+        units = decompose_partition_geometry(Rect(0, 0, 100, 1), t_shape=0.0)
+        assert units == [Rect(0, 0, 100, 1)]
+
+    def test_t_shape_above_one_rejected(self):
+        with pytest.raises(GeometryError):
+            decompose_partition_geometry(Rect(0, 0, 1, 1), t_shape=1.5)
+
+    def test_high_t_shape_terminates(self):
+        # t_shape > 1/sqrt(2): the target ratio may be unreachable by
+        # halving; decomposition must still terminate (no oscillation).
+        units = decompose_partition_geometry(Rect(0, 0, 29.5, 93.3), t_shape=0.8)
+        assert total_area(units) == pytest.approx(29.5 * 93.3)
+        assert_disjoint(units)
+        assert all(u.aspect_ratio() >= 0.5 for u in units)
+
+    def test_t_shape_one_terminates(self):
+        units = decompose_partition_geometry(Rect(0, 0, 10, 7), t_shape=1.0)
+        assert total_area(units) == pytest.approx(70.0)
+
+
+class TestConcaveInput:
+    def test_l_shape_area_preserved(self):
+        units = decompose_partition_geometry(L_SHAPE, t_shape=0.5)
+        assert total_area(units) == pytest.approx(L_SHAPE.area)
+        assert_disjoint(units)
+
+    def test_l_shape_units_are_inside(self):
+        units = decompose_partition_geometry(L_SHAPE, t_shape=0.5)
+        for u in units:
+            cx, cy = u.center
+            assert L_SHAPE.contains_xy(cx, cy)
+
+    def test_u_shape(self):
+        units = decompose_partition_geometry(U_SHAPE, t_shape=0.5)
+        assert total_area(units) == pytest.approx(U_SHAPE.area)
+        assert_disjoint(units)
+        for u in units:
+            cx, cy = u.center
+            assert U_SHAPE.contains_xy(cx, cy)
+
+    def test_units_respect_t_shape(self):
+        units = decompose_partition_geometry(U_SHAPE, t_shape=0.5)
+        assert all(u.aspect_ratio() >= 0.5 for u in units)
+
+    def test_rectangle_polygon_uses_convex_path(self):
+        poly = Polygon.from_rect(Rect(0, 0, 30, 10))
+        units = decompose_partition_geometry(poly, t_shape=0.5)
+        assert total_area(units) == pytest.approx(300.0)
+
+    def test_non_rectilinear_rejected(self):
+        tri = Polygon([(0, 0), (4, 0), (2, 3)])
+        with pytest.raises(GeometryError):
+            decompose_partition_geometry(tri, t_shape=0.5)
+
+    def test_paper_example_hallway_three_units(self):
+        # Figure 8(b): hallway 10 (an L) decomposes into a small number of
+        # regular units at T_shape = 0.5.
+        units = decompose_partition_geometry(L_SHAPE, t_shape=0.5)
+        assert 2 <= len(units) <= 4
+
+
+class TestRectilinearize:
+    def test_rectilinear_passthrough(self):
+        assert rectilinearize(L_SHAPE) is L_SHAPE
+
+    def test_circle_approximation(self):
+        circle_poly = Polygon(Circle(Point(5, 5), 4).polygonize(24))
+        approx = rectilinearize(circle_poly, resolution=8)
+        assert approx.is_rectilinear()
+        # Area should be in the right ballpark of pi * 16 ~ 50.
+        assert 30 <= approx.area <= 70
+
+    def test_circle_then_decompose(self):
+        circle_poly = Polygon(Circle(Point(5, 5), 4).polygonize(24))
+        approx = rectilinearize(circle_poly, resolution=6)
+        units = decompose_partition_geometry(approx, t_shape=0.3)
+        assert total_area(units) == pytest.approx(approx.area)
+
+    def test_resolution_guard(self):
+        tri = Polygon([(0, 0), (4, 0), (2, 3)])
+        with pytest.raises(GeometryError):
+            rectilinearize(tri, resolution=1)

@@ -1,0 +1,201 @@
+"""Unit tests for the composite index (build, RangeSearch, dynamic ops)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Circle, Point, Rect
+from repro.index import CompositeIndex
+from repro.objects import InstanceSet, ObjectGenerator, ObjectPopulation, UncertainObject
+from repro.space import DoorsGraph, Partition, SplitPartition, MergePartitions
+
+
+def point_obj(oid, x, y, floor=0):
+    return UncertainObject(
+        oid,
+        Circle(Point(x, y, floor), 1.0),
+        InstanceSet.uniform(np.array([[x, y]]), floor),
+    )
+
+
+@pytest.fixture
+def mall_index(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=20, seed=11)
+    pop = gen.generate(60)
+    return CompositeIndex.build(small_mall, pop)
+
+
+class TestBuild:
+    def test_layers_built(self, mall_index):
+        assert len(mall_index.indr) > 0
+        assert mall_index.skeleton.num_entrances == 8
+        assert len(mall_index.otable) == 60
+        assert mall_index.validate() == []
+
+    def test_build_times_recorded(self, mall_index):
+        assert set(mall_index.build_times) == {
+            "tree_tier", "topological_layer", "skeleton_tier", "object_layer",
+        }
+        assert all(t >= 0 for t in mall_index.build_times.values())
+
+    def test_empty_population(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        assert len(idx.otable) == 0
+        assert idx.validate() == []
+
+
+class TestPointLocation:
+    def test_locate(self, mall_index, small_mall):
+        p = small_mall.random_point(seed=5)
+        part = mall_index.locate(p)
+        assert part is not None and part.contains_point(p)
+
+    def test_locate_outside(self, mall_index):
+        assert mall_index.locate(Point(-100, -100, 0)) is None
+
+
+class TestRangeSearch:
+    def test_no_false_negatives(self, mall_index, small_mall):
+        """Every object within true indoor distance r must be returned
+        (Lemma 6 guarantee)."""
+        graph = DoorsGraph.from_space(small_mall)
+        q = small_mall.random_point(seed=21)
+        r = 40.0
+        result = mall_index.range_search(q, r)
+        got = {o.object_id for o in result.objects}
+        for obj in mall_index.population:
+            # Min indoor distance to any instance lower-bounds the
+            # expected distance; check candidates cover everything whose
+            # *skeleton* min distance is within r.
+            d = mall_index.min_skeleton_distance_to_object(q, obj)
+            if d <= r:
+                assert obj.object_id in got
+
+    def test_r_zero_degenerates_to_point_location(self, mall_index, small_mall):
+        q = small_mall.random_point(seed=22)
+        result = mall_index.range_search(q, 0.0)
+        pid = mall_index.locate(q).partition_id
+        assert pid in result.partitions
+
+    def test_without_skeleton_retrieves_more(self, small_mall):
+        gen = ObjectGenerator(small_mall, radius=3.0, n_instances=10, seed=12)
+        idx = CompositeIndex.build(small_mall, gen.generate(40))
+        q = small_mall.random_point(seed=23)
+        r = 50.0
+        with_sk = idx.range_search(q, r, use_skeleton=True)
+        without_sk = idx.range_search(q, r, use_skeleton=False)
+        assert len(without_sk.partitions) >= len(with_sk.partitions)
+        assert {o.object_id for o in with_sk.objects} <= {
+            o.object_id for o in without_sk.objects
+        }
+
+    def test_big_radius_returns_everything(self, mall_index):
+        q = mall_index.space.random_point(seed=24)
+        result = mall_index.range_search(q, 1e6)
+        assert len(result.objects) == 60
+
+
+class TestObjectOps:
+    def test_insert_object(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))
+        assert "a" in idx.otable
+        units = idx.otable.units_of("a")
+        assert all(idx.htable.partition_of(u) == "r1" for u in units)
+
+    def test_delete_object(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))
+        idx.delete_object("a")
+        assert "a" not in idx.otable
+        assert len(idx.population) == 0
+
+    def test_move_object_adjacent(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))  # r1
+        # Move into the hallway (adjacent to r1): fast path applies.
+        idx.move_object(
+            "a",
+            Circle(Point(15, 12, 0), 1.0),
+            InstanceSet.uniform(np.array([[15.0, 12.0]]), 0),
+        )
+        units = idx.otable.units_of("a")
+        assert {idx.htable.partition_of(u) for u in units} == {"h"}
+
+    def test_move_object_teleport_falls_back(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))  # r1
+        # Jump to r5, which is not adjacent to r1: tree fallback.
+        idx.move_object(
+            "a",
+            Circle(Point(25, 20, 0), 1.0),
+            InstanceSet.uniform(np.array([[25.0, 20.0]]), 0),
+        )
+        units = idx.otable.units_of("a")
+        assert {idx.htable.partition_of(u) for u in units} == {"r5"}
+
+    def test_straddling_object_in_multiple_buckets(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        obj = UncertainObject(
+            "wide",
+            Circle(Point(10, 5, 0), 4.0),
+            InstanceSet.uniform(np.array([[8.0, 5.0], [12.0, 5.0]]), 0),
+        )
+        idx.insert_object(obj)
+        pids = {
+            idx.htable.partition_of(u) for u in idx.otable.units_of("wide")
+        }
+        assert {"r1", "r2"} <= pids
+
+
+class TestTopologyOps:
+    def test_insert_partition(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        new = Partition("annex", Rect(30, 0, 40, 10), 0)
+        five_rooms.add_partition(new)
+        idx.insert_partition(new)
+        assert idx.locate(Point(35, 5, 0)).partition_id == "annex"
+        assert idx.validate() == []
+
+    def test_delete_partition_reresolves_objects(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        obj = UncertainObject(
+            "wide",
+            Circle(Point(10, 5, 0), 4.0),
+            InstanceSet.uniform(np.array([[8.0, 5.0], [12.0, 5.0]]), 0),
+        )
+        idx.insert_object(obj)
+        affected = idx.delete_partition("r2")
+        assert affected == ["wide"]
+        pids = {
+            idx.htable.partition_of(u) for u in idx.otable.units_of("wide")
+        }
+        assert pids == {"r1"}
+
+    def test_apply_split_event(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))  # in r1
+        idx.apply_event(SplitPartition("r1", axis="x", coord=5.0))
+        assert idx.locate(Point(2, 5, 0)).partition_id == "r1_a"
+        assert idx.locate(Point(8, 5, 0)).partition_id == "r1_b"
+        # The object sat at x=5: it must live in exactly the units of the
+        # half containing it.
+        pids = {idx.htable.partition_of(u) for u in idx.otable.units_of("a")}
+        assert pids <= {"r1_a", "r1_b"}
+        assert idx.validate() == []
+
+    def test_apply_merge_event(self, five_rooms):
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))
+        idx.apply_event(SplitPartition("r1", axis="x", coord=5.0))
+        idx.apply_event(MergePartitions(("r1_a", "r1_b"), "r1"))
+        assert idx.locate(Point(2, 5, 0)).partition_id == "r1"
+        pids = {idx.htable.partition_of(u) for u in idx.otable.units_of("a")}
+        assert pids == {"r1"}
+        assert idx.validate() == []
+
+    def test_staircase_delete_refreshes_skeleton(self, two_floor_space):
+        idx = CompositeIndex.build(two_floor_space)
+        assert idx.skeleton.num_entrances == 2
+        two_floor_space.remove_partition("stair")
+        idx.delete_partition("stair")
+        assert idx.skeleton.num_entrances == 0

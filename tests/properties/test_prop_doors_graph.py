@@ -1,0 +1,95 @@
+"""Property tests for the doors graph: random building configurations,
+cross-checked against networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import DoorsGraph
+from repro.space.mall import build_mall
+
+
+def nx_graph(graph: DoorsGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.adjacency)
+    for src, edges in graph.adjacency.items():
+        for dst, weight, _pid in edges:
+            if not g.has_edge(src, dst) or g[src][dst]["weight"] > weight:
+                g.add_edge(src, dst, weight=weight)
+    return g
+
+
+@st.composite
+def mall_configs(draw):
+    return dict(
+        floors=draw(st.integers(1, 3)),
+        bands=draw(st.integers(1, 3)),
+        rooms_per_band_side=draw(st.integers(1, 4)),
+        floor_size=120.0,
+        hallway_width=4.0,
+        stair_size=10.0,
+        one_way_fraction=draw(st.sampled_from([0.0, 0.2, 0.5])),
+        seed=draw(st.integers(0, 50)),
+    )
+
+
+class TestAgainstNetworkx:
+    @given(config=mall_configs(), q_seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_single_source_from_point(self, config, q_seed):
+        space = build_mall(**config)
+        graph = DoorsGraph.from_space(space)
+        q = space.random_point(seed=q_seed)
+        src = space.locate(q).partition_id
+        dd = graph.dijkstra_from_point(q, src)
+        g = nx_graph(graph)
+        g.add_node("__q__")
+        for door in space.exit_doors(src):
+            g.add_edge(
+                "__q__", door.door_id,
+                weight=q.distance(door.midpoint, space.floor_height),
+            )
+        expected = nx.single_source_dijkstra_path_length(g, "__q__")
+        for door_id in space.doors:
+            assert dd.distance_to(door_id) == pytest.approx(
+                expected.get(door_id, math.inf)
+            )
+
+    @given(config=mall_configs(), door_idx=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_door_to_door(self, config, door_idx):
+        space = build_mall(**config)
+        graph = DoorsGraph.from_space(space)
+        doors = sorted(space.doors)
+        src = doors[door_idx % len(doors)]
+        got = graph.dijkstra_between_doors(src)
+        expected = nx.single_source_dijkstra_path_length(nx_graph(graph), src)
+        assert set(got) == set(expected)
+        for door_id, d in got.items():
+            assert d == pytest.approx(expected[door_id])
+
+
+class TestMetricProperties:
+    @given(config=mall_configs(), a=st.integers(0, 50), b=st.integers(51, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_indoor_ge_euclidean(self, config, a, b):
+        space = build_mall(**config)
+        graph = DoorsGraph.from_space(space)
+        p = space.random_point(seed=a)
+        q = space.random_point(seed=b)
+        try:
+            indoor = graph.indoor_distance(p, q)
+        except Exception:
+            return  # one-way doors may make q unreachable: fine
+        assert indoor >= p.distance(q, space.floor_height) - 1e-6
+
+    @given(config=mall_configs(), a=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_self_distance_zero(self, config, a):
+        space = build_mall(**config)
+        graph = DoorsGraph.from_space(space)
+        p = space.random_point(seed=a)
+        assert graph.indoor_distance(p, p) == pytest.approx(0.0)

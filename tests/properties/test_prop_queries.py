@@ -1,0 +1,83 @@
+"""Property tests for the query processors: randomized queries must
+agree with the naive oracle (iRQ: exact set equality; ikNNQ: tie-aware
+equivalence)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveEvaluator
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import iRQ, ikNNQ
+from repro.space.mall import build_mall
+
+
+@pytest.fixture(scope="module")
+def world():
+    space = build_mall(
+        floors=2, bands=2, rooms_per_band_side=3, floor_size=120.0,
+        hallway_width=4.0, stair_size=10.0, seed=9,
+    )
+    pop = ObjectGenerator(
+        space, radius=4.0, n_instances=8, seed=9
+    ).generate(60)
+    index = CompositeIndex.build(space, pop)
+    oracle = NaiveEvaluator(space, pop)
+    return space, index, oracle
+
+
+class TestIRQAgainstOracle:
+    @given(
+        q_seed=st.integers(0, 500),
+        r=st.floats(0.0, 150.0, allow_nan=False),
+        with_pruning=st.booleans(),
+        use_skeleton=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_result_set(self, world, q_seed, r, with_pruning, use_skeleton):
+        space, index, oracle = world
+        q = space.random_point(seed=q_seed)
+        got = iRQ(
+            q, r, index,
+            with_pruning=with_pruning, use_skeleton=use_skeleton,
+        ).ids()
+        assert got == oracle.range_query(q, r)
+
+
+class TestIKNNQAgainstOracle:
+    @given(
+        q_seed=st.integers(0, 500),
+        k=st.integers(1, 59),
+        with_pruning=st.booleans(),
+        use_skeleton=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tie_aware_top_k(self, world, q_seed, k, with_pruning, use_skeleton):
+        space, index, oracle = world
+        q = space.random_point(seed=q_seed)
+        result = ikNNQ(
+            q, k, index,
+            with_pruning=with_pruning, use_skeleton=use_skeleton,
+        )
+        exact = oracle.all_distances(q)
+        kth = oracle.kth_distance(q, k)
+        reachable = sum(1 for d in exact.values() if math.isfinite(d))
+        assert len(result) == min(k, reachable)
+        for oid in result.ids():
+            assert exact[oid] <= kth + 1e-6
+
+    @given(q_seed=st.integers(0, 500), k=st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_knn_subset_of_range(self, world, q_seed, k):
+        """Every kNN member lies within range of the k-th distance."""
+        space, index, oracle = world
+        q = space.random_point(seed=q_seed)
+        kth = oracle.kth_distance(q, k)
+        if not math.isfinite(kth):
+            return
+        knn_ids = ikNNQ(q, k, index).ids()
+        range_ids = iRQ(q, kth + 1e-9, index).ids()
+        assert knn_ids <= range_ids

@@ -1,0 +1,71 @@
+"""Tests for iRQ selectivity estimation."""
+
+import pytest
+
+from repro.baselines import NaiveEvaluator
+from repro.errors import QueryError
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import candidate_upper_bound, estimate_irq_result_size, iRQ
+
+
+@pytest.fixture(scope="module")
+def setup(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=12, seed=131)
+    pop = gen.generate(60)
+    index = CompositeIndex.build(small_mall, pop)
+    return index
+
+
+class TestCandidateUpperBound:
+    @pytest.mark.parametrize("seed,r", [(1, 20.0), (2, 40.0), (3, 70.0)])
+    def test_is_upper_bound(self, setup, small_mall, seed, r):
+        index = setup
+        q = small_mall.random_point(seed=seed)
+        true_size = len(iRQ(q, r, index))
+        assert candidate_upper_bound(index, q, r) >= true_size
+
+    def test_monotone_in_r(self, setup, small_mall):
+        index = setup
+        q = small_mall.random_point(seed=4)
+        assert candidate_upper_bound(index, q, 20.0) <= candidate_upper_bound(
+            index, q, 60.0
+        )
+
+    def test_negative_r_rejected(self, setup, small_mall):
+        with pytest.raises(QueryError):
+            candidate_upper_bound(setup, small_mall.random_point(seed=1), -1.0)
+
+
+class TestRefinedEstimate:
+    def test_between_zero_and_candidates(self, setup, small_mall):
+        index = setup
+        for seed in range(5):
+            q = small_mall.random_point(seed=seed)
+            est = estimate_irq_result_size(index, q, 45.0)
+            assert 0.0 <= est <= candidate_upper_bound(index, q, 45.0)
+
+    def test_reasonable_accuracy_on_average(self, setup, small_mall):
+        """Over a workload, the interval estimator should land within a
+        small absolute error of the truth on average."""
+        index = setup
+        total_err = 0.0
+        n = 8
+        for seed in range(n):
+            q = small_mall.random_point(seed=seed + 100)
+            r = 50.0
+            est = estimate_irq_result_size(index, q, r)
+            true = len(iRQ(q, r, index))
+            total_err += abs(est - true)
+        assert total_err / n <= 3.0  # mean absolute error of a few objects
+
+    def test_empty_when_nothing_nearby(self, setup, small_mall):
+        index = setup
+        q = small_mall.random_point(seed=9)
+        assert estimate_irq_result_size(index, q, 0.0) <= len(
+            index.population
+        )
+
+    def test_negative_r_rejected(self, setup, small_mall):
+        with pytest.raises(QueryError):
+            estimate_irq_result_size(setup, small_mall.random_point(seed=1), -1.0)

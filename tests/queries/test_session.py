@@ -1,0 +1,77 @@
+"""Tests for query sessions (Dijkstra reuse across related queries)."""
+
+import pytest
+
+from repro.baselines import NaiveEvaluator
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import QuerySession, iRQ, ikNNQ
+
+
+@pytest.fixture(scope="module")
+def setup(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=12, seed=121)
+    pop = gen.generate(50)
+    index = CompositeIndex.build(small_mall, pop)
+    oracle = NaiveEvaluator(small_mall, pop)
+    return index, oracle
+
+
+class TestResultEquality:
+    def test_irq_same_results(self, setup, small_mall):
+        index, oracle = setup
+        session = QuerySession(index)
+        q = small_mall.random_point(seed=1)
+        for r in (20.0, 45.0, 70.0):
+            assert session.irq(q, r).ids() == oracle.range_query(q, r)
+
+    def test_iknnq_same_results(self, setup, small_mall):
+        index, oracle = setup
+        session = QuerySession(index)
+        q = small_mall.random_point(seed=2)
+        exact = oracle.all_distances(q)
+        for k in (3, 8, 15):
+            result = session.iknnq(q, k)
+            kth = oracle.kth_distance(q, k)
+            assert len(result) == k
+            for oid in result.ids():
+                assert exact[oid] <= kth + 1e-6
+
+
+class TestReuse:
+    def test_cache_hits_accumulate(self, setup, small_mall):
+        index, _ = setup
+        session = QuerySession(index)
+        q = small_mall.random_point(seed=3)
+        session.irq(q, 30.0)
+        assert (session.hits, session.misses) == (0, 1)
+        session.irq(q, 60.0)
+        session.iknnq(q, 5)
+        assert (session.hits, session.misses) == (2, 1)
+        assert session.hit_rate == pytest.approx(2 / 3)
+
+    def test_different_points_miss(self, setup, small_mall):
+        index, _ = setup
+        session = QuerySession(index)
+        session.irq(small_mall.random_point(seed=4), 30.0)
+        session.irq(small_mall.random_point(seed=5), 30.0)
+        assert session.misses == 2
+
+    def test_topology_change_invalidates(self, setup, small_mall):
+        index, _ = setup
+        session = QuerySession(index)
+        q = small_mall.random_point(seed=6)
+        session.irq(q, 30.0)
+        small_mall.topology_version += 1  # simulate a change
+        session.irq(q, 30.0)
+        assert session.misses == 2  # cache was cleared
+
+    def test_session_skips_subgraph_time(self, setup, small_mall):
+        from repro.queries import QueryStats
+        index, _ = setup
+        session = QuerySession(index)
+        q = small_mall.random_point(seed=7)
+        session.irq(q, 40.0)
+        stats = QueryStats()
+        session.irq(q, 40.0, stats=stats)
+        assert stats.t_subgraph == 0.0  # phase 2 served from the cache

@@ -1,0 +1,58 @@
+"""Unit tests for QueryStats bookkeeping."""
+
+import pytest
+
+from repro.queries import QueryStats
+
+
+class TestRatios:
+    def test_empty_stats(self):
+        s = QueryStats()
+        assert s.filtering_ratio == 0.0
+        assert s.pruning_ratio == 0.0
+        assert s.total_time == 0.0
+
+    def test_filtering_ratio(self):
+        s = QueryStats(total_objects=100, candidates_after_filtering=10)
+        assert s.filtering_ratio == pytest.approx(0.9)
+
+    def test_pruning_ratio_counts_unrefined(self):
+        s = QueryStats(total_objects=100, candidates_after_filtering=10, refined=2)
+        assert s.pruning_ratio == pytest.approx(0.98)
+
+    def test_phase_breakdown_keys(self):
+        s = QueryStats(t_filtering=1.0, t_subgraph=2.0, t_pruning=3.0,
+                       t_refinement=4.0)
+        assert s.phase_breakdown() == {
+            "filtering": 1.0, "subgraph": 2.0, "pruning": 3.0,
+            "refinement": 4.0,
+        }
+        assert s.total_time == 10.0
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_timings(self):
+        a = QueryStats(t_filtering=1.0, total_objects=10, refined=2,
+                       result_size=1)
+        b = QueryStats(t_filtering=2.0, total_objects=10, refined=3,
+                       result_size=4)
+        m = a.merge(b)
+        assert m.t_filtering == pytest.approx(3.0)
+        assert m.total_objects == 20
+        assert m.refined == 5
+        assert m.result_size == 5
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = QueryStats(total_objects=10)
+        b = QueryStats(total_objects=5)
+        a.merge(b)
+        assert a.total_objects == 10 and b.total_objects == 5
+
+    def test_merged_ratios_are_workload_level(self):
+        a = QueryStats(total_objects=100, candidates_after_filtering=10,
+                       refined=5)
+        b = QueryStats(total_objects=100, candidates_after_filtering=30,
+                       refined=10)
+        m = a.merge(b)
+        assert m.filtering_ratio == pytest.approx(1 - 40 / 200)
+        assert m.pruning_ratio == pytest.approx(1 - 15 / 200)

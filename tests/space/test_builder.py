@@ -1,0 +1,100 @@
+"""Unit tests for repro.space.builder."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.geometry import Point, Rect
+from repro.space import DoorDirection, PartitionKind, SpaceBuilder
+
+
+class TestRooms:
+    def test_add_room_kinds(self):
+        b = SpaceBuilder()
+        b.add_room("r", Rect(0, 0, 1, 1))
+        b.add_hallway("h", Rect(1, 0, 2, 1))
+        b.add_staircase("s", Rect(2, 0, 3, 1), 0)
+        space = b.space
+        assert space.partition("r").kind is PartitionKind.ROOM
+        assert space.partition("h").kind is PartitionKind.HALLWAY
+        assert space.partition("s").kind is PartitionKind.STAIRCASE
+        assert space.partition("s").floor_span == (0, 1)
+
+
+class TestConnect:
+    def test_auto_door_on_shared_wall(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(10, 0, 20, 10))
+        b.connect("a", "b", door_id="d")
+        door = b.space.door("d")
+        assert door.midpoint == Point(10, 5, 0)
+
+    def test_auto_door_partial_overlap(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(10, 6, 20, 20))
+        b.connect("a", "b", door_id="d")
+        assert b.space.door("d").midpoint == Point(10, 8, 0)
+
+    def test_no_shared_wall_raises(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(50, 0, 60, 10))
+        with pytest.raises(SpaceError):
+            b.connect("a", "b")
+
+    def test_explicit_at(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(50, 0, 60, 10))
+        b.connect("a", "b", at=Point(30, 5), door_id="bridge")
+        assert b.space.door("bridge").midpoint == Point(30, 5, 0)
+
+    def test_one_way(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(10, 0, 20, 10))
+        b.one_way("a", "b", door_id="gate")
+        door = b.space.door("gate")
+        assert door.direction is DoorDirection.ONE_WAY
+        assert door.allows_exit("a") and not door.allows_exit("b")
+
+    def test_auto_door_ids_unique(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10))
+        b.add_room("b", Rect(10, 0, 20, 10))
+        b.add_room("c", Rect(20, 0, 30, 10))
+        b.connect("a", "b")
+        b.connect("b", "c")
+        assert len(b.space.doors) == 2
+
+    def test_staircase_entrance_floors(self):
+        b = SpaceBuilder()
+        b.add_hallway("h0", Rect(0, 0, 10, 10), floor=0)
+        b.add_hallway("h1", Rect(0, 0, 10, 10), floor=1)
+        b.add_staircase("s", Rect(10, 0, 14, 10), 0, 1)
+        b.connect("s", "h0", floor=0, door_id="e0")
+        b.connect("s", "h1", floor=1, door_id="e1")
+        assert b.space.door("e0").midpoint.floor == 0
+        assert b.space.door("e1").midpoint.floor == 1
+
+    def test_no_common_floor_raises(self):
+        b = SpaceBuilder()
+        b.add_room("a", Rect(0, 0, 10, 10), floor=0)
+        b.add_room("b", Rect(10, 0, 20, 10), floor=5)
+        with pytest.raises(SpaceError):
+            b.connect("a", "b")
+
+
+class TestBuild:
+    def test_build_validates(self):
+        b = SpaceBuilder()
+        b.add_room("isolated", Rect(0, 0, 1, 1))
+        with pytest.raises(SpaceError):
+            b.build()
+
+    def test_build_skip_validation(self):
+        b = SpaceBuilder()
+        b.add_room("isolated", Rect(0, 0, 1, 1))
+        space = b.build(validate=False)
+        assert "isolated" in space.partitions

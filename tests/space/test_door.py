@@ -1,0 +1,66 @@
+"""Unit tests for repro.space.door."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.geometry import Point
+from repro.space import Door, DoorDirection
+
+
+def mk(direction=DoorDirection.BIDIRECTIONAL, is_open=True):
+    return Door("d1", Point(5, 0), ("a", "b"), direction, is_open)
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpaceError):
+            Door("d1", Point(0, 0), ("a", "a"))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SpaceError):
+            Door("d1", Point(0, 0), ("a",))  # type: ignore[arg-type]
+
+    def test_identity_semantics(self):
+        assert mk() == Door("d1", Point(9, 9), ("x", "y"))
+        assert hash(mk()) == hash("d1") == hash(Door("d1", Point(9, 9), ("x", "y")))
+
+
+class TestTopology:
+    def test_connects(self):
+        d = mk()
+        assert d.connects("a") and d.connects("b")
+        assert not d.connects("c")
+
+    def test_other_side(self):
+        d = mk()
+        assert d.other_side("a") == "b"
+        assert d.other_side("b") == "a"
+        with pytest.raises(SpaceError):
+            d.other_side("c")
+
+
+class TestPermissions:
+    def test_bidirectional_allows_both(self):
+        d = mk()
+        for pid in ("a", "b"):
+            assert d.allows_exit(pid)
+            assert d.allows_entry(pid)
+
+    def test_one_way_semantics(self):
+        d = mk(DoorDirection.ONE_WAY)
+        # movement a -> b only
+        assert d.allows_exit("a")
+        assert d.allows_entry("b")
+        assert not d.allows_exit("b")
+        assert not d.allows_entry("a")
+
+    def test_closed_door_blocks_everything(self):
+        d = mk(is_open=False)
+        for pid in ("a", "b"):
+            assert not d.allows_exit(pid)
+            assert not d.allows_entry(pid)
+
+    def test_unrelated_partition_never_allowed(self):
+        d = mk()
+        assert not d.allows_exit("zzz")
+        assert not d.allows_entry("zzz")

@@ -1,0 +1,180 @@
+"""Unit tests for topology events (Section III-C / Figure 1's room 21)."""
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.geometry import Point, Rect
+from repro.space import (
+    CloseDoor,
+    DoorDirection,
+    DoorsGraph,
+    MergePartitions,
+    OpenDoor,
+    SetDoorDirection,
+    SpaceBuilder,
+    SplitPartition,
+)
+
+
+def hall_with_big_room():
+    """A banquet hall (room21) with doors d41/d42 onto a hallway —
+    the paper's sliding-wall scenario."""
+    b = SpaceBuilder()
+    b.add_hallway("hall", Rect(0, 20, 40, 26))
+    b.add_room("room21", Rect(0, 0, 40, 20))
+    b.connect("room21", "hall", at=Point(8, 20), door_id="d41")
+    b.connect("room21", "hall", at=Point(32, 20), door_id="d42")
+    return b.build()
+
+
+class TestSplitPartition:
+    def test_split_creates_two_halves(self):
+        space = hall_with_big_room()
+        result = SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        assert "room21" not in space.partitions
+        assert {p.partition_id for p in result.added_partitions} == {
+            "room21_a", "room21_b",
+        }
+        assert space.partition("room21_a").footprint == Rect(0, 0, 20, 20)
+        assert space.partition("room21_b").footprint == Rect(20, 0, 40, 20)
+
+    def test_doors_reassigned_by_midpoint(self):
+        space = hall_with_big_room()
+        SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        assert space.door("d41").partitions == ("room21_a", "hall")
+        assert space.door("d42").partitions == ("room21_b", "hall")
+
+    def test_paper_scenario_distance_grows_after_split(self):
+        # Before the sliding wall is mounted, s -> t crosses room21
+        # directly; afterwards the path must detour through d41 and d42.
+        space = hall_with_big_room()
+        s, t = Point(5, 10, 0), Point(35, 10, 0)
+        before = DoorsGraph.from_space(space).indoor_distance(s, t)
+        SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        after = DoorsGraph.from_space(space).indoor_distance(s, t)
+        assert before == pytest.approx(s.distance(t))
+        assert after > before
+        d41 = space.door("d41").midpoint
+        assert after >= s.distance(d41)
+
+    def test_split_with_connecting_door(self):
+        space = hall_with_big_room()
+        result = SplitPartition(
+            "room21", axis="x", coord=20.0, connecting_door=True
+        ).apply(space)
+        new_ids = {d.door_id for d in result.added_doors}
+        assert "room21_splitdoor" in new_ids
+        door = space.door("room21_splitdoor")
+        assert set(door.partitions) == {"room21_a", "room21_b"}
+        assert door.midpoint == Point(20, 10, 0)
+
+    def test_custom_new_ids(self):
+        space = hall_with_big_room()
+        SplitPartition(
+            "room21", axis="y", coord=10.0, new_ids=("low", "high")
+        ).apply(space)
+        assert "low" in space.partitions and "high" in space.partitions
+
+    def test_bad_coord_rejected(self):
+        space = hall_with_big_room()
+        with pytest.raises(TopologyError):
+            SplitPartition("room21", axis="x", coord=99.0).apply(space)
+
+    def test_bad_axis_rejected(self):
+        space = hall_with_big_room()
+        with pytest.raises(TopologyError):
+            SplitPartition("room21", axis="z", coord=10.0).apply(space)
+
+    def test_cannot_split_staircase(self, two_floor_space):
+        with pytest.raises(TopologyError):
+            SplitPartition("stair", axis="x", coord=22.0).apply(two_floor_space)
+
+
+class TestMergePartitions:
+    def test_merge_restores_rectangle(self):
+        space = hall_with_big_room()
+        SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        result = MergePartitions(("room21_a", "room21_b"), "room21").apply(space)
+        assert space.partition("room21").footprint == Rect(0, 0, 40, 20)
+        assert {p.partition_id for p in result.removed_partitions} == {
+            "room21_a", "room21_b",
+        }
+        # Doors re-attached to the merged partition.
+        assert space.door("d41").partitions == ("room21", "hall")
+
+    def test_merge_drops_internal_door(self):
+        space = hall_with_big_room()
+        SplitPartition(
+            "room21", axis="x", coord=20.0, connecting_door=True
+        ).apply(space)
+        MergePartitions(("room21_a", "room21_b"), "room21").apply(space)
+        assert "room21_splitdoor" not in space.doors
+
+    def test_split_merge_roundtrip_distance(self):
+        space = hall_with_big_room()
+        s, t = Point(5, 10, 0), Point(35, 10, 0)
+        before = DoorsGraph.from_space(space).indoor_distance(s, t)
+        SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        MergePartitions(("room21_a", "room21_b"), "room21").apply(space)
+        after = DoorsGraph.from_space(space).indoor_distance(s, t)
+        assert after == pytest.approx(before)
+
+    def test_non_tiling_merge_rejected(self):
+        space = hall_with_big_room()
+        SplitPartition("room21", axis="x", coord=20.0).apply(space)
+        with pytest.raises(TopologyError):
+            # A half-room plus the hallway is not a rectangle.
+            MergePartitions(("room21_a", "hall")).apply(space)
+
+    def test_cross_floor_merge_rejected(self, two_floor_space):
+        with pytest.raises(TopologyError):
+            MergePartitions(("room0", "room1")).apply(two_floor_space)
+
+
+class TestDoorEvents:
+    def test_close_door_blocks_path(self, five_rooms):
+        graph = DoorsGraph.from_space(five_rooms)
+        q = Point(5, 5, 0)
+        CloseDoor("d1").apply(five_rooms)
+        CloseDoor("d12").apply(five_rooms)
+        graph.ensure_fresh()
+        dd = graph.dijkstra_from_point(q)
+        assert dd.distance_to("d3") == math.inf
+
+    def test_close_then_open_restores(self, five_rooms):
+        graph = DoorsGraph.from_space(five_rooms)
+        q = Point(5, 5, 0)
+        before = graph.dijkstra_from_point(q).distance_to("d3")
+        CloseDoor("d12").apply(five_rooms)
+        OpenDoor("d12").apply(five_rooms)
+        graph.ensure_fresh()
+        assert graph.dijkstra_from_point(q).distance_to("d3") == pytest.approx(before)
+
+    def test_double_close_rejected(self, five_rooms):
+        CloseDoor("d1").apply(five_rooms)
+        with pytest.raises(TopologyError):
+            CloseDoor("d1").apply(five_rooms)
+
+    def test_double_open_rejected(self, five_rooms):
+        with pytest.raises(TopologyError):
+            OpenDoor("d1").apply(five_rooms)
+
+    def test_set_direction_one_way(self, five_rooms):
+        SetDoorDirection(
+            "d12", DoorDirection.ONE_WAY, from_partition="r2"
+        ).apply(five_rooms)
+        door = five_rooms.door("d12")
+        assert door.allows_exit("r2") and not door.allows_exit("r1")
+
+    def test_one_way_needs_from_partition(self, five_rooms):
+        with pytest.raises(TopologyError):
+            SetDoorDirection("d12", DoorDirection.ONE_WAY).apply(five_rooms)
+
+    def test_back_to_bidirectional(self, five_rooms):
+        SetDoorDirection(
+            "d12", DoorDirection.ONE_WAY, from_partition="r2"
+        ).apply(five_rooms)
+        SetDoorDirection("d12", DoorDirection.BIDIRECTIONAL).apply(five_rooms)
+        assert five_rooms.door("d12").allows_exit("r1")

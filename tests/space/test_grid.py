@@ -1,0 +1,71 @@
+"""Unit tests for the partition grid accelerator."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.space.grid import PartitionGrid
+
+
+class TestCandidates:
+    def test_point_candidates_match_scan(self, five_rooms):
+        grid = PartitionGrid.build(five_rooms, cell_size=5.0)
+        for seed in range(20):
+            p = five_rooms.random_point(seed=seed)
+            via_grid = {c.partition_id for c in grid.candidates_for_point(p)}
+            expected = {
+                pid for pid, part in five_rooms.partitions.items()
+                if part.contains_point(p)
+            }
+            assert via_grid == expected
+
+    def test_rect_candidates_superset_of_hits(self, five_rooms):
+        grid = PartitionGrid.build(five_rooms, cell_size=7.0)
+        probe = Rect(8, 4, 12, 12)
+        got = {p.partition_id for p in grid.candidates_for_rect(probe, 0)}
+        expected = {
+            pid for pid, part in five_rooms.partitions.items()
+            if part.bounds.intersects(probe)
+        }
+        assert got == expected
+
+    def test_rect_on_missing_floor(self, five_rooms):
+        grid = PartitionGrid.build(five_rooms)
+        assert grid.candidates_for_rect(Rect(0, 0, 5, 5), floor=9) == []
+
+    def test_locate_matches_space_locate(self, small_mall):
+        grid = PartitionGrid.build(small_mall, cell_size=20.0)
+        for seed in range(15):
+            p = small_mall.random_point(seed=seed)
+            got = grid.locate(p)
+            assert got is not None and got.contains_point(p)
+
+    def test_locate_outside(self, five_rooms):
+        grid = PartitionGrid.build(five_rooms)
+        assert grid.locate(Point(-100, -100, 0)) is None
+
+    def test_staircase_spans_multiple_floors(self, two_floor_space):
+        grid = PartitionGrid.build(two_floor_space, cell_size=5.0)
+        for floor in (0, 1):
+            p = Point(22, 5, floor)
+            got = {c.partition_id for c in grid.candidates_for_point(p)}
+            assert got == {"stair"}
+
+
+class TestFreshness:
+    def test_rebuild_after_topology_change(self, five_rooms):
+        grid = PartitionGrid.build(five_rooms)
+        from repro.space import Partition
+        five_rooms.add_partition(
+            Partition("annex", Rect(30, 0, 40, 10), 0)
+        )
+        # ensure_fresh is called internally by lookups.
+        p = Point(35, 5, 0)
+        assert grid.locate(p).partition_id == "annex"
+
+    def test_cell_size_does_not_change_results(self, small_mall):
+        coarse = PartitionGrid.build(small_mall, cell_size=100.0)
+        fine = PartitionGrid.build(small_mall, cell_size=5.0)
+        probe = Rect(20, 20, 60, 60)
+        a = {p.partition_id for p in coarse.candidates_for_rect(probe, 0)}
+        b = {p.partition_id for p in fine.candidates_for_rect(probe, 0)}
+        assert a == b

@@ -1,0 +1,94 @@
+"""Round-trip tests for space serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.space import DoorsGraph
+from repro.space.io import load_space, save_space, space_from_dict, space_to_dict
+
+
+def assert_spaces_equivalent(a, b):
+    assert a.floor_height == b.floor_height
+    assert set(a.partitions) == set(b.partitions)
+    assert set(a.doors) == set(b.doors)
+    for pid, pa in a.partitions.items():
+        pb = b.partitions[pid]
+        assert pa.kind == pb.kind
+        assert pa.floor_span == pb.floor_span
+        assert pa.bounds == pb.bounds
+        assert pa.area == pytest.approx(pb.area)
+    for did, da in a.doors.items():
+        db = b.doors[did]
+        assert da.midpoint == db.midpoint
+        assert da.partitions == db.partitions
+        assert da.direction == db.direction
+        assert da.is_open == db.is_open
+
+
+class TestRoundTrip:
+    def test_five_rooms(self, five_rooms):
+        clone = space_from_dict(space_to_dict(five_rooms))
+        assert_spaces_equivalent(five_rooms, clone)
+
+    def test_one_way_doors_preserved(self, one_way_space):
+        clone = space_from_dict(space_to_dict(one_way_space))
+        assert_spaces_equivalent(one_way_space, clone)
+        d = clone.door("d21")
+        assert d.allows_exit("r2") and not d.allows_exit("r1")
+
+    def test_staircases_preserved(self, two_floor_space):
+        clone = space_from_dict(space_to_dict(two_floor_space))
+        assert_spaces_equivalent(two_floor_space, clone)
+        assert clone.partition("stair").floor_span == (0, 1)
+
+    def test_closed_doors_preserved(self, five_rooms):
+        five_rooms.door("d1").is_open = False
+        clone = space_from_dict(space_to_dict(five_rooms))
+        assert not clone.door("d1").is_open
+
+    def test_mall_round_trip_distances_identical(self, small_mall):
+        clone = space_from_dict(space_to_dict(small_mall))
+        assert_spaces_equivalent(small_mall, clone)
+        q = small_mall.random_point(seed=3)
+        p = small_mall.random_point(seed=4)
+        d1 = DoorsGraph.from_space(small_mall).indoor_distance(q, p)
+        d2 = DoorsGraph.from_space(clone).indoor_distance(q, p)
+        assert d1 == pytest.approx(d2)
+
+    def test_polygon_footprints(self):
+        from repro.geometry import Polygon, Rect
+        from repro.space import SpaceBuilder
+        b = SpaceBuilder()
+        b.add_hallway(
+            "L", Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        )
+        b.add_room("r", Rect(4, 0, 8, 2))
+        b.connect("L", "r")
+        space = b.build()
+        clone = space_from_dict(space_to_dict(space))
+        assert_spaces_equivalent(space, clone)
+        assert clone.partition("L").area == pytest.approx(12.0)
+
+
+class TestFiles:
+    def test_save_and_load(self, five_rooms, tmp_path):
+        path = tmp_path / "plan.json"
+        save_space(five_rooms, path)
+        clone = load_space(path)
+        assert_spaces_equivalent(five_rooms, clone)
+        # File is valid JSON.
+        json.loads(path.read_text())
+
+    def test_bad_schema_rejected(self, five_rooms):
+        data = space_to_dict(five_rooms)
+        data["schema"] = 99
+        with pytest.raises(SpaceError):
+            space_from_dict(data)
+
+    def test_missing_footprint_rejected(self, five_rooms):
+        data = space_to_dict(five_rooms)
+        del data["partitions"][0]["rect"]
+        with pytest.raises(SpaceError):
+            space_from_dict(data)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.space.partition."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.geometry import Point, Polygon, Rect
+from repro.space import Partition, PartitionKind
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = Partition("r1", Rect(0, 0, 5, 5), floor=2)
+        assert p.kind is PartitionKind.ROOM
+        assert p.upper_floor == 2
+        assert p.floor_span == (2, 2)
+        assert not p.is_staircase
+
+    def test_identity_semantics(self):
+        a = Partition("r1", Rect(0, 0, 1, 1), 0)
+        b = Partition("r1", Rect(5, 5, 9, 9), 3, PartitionKind.HALLWAY)
+        assert a == b and hash(a) == hash(b)
+
+    def test_only_staircases_span_floors(self):
+        with pytest.raises(SpaceError):
+            Partition("r1", Rect(0, 0, 1, 1), 0, upper_floor=1)
+        s = Partition(
+            "s1", Rect(0, 0, 1, 1), 0, PartitionKind.STAIRCASE, upper_floor=2
+        )
+        assert s.floor_span == (0, 2)
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(SpaceError):
+            Partition(
+                "s1", Rect(0, 0, 1, 1), 3, PartitionKind.STAIRCASE, upper_floor=1
+            )
+
+
+class TestGeometry:
+    def test_bounds_rect(self):
+        p = Partition("r", Rect(1, 2, 3, 4), 0)
+        assert p.bounds == Rect(1, 2, 3, 4)
+        assert p.area == pytest.approx(4.0)
+
+    def test_bounds_polygon(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        p = Partition("L", poly, 0, PartitionKind.HALLWAY)
+        assert p.bounds == Rect(0, 0, 4, 4)
+        assert p.area == pytest.approx(12.0)
+
+    def test_contains_point_checks_floor(self):
+        p = Partition("r", Rect(0, 0, 10, 10), floor=1)
+        assert p.contains_point(Point(5, 5, 1))
+        assert not p.contains_point(Point(5, 5, 0))
+        assert not p.contains_point(Point(50, 5, 1))
+
+    def test_staircase_spans_floor_range(self):
+        s = Partition(
+            "s", Rect(0, 0, 4, 4), 0, PartitionKind.STAIRCASE, upper_floor=2
+        )
+        assert s.spans_floor(0) and s.spans_floor(1) and s.spans_floor(2)
+        assert not s.spans_floor(3)
+        assert s.contains_point(Point(1, 1, 1))
+
+    def test_polygon_containment(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        p = Partition("L", poly, 0)
+        assert p.contains_xy(1, 3)
+        assert not p.contains_xy(3, 3)

@@ -1,0 +1,51 @@
+"""API-contract tests: every documented public name must be importable
+from the top-level package, and the lazy loader must behave."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        for name in ("iRQ", "ikNNQ", "CompositeIndex", "build_mall"):
+            assert name in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_lazy_values_cached(self):
+        first = repro.CompositeIndex
+        second = repro.CompositeIndex
+        assert first is second
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_core_round_trip_through_top_level_names_only(self, tmp_path):
+        """A downstream user can do everything via `import repro`."""
+        space = repro.build_mall(
+            floors=1, bands=2, rooms_per_band_side=2, floor_size=80.0,
+            hallway_width=4.0, stair_size=10.0, seed=3,
+        )
+        path = tmp_path / "plan.json"
+        repro.save_space(space, path)
+        space = repro.load_space(path)
+        objects = repro.ObjectGenerator(
+            space, radius=3.0, n_instances=5, seed=3
+        ).generate(20)
+        index = repro.CompositeIndex.build(space, objects)
+        q = space.random_point(seed=1)
+        hits = repro.iRQ(q, 30.0, index)
+        knn = repro.ikNNQ(q, 3, index)
+        prq = repro.iPRQ(q, 30.0, 0.5, index)
+        assert len(knn) == 3
+        assert prq.ids() <= hits.ids() | prq.ids()
+        art = repro.render_floor(space, 0, width=40, show_legend=False)
+        assert art.startswith("floor 0")

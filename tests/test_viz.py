@@ -1,0 +1,65 @@
+"""Tests for the ASCII floor-plan renderer."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.geometry import Point
+from repro.viz import render_building, render_floor
+
+
+class TestRenderFloor:
+    def test_contains_header_and_rooms(self, five_rooms):
+        art = render_floor(five_rooms, floor=0, width=60)
+        assert art.startswith("floor 0")
+        assert "30 m x 24 m" in art
+        # All five rooms plus the hallway are in the legend.
+        for pid in ("r1", "r2", "r3", "r4", "r5", "h"):
+            assert f"= {pid}" in art
+
+    def test_doors_drawn(self, five_rooms):
+        art = render_floor(five_rooms, floor=0, width=60)
+        assert "+" in art
+
+    def test_marks_overlaid(self, five_rooms):
+        art = render_floor(
+            five_rooms, floor=0, width=60, marks={"Q": Point(15, 12, 0)}
+        )
+        assert "Q" in art
+
+    def test_marks_on_other_floor_skipped(self, five_rooms):
+        art = render_floor(
+            five_rooms, floor=0, width=60, marks={"Q": Point(15, 12, 3)}
+        )
+        assert "Q" not in art
+
+    def test_staircase_glyph(self, two_floor_space):
+        art = render_floor(two_floor_space, floor=0, width=60)
+        assert "#" in art
+        assert "staircase" in art
+
+    def test_empty_floor_rejected(self, five_rooms):
+        with pytest.raises(SpaceError):
+            render_floor(five_rooms, floor=9)
+
+    def test_tiny_width_rejected(self, five_rooms):
+        with pytest.raises(SpaceError):
+            render_floor(five_rooms, width=3)
+
+    def test_width_respected(self, small_mall):
+        art = render_floor(small_mall, floor=0, width=72, show_legend=False)
+        for line in art.splitlines()[1:]:
+            assert len(line) <= 72
+
+    def test_no_legend_option(self, five_rooms):
+        art = render_floor(five_rooms, floor=0, show_legend=False)
+        assert "legend" not in art
+
+
+class TestRenderBuilding:
+    def test_all_floors_present(self, two_floor_space):
+        art = render_building(two_floor_space, width=50)
+        assert "floor 0" in art and "floor 1" in art
+
+    def test_mall_renders(self, small_mall):
+        art = render_building(small_mall, width=90)
+        assert art.count("floor") >= 2
