@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: tier1 tier2 test bench bench-stream figures
+
+# Fast correctness gate (default pytest run already excludes tier2).
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+# Slow streaming/property workloads (monitor equivalence at scale,
+# streaming benchmarks).
+tier2:
+	$(PYTHON) -m pytest -q -m tier2 tests benchmarks
+
+test: tier1 tier2
+
+# Paper-figure benchmark panels (pytest-benchmark harness).
+bench:
+	$(PYTHON) -m pytest -q -m "not tier2" benchmarks
+
+# The continuous-monitoring stream benchmark alone.
+bench-stream:
+	$(PYTHON) -m pytest -q -m tier2 benchmarks/bench_stream.py
+
+# Regenerate the paper's figure tables via the CLI harness.
+figures:
+	$(PYTHON) -m repro.bench

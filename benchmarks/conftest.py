@@ -23,6 +23,16 @@ def factory():
     return WorkloadFactory()
 
 
+@pytest.fixture
+def stream_scenario(factory):
+    """A fresh continuous-monitoring scenario (``bench_stream``).
+
+    Function-scoped on purpose: streaming mutates its population, so
+    every benchmark gets its own (the factory's cached index stays
+    pristine — see WorkloadFactory.stream_scenario)."""
+    return factory.stream_scenario()
+
+
 @pytest.fixture(scope="session")
 def save_table():
     TABLE_DIR.mkdir(exist_ok=True)

@@ -52,7 +52,9 @@ _EXPORTS = {
     "build_mall": "repro.space.mall",
     "InstanceSet": "repro.objects",
     "UncertainObject": "repro.objects",
+    "MovementStream": "repro.objects",
     "ObjectGenerator": "repro.objects",
+    "ObjectMove": "repro.objects",
     "ObjectPopulation": "repro.objects",
     "CompositeIndex": "repro.index",
     "IndRTree": "repro.index",
@@ -67,6 +69,8 @@ _EXPORTS = {
     "iPRQ": "repro.queries",
     "QueryStats": "repro.queries",
     "QuerySession": "repro.queries",
+    "QueryMonitor": "repro.queries",
+    "MonitorStats": "repro.queries",
     "NaiveEvaluator": "repro.baselines",
     "PrecomputedDistanceIndex": "repro.baselines",
     "render_floor": "repro.viz",
@@ -104,7 +108,9 @@ __all__ = [
     "build_mall",
     "InstanceSet",
     "UncertainObject",
+    "MovementStream",
     "ObjectGenerator",
+    "ObjectMove",
     "ObjectPopulation",
     "CompositeIndex",
     "IndRTree",
@@ -119,6 +125,8 @@ __all__ = [
     "iPRQ",
     "QueryStats",
     "QuerySession",
+    "QueryMonitor",
+    "MonitorStats",
     "NaiveEvaluator",
     "PrecomputedDistanceIndex",
     "render_floor",

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
-from repro.objects.generator import ObjectGenerator
+from repro.objects.generator import MovementStream, ObjectGenerator
 from repro.objects.population import ObjectPopulation
+from repro.queries.monitor import MonitorStats, QueryMonitor
 from repro.space.floorplan import IndoorSpace
 from repro.space.mall import build_mall
 
@@ -214,3 +216,123 @@ class WorkloadFactory:
         return [
             space.random_point(rng=rng) for _ in range(n or p.n_queries)
         ]
+
+    # ------------------------------------------------------------------
+    # streaming (continuous-monitoring) workloads
+    # ------------------------------------------------------------------
+
+    def stream_scenario(
+        self,
+        n_irq: int = 4,
+        n_iknn: int = 2,
+        floors: int | None = None,
+        n_objects: int | None = None,
+        radius: float | None = None,
+        hop_probability: float = 0.5,
+    ) -> "StreamScenario":
+        """A continuous-monitoring scenario: standing queries + stream.
+
+        Streaming *mutates* the population, so this builds a dedicated
+        population and index (never the factory's cached ones — those
+        must stay pristine for the one-shot benchmarks).  The space is
+        shared read-only; streaming scenarios must not apply topology
+        events to it.
+        """
+        p = self.profile
+        space = self.space(floors)
+        radius = radius or p.default_radius
+        gen = ObjectGenerator(
+            space,
+            radius=radius,
+            n_instances=p.n_instances,
+            seed=p.seed + 4242,
+            id_prefix="s",
+        )
+        population = gen.generate(n_objects or p.default_objects)
+        index = CompositeIndex.build(space, population, fanout=p.fanout)
+        stream = MovementStream(
+            space, population, gen,
+            hop_probability=hop_probability, seed=p.seed + 7,
+        )
+        monitor = QueryMonitor(index)
+        points = self.query_points(floors, n=n_irq + n_iknn)
+        irq_ids = [
+            monitor.register_irq(q, p.default_range)
+            for q in points[:n_irq]
+        ]
+        knn_ids = [
+            monitor.register_iknn(q, p.default_k)
+            for q in points[n_irq:]
+        ]
+        return StreamScenario(index, monitor, stream, irq_ids, knn_ids)
+
+
+@dataclass
+class StreamScenario:
+    """One continuous-monitoring setup: a dedicated mutable index, the
+    monitor with its standing queries, and the movement stream."""
+
+    index: CompositeIndex
+    monitor: QueryMonitor
+    stream: MovementStream
+    irq_ids: list[str]
+    knn_ids: list[str]
+
+    def absorb_batch(self, batch_size: int) -> float:
+        """Generate and absorb one batch; returns absorb seconds (the
+        generation cost is excluded — it models the positioning system,
+        not the monitor)."""
+        batch = self.stream.next_moves(batch_size)
+        t0 = time.perf_counter()
+        self.monitor.apply_moves(batch)
+        return time.perf_counter() - t0
+
+    def reexecute_all(self) -> float:
+        """Seconds to re-run every standing query from scratch — the
+        per-batch cost a non-incremental monitor would pay."""
+        from repro.queries.knn import ikNNQ
+        from repro.queries.range_query import iRQ
+
+        specs = [
+            self.monitor.query_spec(qid)
+            for qid in self.irq_ids + self.knn_ids
+        ]
+        t0 = time.perf_counter()
+        for kind, q, value in specs:
+            if kind == "irq":
+                iRQ(q, float(value), self.index)
+            else:
+                ikNNQ(q, int(value), self.index)
+        return time.perf_counter() - t0
+
+
+@dataclass
+class StreamReport:
+    """Aggregate outcome of a streamed run (see ``bench_stream``)."""
+
+    updates: int
+    elapsed_s: float
+    stats: MonitorStats
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.updates / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def run_stream(
+    scenario: StreamScenario, n_batches: int, batch_size: int
+) -> StreamReport:
+    """Drive a scenario for ``n_batches`` and aggregate throughput.
+
+    ``updates`` counts the moves actually absorbed (the stream clamps a
+    batch to the population size), not the nominal product."""
+    stats = scenario.monitor.stats
+    seen_before = stats.updates_seen
+    elapsed = 0.0
+    for _ in range(n_batches):
+        elapsed += scenario.absorb_batch(batch_size)
+    return StreamReport(
+        updates=stats.updates_seen - seen_before,
+        elapsed_s=elapsed,
+        stats=stats,
+    )

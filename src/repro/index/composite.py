@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import IndexError_
 from repro.geometry.circle import Circle
@@ -27,7 +28,7 @@ from repro.index.indr import IndexUnit, IndRTree
 from repro.index.skeleton import SkeletonTier
 from repro.index.tables import HTable, OTable
 from repro.objects.instances import InstanceSet
-from repro.objects.population import ObjectPopulation
+from repro.objects.population import ObjectMove, ObjectPopulation
 from repro.objects.uncertain import UncertainObject
 from repro.space.doors_graph import DoorsGraph
 from repro.space.events import EventResult, TopologyEvent
@@ -229,13 +230,10 @@ class CompositeIndex:
         self.otable.remove(object_id)
         return self.population.delete(object_id)
 
-    def move_object(
-        self,
-        object_id: str,
-        new_region: Circle,
-        new_instances: InstanceSet,
-    ) -> UncertainObject:
-        """Object update via the adjacency fast path.
+    def _moved_unit_ids(
+        self, moved: UncertainObject, old_units: set[str]
+    ) -> set[str]:
+        """New unit set for a moved object via the adjacency fast path.
 
         In reality an object enters a partition only from an adjacent
         one, so the new units are found by scanning the old units'
@@ -243,28 +241,70 @@ class CompositeIndex:
         no indR-tree search (Section III-C.2).  A move that jumps beyond
         the neighbourhood falls back to the tree.
         """
-        old_units = self.otable.units_of(object_id)
         candidate_partitions: set[str] = set()
         for unit_id in old_units:
             pid = self.htable.partition_of(unit_id)
             candidate_partitions.add(pid)
             for nbr in self.space.adjacent_partitions(pid):
                 candidate_partitions.add(nbr)
-        moved = self.population.move(object_id, new_region, new_instances)
         rect = moved.bounds()
         new_unit_ids: set[str] = set()
         covered_center = False
+        center = moved.region.center
         for pid in candidate_partitions:
             for unit in self.indr.units_of_partition.get(pid, ()):
                 if unit.floor == moved.floor and unit.rect.intersects(rect):
                     new_unit_ids.add(unit.unit_id)
-                    if unit.contains_point(new_region.center):
+                    if unit.contains_point(center):
                         covered_center = True
         if not new_unit_ids or not covered_center:
             new_unit_ids = self._resolve_units(moved)  # tree fallback
-        self.otable.remove(object_id)
-        self.otable.add(object_id, new_unit_ids)
+        return new_unit_ids
+
+    def move_object(
+        self,
+        object_id: str,
+        new_region: Circle,
+        new_instances: InstanceSet,
+    ) -> UncertainObject:
+        """Object update via the adjacency fast path (Section III-C.2)."""
+        old_units = self.otable.units_of(object_id)
+        moved = self.population.move(object_id, new_region, new_instances)
+        self.otable.update(object_id, self._moved_unit_ids(moved, old_units))
         return moved
+
+    def update_objects(self, moves: Iterable[ObjectMove]) -> list[UncertainObject]:
+        """Absorb a batch of streamed position updates.
+
+        The batched counterpart of :meth:`move_object`: each move goes
+        through the same adjacency fast path, but the o-table is
+        maintained by set *diffing* (:meth:`repro.index.tables.OTable.update`)
+        instead of delete+insert, so an object that stays within its leaf
+        units costs no bucket churn at all.  Returns the moved objects in
+        input order — the continuous query monitor consumes them to
+        maintain standing result sets incrementally.
+
+        The batch applies atomically: every move is first resolved
+        against the pre-batch state (unknown ids and regions overlapping
+        no index unit both raise here), and only then is the whole batch
+        applied — a bad batch never leaves a half-applied prefix behind.
+        """
+        otable = self.otable
+        population = self.population
+        staged: list[tuple[UncertainObject, set[str]]] = []
+        for move in moves:
+            old_units = otable.units_of(move.object_id)  # raises on unknown
+            moved = UncertainObject(
+                move.object_id, move.new_region, move.new_instances
+            )
+            staged.append((moved, self._moved_unit_ids(moved, old_units)))
+        moved_objects: list[UncertainObject] = []
+        for moved, new_units in staged:
+            population.delete(moved.object_id)
+            population.insert(moved)
+            otable.update(moved.object_id, new_units)
+            moved_objects.append(moved)
+        return moved_objects
 
     # ------------------------------------------------------------------
     # topological-layer operations (Section III-C.1)

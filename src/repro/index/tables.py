@@ -90,6 +90,30 @@ class OTable:
                     del self._unit_to_objects[unit_id]
         return units
 
+    def update(self, object_id: str, unit_ids: set[str]) -> None:
+        """Replace an object's unit set by diffing against the old one.
+
+        Unlike ``remove`` + ``add``, only the buckets of units *entering*
+        or *leaving* the set are touched — the common case of a small
+        movement step that stays within the same leaf units costs zero
+        bucket churn, which is what makes the batched update path of
+        :meth:`repro.index.composite.CompositeIndex.update_objects`
+        amortize.
+        """
+        old = self._object_to_units.get(object_id)
+        if old is None:
+            raise IndexError_(f"unknown object {object_id!r}")
+        new = set(unit_ids)
+        for unit_id in old - new:
+            bucket = self._unit_to_objects.get(unit_id)
+            if bucket:
+                bucket.discard(object_id)
+                if not bucket:
+                    del self._unit_to_objects[unit_id]
+        for unit_id in new - old:
+            self._unit_to_objects.setdefault(unit_id, set()).add(object_id)
+        self._object_to_units[object_id] = new
+
     def drop_unit(self, unit_id: str) -> set[str]:
         """Detach a (deleted) unit from every object that overlapped it.
 

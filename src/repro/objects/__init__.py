@@ -14,13 +14,15 @@ subregion.
 
 from repro.objects.instances import InstanceSet
 from repro.objects.uncertain import Subregion, UncertainObject
-from repro.objects.generator import ObjectGenerator
-from repro.objects.population import ObjectPopulation
+from repro.objects.generator import MovementStream, ObjectGenerator
+from repro.objects.population import ObjectMove, ObjectPopulation
 
 __all__ = [
     "InstanceSet",
     "Subregion",
     "UncertainObject",
+    "MovementStream",
     "ObjectGenerator",
+    "ObjectMove",
     "ObjectPopulation",
 ]

@@ -13,15 +13,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.errors import ReproError
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.objects.instances import InstanceSet
-from repro.objects.population import ObjectPopulation
+from repro.objects.population import ObjectMove, ObjectPopulation
 from repro.objects.uncertain import UncertainObject, _contains_many
 from repro.space.floorplan import IndoorSpace
 from repro.space.grid import PartitionGrid
-from repro.space.partition import PartitionKind
+from repro.space.partition import Partition, PartitionKind
 
 
 @dataclass
@@ -152,3 +154,107 @@ class ObjectGenerator:
             pad = np.tile(filler, (n - accepted.shape[0], 1))
             accepted = np.vstack([accepted, pad])
         return InstanceSet.uniform(accepted, region.floor)
+
+
+@dataclass
+class MovementStream:
+    """Random-walk position updates over a population (streaming
+    workload).
+
+    Each emitted :class:`~repro.objects.population.ObjectMove`
+    re-observes one object: with probability ``hop_probability`` the
+    object crosses a door into an adjacent partition (staircase shafts
+    are walked *through*, so objects change floors), otherwise it drifts
+    to a fresh spot inside its current partition.  The instance pdf is
+    re-sampled from ``generator``'s Gaussian model around the new
+    center, so every move is a full positioning update — the paper's
+    delete+insert object workload (Section III-C.2), expressed as a
+    stream for :meth:`repro.index.composite.CompositeIndex.update_objects`
+    and the continuous query monitor.
+
+    The stream only *creates* moves; callers apply them (via the index)
+    so that generation and absorption can be timed separately.
+    """
+
+    space: IndoorSpace
+    population: ObjectPopulation
+    generator: ObjectGenerator
+    hop_probability: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hop_probability <= 1.0:
+            raise ReproError("hop_probability must lie in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+
+    def next_moves(self, n: int) -> list[ObjectMove]:
+        """One batch: updates for ``n`` distinct randomly chosen objects."""
+        ids = self.population.ids()
+        if not ids:
+            raise ReproError("cannot stream moves over an empty population")
+        picks = self._rng.choice(
+            len(ids), size=min(n, len(ids)), replace=False
+        )
+        return [self.move_for(ids[int(i)]) for i in picks]
+
+    def batches(
+        self, n_batches: int, batch_size: int
+    ) -> Iterator[list[ObjectMove]]:
+        """Lazily yield ``n_batches`` batches of ``batch_size`` moves.
+
+        Each batch reflects the population state after the caller applied
+        the previous one, so the walk genuinely progresses."""
+        for _ in range(n_batches):
+            yield self.next_moves(batch_size)
+
+    # ------------------------------------------------------------------
+
+    def move_for(self, object_id: str) -> ObjectMove:
+        """A single random-walk step for one object."""
+        obj = self.population.get(object_id)
+        center = obj.region.center
+        current = self.space.locate(center)
+        target = current
+        if current is not None and self._rng.random() < self.hop_probability:
+            target = self._hop_target(current)
+        new_center = (
+            self._point_inside(target) if target is not None else None
+        )
+        if new_center is None:
+            new_center = center  # stay put, but re-observe the pdf
+        region = Circle(new_center, obj.region.radius)
+        return ObjectMove(
+            object_id, region, self.generator.sample_instances(region)
+        )
+
+    def _hop_target(self, current: Partition) -> Partition:
+        """A door-adjacent partition; staircases are traversed, not
+        occupied (objects never dwell inside a shaft)."""
+        pid = current.partition_id
+        nbrs = self.space.adjacent_partitions(pid)
+        if not nbrs:
+            return current
+        choice = self.space.partition(
+            nbrs[int(self._rng.integers(len(nbrs)))]
+        )
+        if not choice.is_staircase:
+            return choice
+        exits = [
+            x
+            for x in self.space.adjacent_partitions(choice.partition_id)
+            if x != pid and not self.space.partition(x).is_staircase
+        ]
+        if not exits:
+            return current
+        return self.space.partition(
+            exits[int(self._rng.integers(len(exits)))]
+        )
+
+    def _point_inside(self, partition: Partition) -> Point | None:
+        for _ in range(64):
+            x, y = partition.bounds.random_xy(self._rng)
+            if partition.contains_xy(x, y):
+                return Point(x, y, partition.floor)
+        return None

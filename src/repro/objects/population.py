@@ -13,9 +13,26 @@ from typing import Iterator
 from repro.errors import ReproError
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
+from repro.objects.instances import InstanceSet
 from repro.objects.uncertain import UncertainObject
 from repro.space.floorplan import IndoorSpace
 from repro.space.grid import PartitionGrid
+
+
+@dataclass(frozen=True)
+class ObjectMove:
+    """One positioning update: object ``object_id`` was re-observed at
+    ``new_region`` with pdf ``new_instances``.
+
+    The unit of the streaming update workload: movement generators emit
+    them, :meth:`repro.index.composite.CompositeIndex.update_objects`
+    absorbs them in batches, and the continuous query monitor consumes
+    the absorbed results.
+    """
+
+    object_id: str
+    new_region: Circle
+    new_instances: InstanceSet
 
 
 @dataclass

@@ -14,6 +14,11 @@ Both query types run the paper's four phases:
 kSeedsSelection, Algorithm 5).  Per-phase wall-clock timings and pruning
 counters are collected in :class:`QueryStats` — they regenerate the
 paper's Figures 12-14.
+
+On top of the one-shot processors, :class:`QuerySession` reuses the
+subgraph computation across related queries, and :class:`QueryMonitor`
+keeps *standing* iRQ/ikNNQ queries incrementally maintained over streams
+of object position updates.
 """
 
 from repro.queries.stats import QueryStats
@@ -22,6 +27,7 @@ from repro.queries.range_query import iRQ
 from repro.queries.knn import ikNNQ, k_seeds_selection
 from repro.queries.prob_range import iPRQ
 from repro.queries.session import QuerySession
+from repro.queries.monitor import MonitorStats, QueryMonitor
 from repro.queries.selectivity import (
     candidate_upper_bound,
     estimate_irq_result_size,
@@ -35,6 +41,8 @@ __all__ = [
     "k_seeds_selection",
     "iPRQ",
     "QuerySession",
+    "QueryMonitor",
+    "MonitorStats",
     "candidate_upper_bound",
     "estimate_irq_result_size",
 ]

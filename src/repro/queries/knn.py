@@ -193,6 +193,7 @@ def ikNNQ(
         stats.refined += 1
         d = refiner.exact(obj)
         refined.append((d, obj.object_id, obj))
+    stats.fallback_recomputes = refiner.fallbacks
     refined.sort()
     for obj in sure:
         result.objects.append(obj)

@@ -107,6 +107,7 @@ def iRQ(
         if d <= r:
             result.objects.append(obj)
             result.distances[obj.object_id] = d
+    stats.fallback_recomputes = refiner.fallbacks
     stats.t_refinement = time.perf_counter() - t0
     stats.result_size = len(result.objects)
     return result

@@ -1,16 +1,29 @@
-"""Query sessions: computation reuse across related queries.
+"""Query sessions: the memoised single-source search shared by related
+queries — and by continuous monitoring.
 
 The paper's future work (Section VII) calls out "reusing computational
 efforts on indoor distances when multiple, related queries are issued
-within a short period".  A :class:`QuerySession` does exactly that: it
-memoises the single-source Dijkstra per query point, so a burst of
-queries from one location (a kiosk issuing an iRQ, then an ikNNQ, then
-a widened iRQ) pays for the subgraph phase once.
+within a short period".  A :class:`QuerySession` memoises the
+single-source Dijkstra per query point, so a burst of queries from one
+location (a kiosk issuing an iRQ, then an ikNNQ, then a widened iRQ)
+pays for the subgraph phase once.
 
-The cached search is *unrestricted* (no subgraph, no cutoff), which
-makes it reusable for any radius/k; the trade-off — one slightly more
-expensive first search against zero-cost repeats — is measured by the
-``ablation_a4`` benchmark.
+Two properties make the cache broadly reusable:
+
+* the cached search is *unrestricted* (no subgraph, no cutoff), so one
+  entry serves any radius or ``k`` from that point — the trade-off of
+  one slightly more expensive first search against zero-cost repeats is
+  measured by the ``ablation_a4`` benchmark;
+* entries depend only on the space's *topology*, never on object
+  positions: ``_cached_version`` tracks ``topology_version`` and the
+  whole cache is dropped the moment a door closes or a partition
+  changes, while arbitrarily many object moves leave it valid.
+
+The second property is what the continuous query monitor
+(:mod:`repro.queries.monitor`) is built on: each *standing* query keeps
+its session-cached search across a whole stream of position updates and
+re-derives per-object distance intervals from it at update time, paying
+a fresh Dijkstra only when the topology actually changes.
 """
 
 from __future__ import annotations

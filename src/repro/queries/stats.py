@@ -27,6 +27,10 @@ class QueryStats:
     accepted_by_bounds: int = 0
     rejected_by_bounds: int = 0
     refined: int = 0
+    #: refinements that escaped to a full (unrestricted) Dijkstra because
+    #: some instance path left the candidate subgraph — the
+    #: :class:`repro.queries.engine.Refiner` escape hatch.
+    fallback_recomputes: int = 0
     result_size: int = 0
 
     partitions_retrieved: int = 0
@@ -75,8 +79,8 @@ class QueryStats:
             "t_filtering", "t_subgraph", "t_pruning", "t_refinement",
             "total_objects", "candidates_after_filtering",
             "accepted_by_bounds", "rejected_by_bounds", "refined",
-            "result_size", "partitions_retrieved", "nodes_visited",
-            "doors_settled",
+            "fallback_recomputes", "result_size", "partitions_retrieved",
+            "nodes_visited", "doors_settled",
         ):
             setattr(out, name, getattr(self, name) + getattr(other, name))
         return out

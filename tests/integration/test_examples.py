@@ -1,24 +1,32 @@
 """Every example script must run to completion (they are the library's
 executable documentation)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
-)
+REPO = pathlib.Path(__file__).parents[2]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script):
+    # The subprocess does not inherit pytest's `pythonpath` ini setting,
+    # so put src on PYTHONPATH explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip()  # every example narrates what it does

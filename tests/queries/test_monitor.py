@@ -1,0 +1,346 @@
+"""Regression tests for the continuous query monitor.
+
+Covers registration/deregistration, incremental maintenance of standing
+iRQ/ikNNQ results, the bound-violation fallback counter, and the
+topology-event interaction with the QuerySession cache
+(``_cached_version``)."""
+
+import math
+
+import pytest
+
+from repro.baselines import NaiveEvaluator
+from repro.errors import QueryError
+from repro.geometry import Circle, Point
+from repro.index import CompositeIndex
+from repro.objects import (
+    InstanceSet,
+    MovementStream,
+    ObjectGenerator,
+    ObjectMove,
+    ObjectPopulation,
+    UncertainObject,
+)
+from repro.queries import QueryMonitor, QuerySession
+from repro.space.events import CloseDoor, OpenDoor
+
+
+def _point_object(object_id: str, x: float, y: float, floor: int = 0):
+    """A radius-0 object: its expected distance is the exact indoor
+    distance to its single instance — deterministic tests."""
+    p = Point(x, y, floor)
+    return UncertainObject(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+def _point_move(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return ObjectMove(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+@pytest.fixture
+def five_rooms_index(five_rooms):
+    """Three deterministic point objects in the five_rooms plan."""
+    pop = ObjectPopulation(five_rooms)
+    pop.insert(_point_object("near", 4.0, 5.0))    # in r1, ~1 m from q
+    pop.insert(_point_object("mid", 8.0, 5.0))     # in r1, ~3 m from q
+    pop.insert(_point_object("far", 25.0, 5.0))    # in r3, via hallway
+    return CompositeIndex.build(five_rooms, pop)
+
+
+@pytest.fixture
+def mall_setup(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=10, seed=77)
+    pop = gen.generate(40)
+    index = CompositeIndex.build(small_mall, pop)
+    return index, gen, pop
+
+
+Q1 = Point(5.0, 5.0, 0)  # inside r1
+
+
+class TestRegistration:
+    def test_register_returns_distinct_ids(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        b = monitor.register_iknn(Q1, 2)
+        assert a != b
+        assert set(monitor.query_ids()) == {a, b}
+        assert len(monitor) == 2 and a in monitor
+
+    def test_registration_result_matches_oracle(self, five_rooms_index,
+                                                five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        a = monitor.register_irq(Q1, 10.0)
+        assert monitor.result_ids(a) == oracle.range_query(Q1, 10.0)
+        b = monitor.register_iknn(Q1, 2)
+        assert monitor.result_ids(b) == {"near", "mid"}
+
+    def test_explicit_id_and_duplicate_rejected(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        assert monitor.register_irq(Q1, 5.0, query_id="kiosk") == "kiosk"
+        with pytest.raises(QueryError):
+            monitor.register_iknn(Q1, 2, query_id="kiosk")
+
+    def test_generated_ids_skip_claimed_ones(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_irq(Q1, 5.0, query_id="irq-1")
+        auto = monitor.register_irq(Q1, 10.0)  # must not collide
+        assert auto != "irq-1"
+        assert len(monitor) == 2
+
+    def test_invalid_parameters_rejected(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        with pytest.raises(QueryError):
+            monitor.register_irq(Q1, -1.0)
+        with pytest.raises(QueryError):
+            monitor.register_iknn(Q1, 0)
+
+    def test_query_spec_round_trip(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        assert monitor.query_spec(a) == ("irq", Q1, 10.0)
+        b = monitor.register_iknn(Q1, 2)
+        assert monitor.query_spec(b) == ("iknn", Q1, 2)
+
+
+class TestDeregistration:
+    def test_deregister_removes(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        monitor.deregister(a)
+        assert a not in monitor
+        with pytest.raises(QueryError):
+            monitor.result_ids(a)
+
+    def test_deregister_unknown_raises(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        with pytest.raises(QueryError):
+            monitor.deregister("nope")
+
+    def test_deregistered_query_costs_nothing(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        monitor.deregister(a)
+        monitor.apply_moves([_point_move("far", 26.0, 6.0)])
+        assert monitor.stats.pairs_evaluated == 0
+
+
+class TestIncrementalIRQ:
+    def test_move_in_and_out_of_range(self, five_rooms_index, five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        assert monitor.result_ids(a) == {"near", "mid"}
+        # "far" walks into r1, well within range.
+        monitor.apply_moves([_point_move("far", 6.0, 6.0)])
+        assert monitor.result_ids(a) == {"near", "mid", "far"}
+        # ... and leaves again.
+        monitor.apply_moves([_point_move("far", 25.0, 5.0)])
+        assert monitor.result_ids(a) == {"near", "mid"}
+        # Pure movement never needs a full iRQ re-execution.
+        assert monitor.stats.full_recomputes == 0
+
+    def test_unknown_id_in_batch_fails_atomically(self, five_rooms_index):
+        from repro.errors import IndexError_
+
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        before = monitor.result_ids(a)
+        with pytest.raises(IndexError_):
+            monitor.apply_moves([
+                _point_move("far", 6.0, 6.0),   # valid...
+                _point_move("ghost", 5.0, 5.0),  # ...but the batch is bad
+            ])
+        # Nothing was applied: index, population and results unchanged.
+        assert monitor.result_ids(a) == before
+        obj = five_rooms_index.population.get("far")
+        assert obj.region.center == Point(25.0, 5.0, 0)
+        assert not five_rooms_index.validate()
+
+    def test_out_of_bounds_move_in_batch_fails_atomically(
+        self, five_rooms_index
+    ):
+        from repro.errors import IndexError_
+
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        before = monitor.result_ids(a)
+        with pytest.raises(IndexError_):
+            monitor.apply_moves([
+                _point_move("far", 6.0, 6.0),     # valid...
+                _point_move("mid", 90.0, 90.0),   # ...into a wall
+            ])
+        assert monitor.result_ids(a) == before
+        assert five_rooms_index.population.get("far").region.center \
+            == Point(25.0, 5.0, 0)
+        assert not five_rooms_index.validate()
+
+    def test_unaffected_updates_are_skipped(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_irq(Q1, 3.0)
+        # A far object shuffling around r3 is decided by bounds alone.
+        monitor.apply_moves([_point_move("far", 24.0, 4.0)])
+        monitor.apply_moves([_point_move("far", 26.0, 6.0)])
+        assert monitor.stats.pairs_skipped == 2
+        assert monitor.stats.pairs_refined == 0
+
+
+class TestKNNFallback:
+    def test_member_drift_triggers_fallback(self, five_rooms_index,
+                                            five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 2)
+        assert monitor.result_ids(b) == {"near", "mid"}
+        assert monitor.stats.full_recomputes == 0
+        # The nearest member walks to the far room: its new distance
+        # violates the k-th-distance bound, forcing re-execution.
+        monitor.apply_moves([_point_move("near", 25.0, 8.0)])
+        assert monitor.stats.full_recomputes == 1
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert monitor.result_ids(b) == {
+            oid for oid, _ in oracle.knn_query(Q1, 2)
+        }
+
+    def test_member_jitter_stays_incremental(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 2)
+        # A member moving slightly (still within the threshold) is
+        # refined in place, no fallback.
+        monitor.apply_moves([_point_move("near", 4.5, 5.0)])
+        assert monitor.stats.full_recomputes == 0
+        assert monitor.stats.pairs_refined == 1
+        assert monitor.result_ids(b) == {"near", "mid"}
+
+    def test_outsider_entry_is_incremental(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 2)
+        # "far" walks right next to q: it must enter, evicting "mid" —
+        # incrementally, without re-execution.
+        monitor.apply_moves([_point_move("far", 5.0, 6.0)])
+        assert monitor.result_ids(b) == {"near", "far"}
+        assert monitor.stats.full_recomputes == 0
+
+    def test_far_outsider_is_skipped_by_bounds(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_iknn(Q1, 2)
+        monitor.apply_moves([_point_move("far", 26.0, 3.0)])
+        assert monitor.stats.pairs_skipped == 1
+        assert monitor.stats.pairs_refined == 0
+
+
+class TestInsertDelete:
+    def test_insert_enters_results(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        b = monitor.register_iknn(Q1, 2)
+        monitor.apply_insert(_point_object("new", 5.0, 4.0))
+        assert "new" in monitor.result_ids(a)
+        assert "new" in monitor.result_ids(b)
+
+    def test_delete_member_refills_knn(self, five_rooms_index, five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 2)
+        monitor.apply_delete("near")
+        assert monitor.stats.full_recomputes == 1
+        assert monitor.result_ids(b) == {"mid", "far"}
+
+    def test_delete_outsider_is_free(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_iknn(Q1, 2)
+        monitor.apply_delete("far")
+        assert monitor.stats.full_recomputes == 0
+
+    def test_delete_drops_from_irq(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        monitor.apply_delete("near")
+        assert "near" not in monitor.result_ids(a)
+        assert monitor.stats.full_recomputes == 0
+
+
+class TestTopologyEvents:
+    def test_event_invalidates_session_cache(self, five_rooms_index,
+                                             five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 40.0)
+        assert monitor.session.misses == 1
+        assert monitor.session._cached_version == five_rooms.topology_version
+        monitor.apply_event(CloseDoor("d3"))
+        # The resync re-ran the Dijkstra: a fresh miss, version tracked.
+        assert monitor.session.misses == 2
+        assert monitor.session._cached_version == five_rooms.topology_version
+        assert monitor.stats.topology_invalidations == 1
+        assert monitor.stats.event_recomputes == 1
+        # r3 lost its only door: "far" must drop out of the result.
+        assert "far" not in monitor.result_ids(a)
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert monitor.result_ids(a) == oracle.range_query(Q1, 40.0)
+
+    def test_reopen_restores_results(self, five_rooms_index, five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 40.0)
+        before = monitor.result_ids(a)
+        monitor.apply_event(CloseDoor("d3"))
+        monitor.apply_event(OpenDoor("d3"))
+        assert monitor.result_ids(a) == before
+        assert monitor.stats.topology_invalidations == 2
+
+    def test_external_topology_bump_detected(self, five_rooms_index,
+                                             five_rooms):
+        """Even a mutation not routed through apply_event resyncs on the
+        next access (the session would otherwise serve stale searches)."""
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 40.0)
+        five_rooms.topology_version += 1
+        monitor.result_ids(a)  # any access notices the bump
+        assert monitor.stats.topology_invalidations == 1
+        assert monitor.session._cached_version == five_rooms.topology_version
+
+    def test_events_do_not_count_as_bound_fallbacks(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_irq(Q1, 40.0)
+        monitor.apply_event(CloseDoor("d3"))
+        assert monitor.stats.full_recomputes == 0
+        assert monitor.stats.event_recomputes == 1
+
+
+class TestSessionCachedVersion:
+    """Direct coverage for QuerySession._cached_version (previously
+    untested)."""
+
+    def test_tracks_topology_version(self, five_rooms_index, five_rooms):
+        session = QuerySession(five_rooms_index)
+        assert session._cached_version == -1
+        session.irq(Q1, 10.0)
+        assert session._cached_version == five_rooms.topology_version
+        five_rooms.topology_version += 1
+        session.irq(Q1, 10.0)
+        assert session._cached_version == five_rooms.topology_version
+        assert session.misses == 2  # the bump emptied the cache
+
+
+class TestStreamedEquivalence:
+    """A short randomized stream against a realistic mall (the heavy,
+    many-seed version lives in tests/properties/test_prop_monitor.py)."""
+
+    def test_stream_matches_oracle(self, mall_setup, small_mall):
+        index, gen, pop = mall_setup
+        monitor = QueryMonitor(index)
+        q = small_mall.random_point(seed=8)
+        a = monitor.register_irq(q, 45.0)
+        b = monitor.register_iknn(q, 6)
+        stream = MovementStream(small_mall, pop, gen, seed=13)
+        for batch in stream.batches(4, 10):
+            monitor.apply_moves(batch)
+            oracle = NaiveEvaluator(small_mall, pop)
+            assert monitor.result_ids(a) == oracle.range_query(q, 45.0)
+            exact = oracle.all_distances(q)
+            kth = oracle.kth_distance(q, 6)
+            got = monitor.result_distances(b)
+            reachable = sum(1 for d in exact.values() if math.isfinite(d))
+            assert len(got) == min(6, reachable)
+            for oid, d in got.items():
+                assert exact[oid] <= kth + 1e-6
+                assert exact[oid] == pytest.approx(d, abs=1e-6)
+        assert monitor.stats.recompute_ratio < 1.0
+        assert monitor.stats.pairs_skipped > 0

@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.queries import QueryStats
+from repro.geometry import Point
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import QueryStats, iRQ
 
 
 class TestRatios:
@@ -48,6 +51,11 @@ class TestMerge:
         a.merge(b)
         assert a.total_objects == 10 and b.total_objects == 5
 
+    def test_merge_sums_fallback_recomputes(self):
+        a = QueryStats(fallback_recomputes=2)
+        b = QueryStats(fallback_recomputes=3)
+        assert a.merge(b).fallback_recomputes == 5
+
     def test_merged_ratios_are_workload_level(self):
         a = QueryStats(total_objects=100, candidates_after_filtering=10,
                        refined=5)
@@ -56,3 +64,48 @@ class TestMerge:
         m = a.merge(b)
         assert m.filtering_ratio == pytest.approx(1 - 40 / 200)
         assert m.pruning_ratio == pytest.approx(1 - 15 / 200)
+
+
+class TestFallbackRecomputes:
+    """The Refiner's full-Dijkstra escape hatch must surface in stats."""
+
+    def test_defaults_to_zero(self):
+        assert QueryStats().fallback_recomputes == 0
+
+    def test_ordinary_query_has_no_fallbacks(self, two_floor_space):
+        gen = ObjectGenerator(
+            two_floor_space, radius=2.0, n_instances=6, seed=3
+        )
+        index = CompositeIndex.build(two_floor_space, gen.generate(15))
+        stats = QueryStats()
+        iRQ(Point(5.0, 5.0, 0), 25.0, index, stats=stats)
+        assert stats.fallback_recomputes == 0
+
+    def test_restricted_dd_forces_fallback(self, two_floor_space):
+        """A floor-1 object refined against a search restricted to floor
+        0 is unreachable there; the refiner must recompute it against a
+        full Dijkstra, and the count must land in the stats."""
+        gen = ObjectGenerator(
+            two_floor_space, radius=1.5, n_instances=6, seed=3
+        )
+        pop = gen.generate(5)
+        upstairs = gen.generate_one(center=Point(5.0, 5.0, 1))
+        pop.insert(upstairs)
+        index = CompositeIndex.build(two_floor_space, pop)
+        q = Point(5.0, 5.0, 0)
+        restricted = index.doors_graph.dijkstra_from_point(
+            q,
+            source_partition="room0",
+            allowed_partitions={"room0", "hall0"},
+        )
+        stats = QueryStats()
+        result = iRQ(
+            q, 1000.0, index,
+            with_pruning=False,  # force every candidate into refinement
+            precomputed_dd=restricted,
+            stats=stats,
+        )
+        assert stats.fallback_recomputes >= 1
+        assert upstairs.object_id in result.ids()
+        # The exact distance was recovered despite the restricted search.
+        assert result.distances[upstairs.object_id] is not None
