@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 tier2 test bench bench-stream figures
+.PHONY: tier1 tier2 test bench bench-stream bench-serving figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -21,6 +21,12 @@ bench:
 # The continuous-monitoring stream benchmark alone.
 bench-stream:
 	$(PYTHON) -m pytest -q -m tier2 benchmarks/bench_stream.py
+
+# The delta-serving benchmark (single vs sharded monitor).  The quick
+# CLI variant (`python benchmarks/bench_serving.py --quick`) is the CI
+# smoke gate.
+bench-serving:
+	$(PYTHON) -m pytest -q -m tier2 benchmarks/bench_serving.py
 
 # Regenerate the paper's figure tables via the CLI harness.
 figures:

@@ -1,0 +1,249 @@
+"""Serving benchmark — the delta-emitting sharded monitor vs a single
+monitor.
+
+Not a paper figure: this measures the PR-2 serving subsystem.  Two
+identical worlds are built (same seeds, independent indexes); one is
+monitored by a single :class:`~repro.queries.monitor.QueryMonitor`, the
+other by a :class:`~repro.queries.shard.ShardedMonitor` behind an
+asyncio :class:`~repro.queries.serving.MonitorServer`.  The *same*
+absolute-position move batches drive both, so the comparison is
+apples-to-apples and the final results must agree exactly.
+
+Reported:
+
+* ``updates_per_sec`` — absorb throughput, single vs sharded;
+* ``deltas_per_sec`` / ``deltas_published`` — delta emission rate
+  through the server (per-query result *changes*, not result sets);
+* ``shard_skip_%`` — share of (batch, shard) routing decisions where
+  the Table III-compatible bound proved the shard untouched and it was
+  skipped outright;
+* ``pairs_single`` / ``pairs_sharded`` — pair evaluations actually
+  paid; the router only ever removes work.
+
+Shape expectations asserted: the shard-skip ratio is > 0 (the router
+provably avoids untouched shards), the sharded monitor evaluates no
+more pairs than the single one, and both end bit-identical.
+
+Also runnable standalone (CI smoke)::
+
+    python benchmarks/bench_serving.py --quick
+"""
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import time
+from dataclasses import dataclass
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_serving.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+
+import pytest
+
+from repro.bench.workloads import ScaleProfile, WorkloadFactory
+from repro.queries import MonitorServer
+
+pytestmark = pytest.mark.tier2
+
+#: Scenario knobs: (n_batches, batch_size, n_irq, n_iknn, n_shards).
+#: Serving is the frequent-small-batch regime (positioning systems push
+#: updates as they arrive rather than accumulating giant batches):
+#: small batches are what gives the router whole-shard skips to find.
+FULL = (50, 5, 6, 3, 4)
+QUICK = (4, 10, 4, 2, 4)
+
+#: A deliberately small profile for the standalone --quick smoke run.
+SMOKE = ScaleProfile(
+    name="smoke",
+    floors_grid=(1, 2),
+    default_floors=2,
+    objects_grid=(100,),
+    default_objects=100,
+    radii_grid=(2.5,),
+    default_radius=2.5,
+    ranges_grid=(25.0,),
+    default_range=25.0,
+    k_grid=(5,),
+    default_k=5,
+    n_instances=8,
+    n_queries=9,
+    bands=2,
+    rooms_per_band_side=3,
+    floor_size=150.0,
+    hallway_width=5.0,
+    stair_size=12.0,
+)
+
+
+@dataclass
+class ServingComparison:
+    """Outcome of one single-vs-sharded run over identical streams."""
+
+    updates: int
+    single_s: float
+    sharded_s: float
+    deltas_published: int
+    shard_skip_ratio: float
+    updates_filtered: int
+    pairs_single: int
+    pairs_sharded: int
+    results_equal: bool
+
+    @property
+    def single_updates_per_sec(self) -> float:
+        return self.updates / self.single_s if self.single_s else 0.0
+
+    @property
+    def sharded_updates_per_sec(self) -> float:
+        return self.updates / self.sharded_s if self.sharded_s else 0.0
+
+    @property
+    def deltas_per_sec(self) -> float:
+        return (
+            self.deltas_published / self.sharded_s if self.sharded_s else 0.0
+        )
+
+
+def run_comparison(
+    factory: WorkloadFactory,
+    n_batches: int,
+    batch_size: int,
+    n_irq: int,
+    n_iknn: int,
+    n_shards: int,
+) -> ServingComparison:
+    # Two independent but identical worlds (same seeds): the single
+    # monitor's scenario also owns the stream that drives both.
+    single = factory.stream_scenario(n_irq=n_irq, n_iknn=n_iknn)
+    sharded = factory.stream_scenario(
+        n_irq=n_irq, n_iknn=n_iknn, n_shards=n_shards
+    )
+    assert single.irq_ids == sharded.irq_ids
+    server = MonitorServer(sharded.monitor)
+    # Discard registration history directly on the monitor (unpublished),
+    # then hold one snapshot-free subscription per standing query: from
+    # here on, every published delta lands in exactly one queue.
+    sharded.monitor.drain_pending_deltas()
+    subs = [
+        server.subscribe(qid, snapshot=False)
+        for qid in sharded.irq_ids + sharded.knn_ids
+    ]
+
+    single_s = sharded_s = 0.0
+    updates = 0
+
+    async def drive() -> None:
+        nonlocal single_s, sharded_s, updates
+        for _ in range(n_batches):
+            moves = single.stream.next_moves(batch_size)
+            t0 = time.perf_counter()
+            batch = single.monitor.apply_moves(moves)
+            single_s += time.perf_counter() - t0
+            updates += len(batch.moved)
+            t0 = time.perf_counter()
+            await server.apply_moves(moves)
+            sharded_s += time.perf_counter() - t0
+
+    asyncio.run(drive())
+    server.close()
+
+    results_equal = all(
+        single.monitor.result_distances(qid)
+        == sharded.monitor.result_distances(qid)
+        for qid in single.irq_ids + single.knn_ids
+    )
+    # The fan-out path is load-bearing: everything the server published
+    # is sitting in (or was drained from) the per-query queues.
+    assert (
+        sum(sub.delivered + sub.pending for sub in subs)
+        == server.deltas_published
+    )
+    routing = sharded.monitor.routing
+    return ServingComparison(
+        updates=updates,
+        single_s=single_s,
+        sharded_s=sharded_s,
+        deltas_published=server.deltas_published,
+        shard_skip_ratio=routing.skip_ratio,
+        updates_filtered=routing.updates_filtered,
+        pairs_single=single.monitor.stats.pairs_evaluated,
+        pairs_sharded=sharded.monitor.stats.pairs_evaluated,
+        results_equal=results_equal,
+    )
+
+
+def _check(cmp: ServingComparison) -> None:
+    assert cmp.results_equal, "sharded and single monitors diverged"
+    assert cmp.shard_skip_ratio > 0.0, "router never skipped a shard"
+    assert cmp.pairs_sharded <= cmp.pairs_single
+    assert cmp.deltas_published > 0
+
+
+def test_serving_single_vs_sharded(save_table):
+    from repro.bench.runner import ExperimentResult
+
+    factory = WorkloadFactory()
+    n_batches, batch_size, n_irq, n_iknn, n_shards = FULL
+    cmp = run_comparison(
+        factory, n_batches, batch_size, n_irq, n_iknn, n_shards
+    )
+    result = ExperimentResult(
+        title=f"Serving — single vs sharded(n={n_shards}) monitor",
+        x_label="metric",
+        unit="",
+    )
+    result.x_values.append("run")
+    result.add("single_upd_per_s", cmp.single_updates_per_sec)
+    result.add("sharded_upd_per_s", cmp.sharded_updates_per_sec)
+    result.add("deltas_per_s", cmp.deltas_per_sec)
+    result.add("shard_skip_%", 100.0 * cmp.shard_skip_ratio)
+    result.add("pairs_single", cmp.pairs_single)
+    result.add("pairs_sharded", cmp.pairs_sharded)
+    save_table("serving_comparison", result)
+    _check(cmp)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Delta-serving benchmark: single vs sharded monitor."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke-sized run (CI gate)",
+    )
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--batches", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        factory = WorkloadFactory(SMOKE)
+        n_batches, batch_size, n_irq, n_iknn, n_shards = QUICK
+    else:
+        factory = WorkloadFactory()
+        n_batches, batch_size, n_irq, n_iknn, n_shards = FULL
+    n_shards = args.shards or n_shards
+    n_batches = args.batches or n_batches
+    batch_size = args.batch_size or batch_size
+
+    cmp = run_comparison(
+        factory, n_batches, batch_size, n_irq, n_iknn, n_shards
+    )
+    print(f"updates absorbed        {cmp.updates}")
+    print(f"single   updates/sec    {cmp.single_updates_per_sec:10.1f}")
+    print(f"sharded  updates/sec    {cmp.sharded_updates_per_sec:10.1f}")
+    print(f"deltas published        {cmp.deltas_published}")
+    print(f"deltas/sec              {cmp.deltas_per_sec:10.1f}")
+    print(f"shard skip ratio        {100.0 * cmp.shard_skip_ratio:9.1f}%")
+    print(f"updates filtered        {cmp.updates_filtered}")
+    print(f"pairs single/sharded    {cmp.pairs_single} / {cmp.pairs_sharded}")
+    print(f"results identical       {cmp.results_equal}")
+    _check(cmp)
+    print("serving bench OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,28 +1,49 @@
-"""Live dashboard: continuous queries over a moving crowd.
+"""Live dashboard: delta subscriptions over a moving crowd.
 
 A mall operations desk watches two standing queries while visitors walk
 around: an information kiosk's "who is within 60 m" range query and a
-security desk's 8 nearest visitors.  The :class:`repro.QueryMonitor`
-keeps both result sets continuously correct while the crowd streams
-position updates — and absorbs a corridor-door closure (a cleaning
-blockage) without missing a beat.
+security desk's 8 nearest visitors.  Instead of polling result sets,
+the dashboard *subscribes*: a sharded :class:`repro.ShardedMonitor`
+(4 shards over one shared index) keeps both results continuously
+correct, and an asyncio :class:`repro.MonitorServer` pushes every
+result **delta** — who entered, who left, whose distance changed — into
+the dashboard's subscription queues, absorbing a corridor-door closure
+(a cleaning blockage) without missing a beat.
 
 Run with::
 
     python examples/live_dashboard.py
 """
 
+import asyncio
+
 from repro import (
     CompositeIndex,
+    MonitorServer,
     MovementStream,
     ObjectGenerator,
-    QueryMonitor,
+    ShardedMonitor,
     build_mall,
+    replay_deltas,
 )
 from repro.space.events import CloseDoor, OpenDoor
 
 
-def main() -> None:
+async def watch(name: str, sub, log: list) -> None:
+    """One dashboard widget: folds its delta feed into a live view."""
+    state: dict = {}
+    async for delta in sub:
+        delta.apply_to(state)
+        if delta.entered or delta.left:
+            log.append(
+                f"  [{name}] {'+' + ','.join(sorted(delta.entered)) if delta.entered else ''}"
+                f"{' ' if delta.entered and delta.left else ''}"
+                f"{'-' + ','.join(sorted(delta.left)) if delta.left else ''}"
+                f"  ({len(state)} tracked, cause={delta.cause})"
+            )
+
+
+async def main() -> None:
     space = build_mall(
         floors=2,
         bands=2,
@@ -38,58 +59,93 @@ def main() -> None:
     print(f"Venue:    {space}")
     print(f"Visitors: {len(visitors)} moving objects\n")
 
-    monitor = QueryMonitor(index)
+    monitor = ShardedMonitor(index, n_shards=4)
+    server = MonitorServer(monitor)
     kiosk_q = space.random_point(seed=4)
     desk_q = space.random_point(seed=9)
-    kiosk = monitor.register_irq(kiosk_q, 60.0, query_id="kiosk")
-    desk = monitor.register_iknn(desk_q, 8, query_id="security")
+    kiosk = server.register_irq(kiosk_q, 60.0, query_id="kiosk")
+    desk = server.register_iknn(desk_q, 8, query_id="security")
     print(f"Standing queries: kiosk iRQ(60 m) at "
-          f"({kiosk_q.x:.0f},{kiosk_q.y:.0f}) floor {kiosk_q.floor}; "
+          f"({kiosk_q.x:.0f},{kiosk_q.y:.0f}) floor {kiosk_q.floor} "
+          f"-> shard {monitor.shard_of(kiosk_q)}; "
           f"security 8-NN at ({desk_q.x:.0f},{desk_q.y:.0f}) "
-          f"floor {desk_q.floor}\n")
+          f"floor {desk_q.floor} -> shard {monitor.shard_of(desk_q)}\n")
+
+    kiosk_sub = server.subscribe(kiosk)      # primed with a snapshot
+    desk_sub = server.subscribe(desk)
+    replay_feed = server.subscribe(kiosk)    # independent audit feed
+    feed_log: list[str] = []
+    watchers = [
+        asyncio.ensure_future(watch("kiosk", kiosk_sub, feed_log)),
+        asyncio.ensure_future(watch("security", desk_sub, feed_log)),
+    ]
 
     stream = MovementStream(space, visitors, generator, seed=31)
     # A corridor door near the kiosk gets blocked mid-stream.
     blocked_door = sorted(space.doors)[len(space.doors) // 2]
 
-    print("tick | updates |  kiosk | security |  skip%  | refine% | recomp%")
-    print("-----+---------+--------+----------+---------+---------+--------")
-    stats = monitor.stats
-    for tick, batch in enumerate(stream.batches(10, 30), start=1):
-        monitor.apply_moves(batch)
+    print("tick | updates |  kiosk | security |  skip%  | shard-skip | note")
+    print("-----+---------+--------+----------+---------+------------+-----")
+
+    async def on_batch(tick0: int, batch) -> None:
+        tick = tick0 + 1
+        note = ""
         if tick == 4:
-            monitor.apply_event(CloseDoor(blocked_door))
-            note = f"   <- door {blocked_door} closed (cleaning)"
+            await server.apply_event(CloseDoor(blocked_door))
+            note = f"door {blocked_door} closed (cleaning)"
         elif tick == 7:
-            monitor.apply_event(OpenDoor(blocked_door))
-            note = f"   <- door {blocked_door} reopened"
-        else:
-            note = ""
+            await server.apply_event(OpenDoor(blocked_door))
+            note = f"door {blocked_door} reopened"
+        s = monitor.stats
         print(
-            f"{tick:4d} | {stats.updates_seen:7d} | "
+            f"{tick:4d} | {s.updates_seen:7d} | "
             f"{len(monitor.result_ids(kiosk)):6d} | "
             f"{len(monitor.result_ids(desk)):8d} | "
-            f"{100 * stats.skip_ratio:6.1f}% | "
-            f"{100 * stats.pairs_refined / max(1, stats.pairs_evaluated):6.1f}% | "
-            f"{100 * stats.recompute_ratio:5.1f}%{note}"
+            f"{100 * s.skip_ratio:6.1f}% | "
+            f"{100 * monitor.routing.skip_ratio:9.1f}% | {note}"
         )
 
-    print()
+    await server.serve(stream, n_batches=10, batch_size=30,
+                       on_batch=on_batch)
+    server.close()
+    await asyncio.gather(*watchers)
+
+    print("\nDelta feed (first 12 changes the widgets saw):")
+    for line in feed_log[:12]:
+        print(line)
+
+    # The audit feed proves the delta contract: replaying everything the
+    # kiosk subscription received — snapshot included — reconstructs
+    # the live result exactly.
+    audit = []
+    while (delta := await replay_feed.next_delta()) is not None:
+        audit.append(delta)
+    assert replay_deltas(audit) == monitor.result_distances(kiosk)
+    print(f"\nReplayed {len(audit)} kiosk deltas == live result "
+          f"({len(monitor.result_ids(kiosk))} members): delta contract holds.")
+
+    stats = monitor.stats
     print(
         f"Processed {stats.updates_seen} updates against "
-        f"{len(monitor)} standing queries: "
+        f"{len(monitor)} standing queries across {monitor.n_shards} shards: "
         f"{stats.pairs_skipped} pairs decided without exact distance work, "
         f"{stats.pairs_refined} refined, "
         f"{stats.full_recomputes} bound-violation fallbacks, "
         f"{stats.event_recomputes} topology resyncs."
     )
+    routing = monitor.routing
+    print(
+        f"Router: {routing.shards_skipped} shard visits skipped outright "
+        f"({100 * routing.skip_ratio:.1f}%), "
+        f"{routing.updates_filtered} updates filtered before pairing."
+    )
     assert stats.recompute_ratio < 1.0  # the monitor provably skips work
     print(
-        f"Recompute ratio {stats.recompute_ratio:.3f} — the monitor "
-        f"re-executed standing queries for only "
-        f"{100 * stats.recompute_ratio:.1f}% of update/query pairs."
+        f"Recompute ratio {stats.recompute_ratio:.3f} — standing queries "
+        f"re-executed for only {100 * stats.recompute_ratio:.1f}% of "
+        f"update/query pairs."
     )
 
 
 if __name__ == "__main__":
-    main()
+    asyncio.run(main())

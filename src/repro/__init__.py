@@ -71,6 +71,13 @@ _EXPORTS = {
     "QuerySession": "repro.queries",
     "QueryMonitor": "repro.queries",
     "MonitorStats": "repro.queries",
+    "ResultDelta": "repro.queries",
+    "DeltaBatch": "repro.queries",
+    "replay_deltas": "repro.queries",
+    "ShardedMonitor": "repro.queries",
+    "ShardStats": "repro.queries",
+    "MonitorServer": "repro.queries",
+    "Subscription": "repro.queries",
     "NaiveEvaluator": "repro.baselines",
     "PrecomputedDistanceIndex": "repro.baselines",
     "render_floor": "repro.viz",
@@ -127,6 +134,13 @@ __all__ = [
     "QuerySession",
     "QueryMonitor",
     "MonitorStats",
+    "ResultDelta",
+    "DeltaBatch",
+    "replay_deltas",
+    "ShardedMonitor",
+    "ShardStats",
+    "MonitorServer",
+    "Subscription",
     "NaiveEvaluator",
     "PrecomputedDistanceIndex",
     "render_floor",

@@ -26,6 +26,7 @@ from repro.index.composite import CompositeIndex
 from repro.objects.generator import MovementStream, ObjectGenerator
 from repro.objects.population import ObjectPopulation
 from repro.queries.monitor import MonitorStats, QueryMonitor
+from repro.queries.shard import ShardedMonitor
 from repro.space.floorplan import IndoorSpace
 from repro.space.mall import build_mall
 
@@ -229,6 +230,9 @@ class WorkloadFactory:
         n_objects: int | None = None,
         radius: float | None = None,
         hop_probability: float = 0.5,
+        n_shards: int | None = None,
+        query_range: float | None = None,
+        k: int | None = None,
     ) -> "StreamScenario":
         """A continuous-monitoring scenario: standing queries + stream.
 
@@ -237,6 +241,10 @@ class WorkloadFactory:
         must stay pristine for the one-shot benchmarks).  The space is
         shared read-only; streaming scenarios must not apply topology
         events to it.
+
+        ``n_shards`` selects a :class:`ShardedMonitor` front-end instead
+        of a single :class:`QueryMonitor` (``bench_serving`` compares
+        the two over identical streams).
         """
         p = self.profile
         space = self.space(floors)
@@ -254,15 +262,20 @@ class WorkloadFactory:
             space, population, gen,
             hop_probability=hop_probability, seed=p.seed + 7,
         )
-        monitor = QueryMonitor(index)
+        if n_shards is None:
+            monitor: QueryMonitor | ShardedMonitor = QueryMonitor(index)
+        else:
+            monitor = ShardedMonitor(index, n_shards=n_shards)
+        if query_range is None:
+            query_range = p.default_range
+        if k is None:
+            k = p.default_k
         points = self.query_points(floors, n=n_irq + n_iknn)
         irq_ids = [
-            monitor.register_irq(q, p.default_range)
-            for q in points[:n_irq]
+            monitor.register_irq(q, query_range) for q in points[:n_irq]
         ]
         knn_ids = [
-            monitor.register_iknn(q, p.default_k)
-            for q in points[n_irq:]
+            monitor.register_iknn(q, k) for q in points[n_irq:]
         ]
         return StreamScenario(index, monitor, stream, irq_ids, knn_ids)
 
@@ -270,10 +283,11 @@ class WorkloadFactory:
 @dataclass
 class StreamScenario:
     """One continuous-monitoring setup: a dedicated mutable index, the
-    monitor with its standing queries, and the movement stream."""
+    monitor (single or sharded) with its standing queries, and the
+    movement stream."""
 
     index: CompositeIndex
-    monitor: QueryMonitor
+    monitor: QueryMonitor | ShardedMonitor
     stream: MovementStream
     irq_ids: list[str]
     knn_ids: list[str]
@@ -326,11 +340,13 @@ def run_stream(
 
     ``updates`` counts the moves actually absorbed (the stream clamps a
     batch to the population size), not the nominal product."""
-    stats = scenario.monitor.stats
-    seen_before = stats.updates_seen
+    seen_before = scenario.monitor.stats.updates_seen
     elapsed = 0.0
     for _ in range(n_batches):
         elapsed += scenario.absorb_batch(batch_size)
+    # Re-read after the loop: a ShardedMonitor's `stats` is a computed
+    # aggregate snapshot, not a live counter object.
+    stats = scenario.monitor.stats
     return StreamReport(
         updates=stats.updates_seen - seen_before,
         elapsed_s=elapsed,

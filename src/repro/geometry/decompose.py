@@ -103,8 +103,10 @@ def rectilinearize(polygon: Polygon, resolution: int = 8) -> Polygon:
                 occupied.add((i, j))
     if not occupied:
         raise GeometryError("polygon too small for the chosen resolution")
-    # Keep the largest connected component, then trace its outline.
-    component = max(_components(occupied), key=len)
+    # Keep the largest connected component and fill any enclosed holes
+    # (sampling artifacts — the input polygon is simple, so its
+    # rectilinear stand-in must be simply connected too), then trace.
+    component = fill_enclosed_cells(max(_components(occupied), key=len))
     return _trace_cell_outline(component, bounds.minx, bounds.miny, dx, dy)
 
 
@@ -154,6 +156,44 @@ def _components(cells: set[tuple[int, int]]) -> list[set[tuple[int, int]]]:
                     queue.append(n)
         out.append(comp)
     return out
+
+
+def fill_enclosed_cells(cells: set[tuple[int, int]]) -> set[tuple[int, int]]:
+    """The cell set with every enclosed hole filled in.
+
+    A complement cell is a *hole* when it cannot reach the outside of
+    the set's bounding box through 4-adjacent complement cells.  Filling
+    makes the region simply connected, which is what
+    :func:`_trace_cell_outline` (a single-ring tracer) requires — a
+    hole's boundary forms a second ring, and a hole pinching the
+    outline diagonally even makes boundary vertices non-manifold.
+    """
+    if not cells:
+        return set(cells)
+    imin = min(c[0] for c in cells) - 1
+    imax = max(c[0] for c in cells) + 1
+    jmin = min(c[1] for c in cells) - 1
+    jmax = max(c[1] for c in cells) + 1
+    outside: set[tuple[int, int]] = set()
+    queue = deque([(imin, jmin)])
+    outside.add((imin, jmin))
+    while queue:
+        i, j = queue.popleft()
+        for n in ((i + 1, j), (i - 1, j), (i, j + 1), (i, j - 1)):
+            if (
+                imin <= n[0] <= imax
+                and jmin <= n[1] <= jmax
+                and n not in cells
+                and n not in outside
+            ):
+                outside.add(n)
+                queue.append(n)
+    return {
+        (i, j)
+        for i in range(imin, imax + 1)
+        for j in range(jmin, jmax + 1)
+        if (i, j) in cells or (i, j) not in outside
+    }
 
 
 def _cells_bounding_rect(
@@ -260,10 +300,15 @@ def _split_imbalanced(rect: Rect, t_shape: float) -> list[Rect]:
 def _trace_cell_outline(
     cells: set[tuple[int, int]], x0: float, y0: float, dx: float, dy: float
 ) -> Polygon:
-    """Trace the outer boundary of a 4-connected cell set into a polygon.
+    """Trace the boundary of a simply connected 4-connected cell set
+    into a polygon.
 
     Standard boundary-edge stitching: collect the boundary edges of every
     cell (edges not shared with a neighbour) and walk them into a ring.
+    The input must not contain enclosed holes — a hole's boundary forms
+    a second ring this single-ring walk cannot represent (and a
+    diagonally pinching hole makes vertices non-manifold); callers with
+    potentially holey sets run :func:`fill_enclosed_cells` first.
     """
     edges: dict[tuple[float, float], tuple[float, float]] = {}
     for i, j in cells:
@@ -295,6 +340,13 @@ def _trace_cell_outline(
         cur = edges[cur]
         if len(ring) > len(edges) + 1:
             raise GeometryError("outline tracing failed (non-manifold cells)")
+    if len(ring) != len(edges):
+        # The walk closed before consuming every boundary edge: the
+        # leftover edges form another ring, i.e. the set has a hole.
+        raise GeometryError(
+            "cell set is not simply connected (enclosed holes); "
+            "fill_enclosed_cells() before tracing"
+        )
     return Polygon(_drop_collinear(ring))
 
 

@@ -282,6 +282,13 @@ class Box3:
         dz = max(self.minz - z, 0.0, z - self.maxz)
         return math.sqrt(dx * dx + dy * dy + dz * dz)
 
+    def min_distance_to(self, other: "Box3") -> float:
+        """3-D MINDIST between two boxes (0 when they intersect)."""
+        dx = max(self.minx - other.maxx, 0.0, other.minx - self.maxx)
+        dy = max(self.miny - other.maxy, 0.0, other.miny - self.maxy)
+        dz = max(self.minz - other.maxz, 0.0, other.minz - self.maxz)
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
+
     def max_distance_xyz(self, x: float, y: float, z: float) -> float:
         dx = max(abs(x - self.minx), abs(x - self.maxx))
         dy = max(abs(y - self.miny), abs(y - self.maxy))

@@ -288,11 +288,20 @@ class CompositeIndex:
         against the pre-batch state (unknown ids and regions overlapping
         no index unit both raise here), and only then is the whole batch
         applied — a bad batch never leaves a half-applied prefix behind.
+
+        A batch may carry several moves for the same object (a fast
+        positioning system can re-observe an object twice within one
+        collection window): the *last* move wins and the object is
+        diffed/returned exactly once, so consumers never see a stale
+        intermediate position.
         """
         otable = self.otable
         population = self.population
+        last_write: dict[str, ObjectMove] = {
+            move.object_id: move for move in moves
+        }
         staged: list[tuple[UncertainObject, set[str]]] = []
-        for move in moves:
+        for move in last_write.values():
             old_units = otable.units_of(move.object_id)  # raises on unknown
             moved = UncertainObject(
                 move.object_id, move.new_region, move.new_instances

@@ -18,7 +18,10 @@ paper's Figures 12-14.
 On top of the one-shot processors, :class:`QuerySession` reuses the
 subgraph computation across related queries, and :class:`QueryMonitor`
 keeps *standing* iRQ/ikNNQ queries incrementally maintained over streams
-of object position updates.
+of object position updates, emitting per-query :class:`ResultDelta`\\ s.
+:class:`ShardedMonitor` partitions standing queries by floor/region
+across monitor shards with a bound-based update router, and
+:class:`MonitorServer` serves the delta stream to asyncio subscribers.
 """
 
 from repro.queries.stats import QueryStats
@@ -27,7 +30,15 @@ from repro.queries.range_query import iRQ
 from repro.queries.knn import ikNNQ, k_seeds_selection
 from repro.queries.prob_range import iPRQ
 from repro.queries.session import QuerySession
+from repro.queries.deltas import (
+    DeltaBatch,
+    ResultDelta,
+    diff_results,
+    replay_deltas,
+)
 from repro.queries.monitor import MonitorStats, QueryMonitor
+from repro.queries.shard import ShardedMonitor, ShardStats
+from repro.queries.serving import MonitorServer, ServeReport, Subscription
 from repro.queries.selectivity import (
     candidate_upper_bound,
     estimate_irq_result_size,
@@ -43,6 +54,15 @@ __all__ = [
     "QuerySession",
     "QueryMonitor",
     "MonitorStats",
+    "ResultDelta",
+    "DeltaBatch",
+    "diff_results",
+    "replay_deltas",
+    "ShardedMonitor",
+    "ShardStats",
+    "MonitorServer",
+    "ServeReport",
+    "Subscription",
     "candidate_upper_bound",
     "estimate_irq_result_size",
 ]

@@ -1,0 +1,168 @@
+"""Result deltas: what a standing query's result *changed by*.
+
+The continuous query monitor (:mod:`repro.queries.monitor`) maintains
+each standing iRQ/ikNNQ result incrementally; this module defines the
+currency in which those maintenance steps are reported.  Every mutation
+path — :meth:`~repro.queries.monitor.QueryMonitor.apply_moves`,
+``apply_insert``, ``apply_delete``, ``apply_event``, topology resyncs,
+even registration itself — emits one :class:`ResultDelta` per standing
+query whose result actually changed, bundled into a
+:class:`DeltaBatch`.  Downstream consumers (dashboards, the asyncio
+serving layer in :mod:`repro.queries.serving`) apply deltas instead of
+diffing whole result sets.
+
+The contract is *replayability*: starting from the empty state at
+registration time and applying every emitted delta in order reproduces
+the monitor's current result exactly (membership **and** stored
+distances) — :func:`replay_deltas` implements that fold and the
+property tests in ``tests/properties/test_prop_deltas.py`` enforce it
+against from-scratch query execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.objects.uncertain import UncertainObject
+    from repro.space.events import EventResult
+
+#: Mutation paths a delta can originate from.
+DELTA_CAUSES = (
+    "register",    # initial result of a freshly registered query
+    "deregister",  # the standing query was removed (everything leaves)
+    "move",        # batched position updates (apply_moves/ingest_moves)
+    "insert",      # a brand-new object appeared
+    "delete",      # an object disappeared
+    "topology",    # a topology_version bump forced a full resync
+    "snapshot",    # synthetic: a subscriber priming itself (serving)
+)
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """One standing query's result change from one mutation.
+
+    ``entered`` maps newly admitted member ids to their stored distance
+    (``None`` marks an iRQ member accepted by bounds alone), ``left``
+    lists the ids that dropped out, and ``distance_changed`` maps
+    retained members to their *new* stored distance where it differs
+    from the previous one.  The three parts are disjoint by
+    construction.
+    """
+
+    query_id: str
+    cause: str
+    entered: dict[str, float | None] = field(default_factory=dict)
+    left: tuple[str, ...] = ()
+    distance_changed: dict[str, float | None] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cause not in DELTA_CAUSES:
+            raise ValueError(f"unknown delta cause {self.cause!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.entered or self.left or self.distance_changed)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self
+
+    def apply_to(self, state: dict[str, float | None]) -> None:
+        """Fold this delta into ``state`` (member id -> distance)."""
+        for oid in self.left:
+            state.pop(oid, None)
+        state.update(self.entered)
+        state.update(self.distance_changed)
+
+    def summary(self) -> str:
+        """Compact human-readable rendering (dashboards, logs)."""
+        parts = []
+        if self.entered:
+            parts.append("+" + ",".join(sorted(self.entered)))
+        if self.left:
+            parts.append("-" + ",".join(sorted(self.left)))
+        if self.distance_changed:
+            parts.append("~" + ",".join(sorted(self.distance_changed)))
+        body = " ".join(parts) if parts else "(no change)"
+        return f"{self.query_id}[{self.cause}] {body}"
+
+
+def diff_results(
+    query_id: str,
+    cause: str,
+    before: dict[str, float | None],
+    after: dict[str, float | None],
+) -> ResultDelta | None:
+    """The delta taking ``before`` to ``after``; ``None`` when equal."""
+    entered = {oid: d for oid, d in after.items() if oid not in before}
+    left = tuple(sorted(oid for oid in before if oid not in after))
+    distance_changed = {
+        oid: d
+        for oid, d in after.items()
+        if oid in before and before[oid] != d
+    }
+    if not entered and not left and not distance_changed:
+        return None
+    return ResultDelta(query_id, cause, entered, left, distance_changed)
+
+
+def replay_deltas(
+    deltas: Iterable[ResultDelta],
+    state: dict[str, float | None] | None = None,
+) -> dict[str, float | None]:
+    """Fold a delta sequence (one query's, in emission order) into the
+    resulting member -> distance mapping."""
+    state = {} if state is None else dict(state)
+    for delta in deltas:
+        delta.apply_to(state)
+    return state
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """Every delta one monitor mutation produced, plus its side outputs.
+
+    ``moved`` carries the post-update objects of an ``apply_moves`` /
+    ``ingest_moves`` call, ``deleted`` the object an ``apply_delete``
+    removed, and ``event_result`` the space-level outcome of an
+    ``apply_event`` — so the delta-first API loses nothing the old
+    per-method return values provided.
+    """
+
+    deltas: tuple[ResultDelta, ...] = ()
+    moved: tuple["UncertainObject", ...] = ()
+    deleted: "UncertainObject | None" = None
+    event_result: "EventResult | None" = None
+
+    def __iter__(self) -> Iterator[ResultDelta]:
+        return iter(self.deltas)
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __bool__(self) -> bool:
+        return any(self.deltas)
+
+    def for_query(self, query_id: str) -> tuple[ResultDelta, ...]:
+        """This batch's deltas for one standing query, in order (a batch
+        can carry e.g. a topology resync plus a move delta)."""
+        return tuple(d for d in self.deltas if d.query_id == query_id)
+
+    def query_ids(self) -> list[str]:
+        """Ids of the queries this batch touches, in first-seen order."""
+        seen: dict[str, None] = {}
+        for d in self.deltas:
+            seen.setdefault(d.query_id)
+        return list(seen)
+
+    def merge(self, other: "DeltaBatch") -> "DeltaBatch":
+        """Concatenate two batches (sharded monitors merge per-shard
+        batches into one)."""
+        return DeltaBatch(
+            deltas=self.deltas + other.deltas,
+            moved=self.moved + other.moved,
+            deleted=self.deleted or other.deleted,
+            event_result=self.event_result or other.event_result,
+        )

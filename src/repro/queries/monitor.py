@@ -7,12 +7,37 @@ loop: it keeps standing iRQ and ikNNQ queries registered and maintains
 each result set **incrementally** as the population streams position
 updates through :meth:`repro.index.composite.CompositeIndex.update_objects`.
 
+The delta/shard contract
+------------------------
+
+The monitor's public mutation API speaks *deltas*, not result sets:
+``apply_moves``, ``apply_insert``, ``apply_delete`` and ``apply_event``
+each return a :class:`~repro.queries.deltas.DeltaBatch` holding one
+:class:`~repro.queries.deltas.ResultDelta` — ``(entered, left,
+distance_changed)`` — per standing query whose result changed, so
+downstream consumers never diff result sets themselves.  Registration
+and deregistration emit deltas too, and a topology resync triggered
+*outside* a mutation (an external ``topology_version`` bump noticed on
+result access) parks its deltas until the next mutation or an explicit
+:meth:`drain_pending_deltas`.  Replaying every delta for one query from
+the empty state reproduces its current result exactly — the property
+``tests/properties/test_prop_deltas.py`` enforces.
+
+Two maintenance entry points exist per mutation: the ``apply_*``
+methods own the index (they mutate it, then maintain results), while
+the ``ingest_*`` methods maintain results only — they are the hooks the
+sharded front-end (:class:`~repro.queries.shard.ShardedMonitor`) uses
+to fan one shared index mutation into many per-shard monitors, and
+:meth:`influence_radii` exposes the per-query reach (iRQ radius /
+current ikNNQ threshold) its router prunes shards with.
+
 The incremental argument reuses the paper's own machinery:
 
 * every standing query keeps a full (unrestricted) single-source
   Dijkstra from its query point, memoised in a
   :class:`~repro.queries.session.QuerySession` — valid until the
-  *topology* changes, no matter how objects move;
+  *topology* changes, no matter how objects move (and evicted when the
+  last standing query at that point deregisters);
 * when one object moves, only the (object, query) pairs are touched:
   the Table III distance interval of the moved object is recomputed
   against the cached search, and usually *decides* membership outright
@@ -30,7 +55,9 @@ distance stays ``<= tau`` keeps the invariant (``tau`` can only
 shrink); an outsider entering with ``d < tau`` evicts the worst member,
 whose distance equals the old ``tau`` and therefore still satisfies the
 invariant from the outside.  Every transition that could break the
-invariant triggers the full fallback instead.
+invariant triggers the full fallback instead.  When the reachable
+population drops below ``k`` the result simply shrinks and ``tau``
+becomes infinite — every later update is a potential entry.
 
 Topology events (door closures, splits, merges) invalidate every cached
 search — the monitor detects the space's ``topology_version`` bump,
@@ -42,7 +69,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.distances.bounds import object_bounds
 from repro.distances.expected import expected_indoor_distance
@@ -51,11 +78,34 @@ from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
 from repro.objects.population import ObjectMove
 from repro.objects.uncertain import UncertainObject
+from repro.queries.deltas import DeltaBatch, ResultDelta, diff_results
 from repro.queries.knn import ikNNQ
 from repro.queries.range_query import iRQ
 from repro.queries.session import QuerySession
 from repro.space.doors_graph import DoorDistances
-from repro.space.events import EventResult, TopologyEvent
+from repro.space.events import TopologyEvent
+
+#: Distinguishes "not a member" from a stored ``None`` distance (an iRQ
+#: member accepted by bounds alone) in result-dict lookups.
+_MISSING = object()
+
+
+def claim_query_id(
+    taken,
+    query_id: str | None,
+    kind: str,
+    counter,
+) -> str:
+    """Allocate (or validate) a standing-query id against the ids in
+    ``taken`` — shared by :class:`QueryMonitor` and the sharded
+    front-end so both allocate identically."""
+    if query_id is None:
+        # Skip over ids the caller claimed explicitly.
+        while (query_id := f"{kind}-{next(counter)}") in taken:
+            pass
+    elif query_id in taken:
+        raise QueryError(f"standing query id {query_id!r} already used")
+    return query_id
 
 
 @dataclass
@@ -63,36 +113,45 @@ class MonitorStats:
     """Work accounting across the lifetime of one monitor.
 
     A *pair* is one ``(object update, standing query)`` combination; the
-    three pair counters partition them by the work they cost:
+    three pair counters partition ``pairs_evaluated`` by the work each
+    pair cost:
 
     * ``pairs_skipped`` — decided without any exact distance work:
       either by the safe Table III interval alone, or trivially (a
       deletion touching a non-member, or an iRQ member simply dropped);
     * ``pairs_refined`` — needed one exact expected-distance evaluation
       against the cached full search;
-    * ``full_recomputes`` — violated a safe bound and re-executed the
-      standing query from scratch (the bound-violation fallback; a pair
-      that refined first and then escalated counts only here).
+    * ``pairs_recomputed`` — violated a safe bound and escalated to full
+      re-execution of the standing query (a pair that refined first and
+      then escalated counts only here).
 
-    Topology events are tracked separately: ``event_recomputes`` counts
-    per-query re-executions forced by a ``topology_version`` bump.
+    Query-level work is counted separately, in units of *standing-query
+    re-executions*: ``full_recomputes`` counts bound-violation fallbacks
+    (one per escalated pair, but a different dimension — one
+    re-execution touches the whole population, not one pair) and
+    ``event_recomputes`` counts re-executions forced by a
+    ``topology_version`` bump.  ``recompute_ratio`` therefore divides
+    pair-level by pair-level and ``recomputes_per_update`` query-level
+    by updates — the two never mix.
     """
 
     updates_seen: int = 0
     pairs_evaluated: int = 0
     pairs_skipped: int = 0
     pairs_refined: int = 0
+    pairs_recomputed: int = 0
     full_recomputes: int = 0
     event_recomputes: int = 0
     topology_invalidations: int = 0
+    deltas_emitted: int = 0
 
     @property
     def recompute_ratio(self) -> float:
-        """Share of pairs that fell back to full re-execution; the
+        """Share of *pairs* that escalated to full re-execution; the
         monitor provably skips work whenever this is < 1.0."""
         if self.pairs_evaluated == 0:
             return 0.0
-        return self.full_recomputes / self.pairs_evaluated
+        return self.pairs_recomputed / self.pairs_evaluated
 
     @property
     def skip_ratio(self) -> float:
@@ -100,6 +159,34 @@ class MonitorStats:
         if self.pairs_evaluated == 0:
             return 0.0
         return self.pairs_skipped / self.pairs_evaluated
+
+    @property
+    def refine_ratio(self) -> float:
+        """Share of pairs that paid exactly one exact refinement."""
+        if self.pairs_evaluated == 0:
+            return 0.0
+        return self.pairs_refined / self.pairs_evaluated
+
+    @property
+    def recomputes_per_update(self) -> float:
+        """Standing-query re-executions (bound fallbacks) per absorbed
+        update — the query-level fallback rate."""
+        if self.updates_seen == 0:
+            return 0.0
+        return self.full_recomputes / self.updates_seen
+
+    def merge(self, other: "MonitorStats") -> "MonitorStats":
+        """Counter-wise sum (sharded monitors aggregate shard stats).
+
+        ``updates_seen`` sums too — callers aggregating shards that saw
+        the *same* updates must override it (see
+        :attr:`repro.queries.shard.ShardedMonitor.stats`)."""
+        return MonitorStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
 
 
 @dataclass
@@ -111,6 +198,11 @@ class _StandingIRQ:
     q: Point
     r: float
     result: dict[str, float | None] = field(default_factory=dict)
+
+    def influence_radius(self) -> float:
+        """Only objects within this (indoor) distance of ``q`` can
+        change the result: the query radius itself."""
+        return self.r
 
 
 @dataclass
@@ -131,6 +223,11 @@ class _StandingKNN:
             return math.inf
         return max(self.result.values())
 
+    def influence_radius(self) -> float:
+        """Only objects within the current ``tau`` can change the
+        result (members always are; an unfull result reaches forever)."""
+        return self.kth_distance()
+
 
 class QueryMonitor:
     """Standing iRQ/ikNNQ queries maintained over streaming updates.
@@ -141,25 +238,40 @@ class QueryMonitor:
         kiosk = monitor.register_irq(q_kiosk, r=60.0)
         desk = monitor.register_iknn(q_desk, k=5)
         for batch in stream.batches(100, 50):
-            monitor.apply_moves(batch)          # index + results updated
-            serve(monitor.result_ids(kiosk))
-        monitor.apply_event(CloseDoor("d7"))    # full resync, once
+            for delta in monitor.apply_moves(batch):   # index + results
+                push_to_subscribers(delta)             # ...updated
+        monitor.apply_event(CloseDoor("d7"))           # full resync, once
 
     The monitor owns the update path: :meth:`apply_moves`,
     :meth:`apply_insert`, :meth:`apply_delete` and :meth:`apply_event`
-    mutate the underlying index *and* maintain every standing result.
-    External topology mutations are also tolerated — any
-    ``topology_version`` bump is detected on the next access and all
-    standing queries resynchronise.
+    mutate the underlying index *and* maintain every standing result,
+    returning the per-query deltas.  The ``ingest_*`` twins maintain
+    results for an index mutation that already happened (the sharded
+    front-end's entry points).  External topology mutations are also
+    tolerated — any ``topology_version`` bump is detected on the next
+    access, all standing queries resynchronise, and the resync deltas
+    surface on the next mutation or :meth:`drain_pending_deltas`.
+
+    ``session`` may be shared between monitors over the same index
+    (shards share one cache so a query point pays its Dijkstra once).
     """
 
-    def __init__(self, index: CompositeIndex) -> None:
+    def __init__(
+        self, index: CompositeIndex, session: QuerySession | None = None
+    ) -> None:
+        if session is not None and session.index is not index:
+            raise QueryError("session must wrap the monitor's own index")
         self.index = index
-        self.session = QuerySession(index)
+        self.session = session or QuerySession(index)
         self.stats = MonitorStats()
         self._queries: dict[str, _StandingIRQ | _StandingKNN] = {}
         self._id_counter = itertools.count(1)
         self._topology_version = index.space.topology_version
+        self._pending: list[ResultDelta] = []
+        # Pre-mutation copies of the results actually touched in the
+        # current mutation scope (lazy: an untouched query costs
+        # nothing), consumed by _collect().
+        self._before: dict[str, dict[str, float | None]] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -168,13 +280,14 @@ class QueryMonitor:
     def register_irq(
         self, q: Point, r: float, query_id: str | None = None
     ) -> str:
-        """Register a standing range query; returns its id."""
+        """Register a standing range query; returns its id.  The initial
+        result is emitted as a ``register`` delta (pending until the
+        next mutation / drain)."""
         if r < 0:
             raise QueryError(f"negative query range {r}")
         query_id = self._claim_id(query_id, "irq")
         sq = _StandingIRQ(query_id, q, r)
-        self._queries[query_id] = sq
-        self._recompute(sq)
+        self._register(sq)
         return query_id
 
     def register_iknn(
@@ -185,26 +298,49 @@ class QueryMonitor:
             raise QueryError(f"k must be >= 1, got {k}")
         query_id = self._claim_id(query_id, "iknn")
         sq = _StandingKNN(query_id, q, k)
-        self._queries[query_id] = sq
-        self._recompute(sq)
+        self._register(sq)
         return query_id
+
+    def _register(self, sq: _StandingIRQ | _StandingKNN) -> None:
+        self._ensure_topology_current()
+        # Execute first, commit after: a failing first execution (query
+        # point outside every partition, say) must not leave a broken
+        # standing query — or its session pin — behind.
+        try:
+            self._recompute(sq)  # touches sq with its pre-result ({})
+        except Exception:
+            self._before.pop(sq.query_id, None)
+            raise
+        self._queries[sq.query_id] = sq
+        self.session.pin(sq.q)
+        self._pending.extend(self._collect("register"))
 
     def deregister(self, query_id: str) -> None:
-        """Remove a standing query."""
-        if query_id not in self._queries:
+        """Remove a standing query.
+
+        Emits a ``deregister`` delta (every member leaves) and releases
+        the query point's pin on the session-cached full Dijkstra; the
+        last pin at a point evicts the search, so long-running monitors
+        with churning query populations do not accumulate dead searches.
+        Pins are counted on the (possibly shared) session itself, so
+        monitors sharing one session never evict each other's searches.
+        """
+        sq = self._queries.pop(query_id, None)
+        if sq is None:
             raise QueryError(f"unknown standing query {query_id!r}")
-        del self._queries[query_id]
+        self._before.pop(query_id, None)
+        if sq.result:
+            self._push_pending(
+                ResultDelta(
+                    query_id, "deregister", left=tuple(sorted(sq.result))
+                )
+            )
+        self.session.unpin(sq.q)
 
     def _claim_id(self, query_id: str | None, kind: str) -> str:
-        if query_id is None:
-            # Skip over ids the caller claimed explicitly.
-            while (
-                query_id := f"{kind}-{next(self._id_counter)}"
-            ) in self._queries:
-                pass
-        elif query_id in self._queries:
-            raise QueryError(f"standing query id {query_id!r} already used")
-        return query_id
+        return claim_query_id(
+            self._queries, query_id, kind, self._id_counter
+        )
 
     # ------------------------------------------------------------------
     # result access
@@ -236,6 +372,17 @@ class QueryMonitor:
             return ("irq", sq.q, sq.r)
         return ("iknn", sq.q, sq.k)
 
+    def influence_radii(self) -> list[tuple[str, Point, float]]:
+        """``(query_id, q, reach)`` per standing query: the indoor
+        distance beyond which an object provably cannot change the
+        result right now (iRQ radius / current ikNNQ ``tau``).  The
+        shard router turns these into conservative skip decisions."""
+        self._ensure_topology_current()
+        return [
+            (qid, sq.q, sq.influence_radius())
+            for qid, sq in self._queries.items()
+        ]
+
     def __len__(self) -> int:
         return len(self._queries)
 
@@ -252,30 +399,72 @@ class QueryMonitor:
             ) from None
 
     # ------------------------------------------------------------------
-    # stream consumption
+    # stream consumption (index mutation + maintenance)
     # ------------------------------------------------------------------
 
-    def apply_moves(self, moves: list[ObjectMove]) -> list[UncertainObject]:
+    def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
         """Absorb a batch of position updates: the index takes them via
         its batched path, then every standing result is maintained
-        incrementally."""
+        incrementally.  Returns the per-query deltas (plus the moved
+        objects in ``batch.moved``)."""
         self._ensure_topology_current()
         moved = self.index.update_objects(moves)
-        for obj in moved:
-            self._absorb_update(obj)
-        return moved
+        return self.ingest_moves(moved)
 
-    def apply_insert(self, obj: UncertainObject) -> None:
+    def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
         """A brand-new object appears (index insert + maintenance)."""
         self._ensure_topology_current()
         self.index.insert_object(obj)
-        self._absorb_update(obj)
+        return self.ingest_insert(obj)
 
-    def apply_delete(self, object_id: str) -> UncertainObject:
+    def apply_delete(self, object_id: str) -> DeltaBatch:
         """An object disappears.  An iRQ just drops it; an ikNNQ that
-        loses a member must refill the vacated slot from scratch."""
+        loses a member must refill the vacated slot from scratch (the
+        refill may come back with fewer than ``k`` members when the
+        surviving population runs short).  The removed object rides
+        along as ``batch.deleted``."""
         self._ensure_topology_current()
         obj = self.index.delete_object(object_id)
+        return self.ingest_delete(object_id, deleted=obj)
+
+    def apply_event(self, event: TopologyEvent) -> DeltaBatch:
+        """Apply a topology event through the index, then resynchronise
+        every standing query (cached searches are all invalid).  The
+        space-level outcome rides along as ``batch.event_result``."""
+        result = self.index.apply_event(event)
+        self._ensure_topology_current()
+        return DeltaBatch(
+            deltas=self._drain_pending(), event_result=result
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance-only ingestion (the sharded front-end's entry points)
+    # ------------------------------------------------------------------
+
+    def ingest_moves(self, moved: list[UncertainObject]) -> DeltaBatch:
+        """Maintain standing results for objects the *shared* index
+        already moved (no index mutation here)."""
+        self._ensure_topology_current()
+        for obj in moved:
+            self._absorb_update(obj)
+        return DeltaBatch(
+            deltas=self._drain_pending() + self._collect("move"),
+            moved=tuple(moved),
+        )
+
+    def ingest_insert(self, obj: UncertainObject) -> DeltaBatch:
+        """Maintain standing results for an already-inserted object."""
+        self._ensure_topology_current()
+        self._absorb_update(obj)
+        return DeltaBatch(
+            deltas=self._drain_pending() + self._collect("insert")
+        )
+
+    def ingest_delete(
+        self, object_id: str, deleted: UncertainObject | None = None
+    ) -> DeltaBatch:
+        """Maintain standing results for an already-deleted object."""
+        self._ensure_topology_current()
         self.stats.updates_seen += 1
         for sq in self._queries.values():
             self.stats.pairs_evaluated += 1
@@ -283,19 +472,61 @@ class QueryMonitor:
                 self.stats.pairs_skipped += 1
                 continue
             if isinstance(sq, _StandingKNN):
+                self.stats.pairs_recomputed += 1
                 self.stats.full_recomputes += 1
                 self._recompute(sq)
             else:
+                self._touch(sq)
                 del sq.result[object_id]
                 self.stats.pairs_skipped += 1
-        return obj
+        return DeltaBatch(
+            deltas=self._drain_pending() + self._collect("delete"),
+            deleted=deleted,
+        )
 
-    def apply_event(self, event: TopologyEvent) -> EventResult:
-        """Apply a topology event through the index, then resynchronise
-        every standing query (cached searches are all invalid)."""
-        result = self.index.apply_event(event)
+    def drain_pending_deltas(self) -> DeltaBatch:
+        """Collect deltas parked by out-of-band work: registrations,
+        deregistrations, and topology resyncs triggered by result
+        access instead of a mutation call."""
         self._ensure_topology_current()
-        return result
+        return DeltaBatch(deltas=self._drain_pending())
+
+    # ------------------------------------------------------------------
+    # delta bookkeeping
+    # ------------------------------------------------------------------
+
+    def _touch(self, sq: _StandingIRQ | _StandingKNN) -> None:
+        """Record ``sq``'s pre-mutation result (first write wins; later
+        touches in the same scope are free).  Every code path that
+        writes ``sq.result`` calls this first, so _collect() diffs only
+        the queries that actually changed."""
+        self._before.setdefault(sq.query_id, dict(sq.result))
+
+    def _collect(self, cause: str) -> tuple[ResultDelta, ...]:
+        """Close the current mutation scope: diff every touched query
+        against its recorded pre-state."""
+        if not self._before:
+            return ()
+        out = []
+        for qid, before in self._before.items():
+            sq = self._queries.get(qid)
+            if sq is None:  # deregistered while touched
+                continue
+            delta = diff_results(qid, cause, before, sq.result)
+            if delta is not None:
+                out.append(delta)
+        self._before.clear()
+        self.stats.deltas_emitted += len(out)
+        return tuple(out)
+
+    def _push_pending(self, delta: ResultDelta) -> None:
+        self._pending.append(delta)
+        self.stats.deltas_emitted += 1
+
+    def _drain_pending(self) -> tuple[ResultDelta, ...]:
+        drained = tuple(self._pending)
+        self._pending.clear()
+        return drained
 
     # ------------------------------------------------------------------
     # incremental maintenance
@@ -308,8 +539,9 @@ class QueryMonitor:
         self._topology_version = version
         self.stats.topology_invalidations += 1
         for sq in self._queries.values():
-            self._recompute(sq)
+            self._recompute(sq)  # touches each query pre-resync
             self.stats.event_recomputes += 1
+        self._pending.extend(self._collect("topology"))
 
     def _absorb_update(self, obj: UncertainObject) -> None:
         self.stats.updates_seen += 1
@@ -322,26 +554,35 @@ class QueryMonitor:
 
     def _update_irq(self, sq: _StandingIRQ, obj: UncertainObject) -> None:
         """Membership of the moved object is re-decided in isolation —
-        the cached full search makes the interval exact machinery of
-        Table III sufficient, so no other pair is ever touched."""
+        the cached full search makes the interval machinery of Table III
+        sufficient, so no other pair is ever touched."""
         dd = self.session.door_distances(sq.q)
         interval = object_bounds(
             sq.q, obj, dd, self.index.space, self.index.population.grid
         )
         oid = obj.object_id
         if interval.entirely_within(sq.r):
-            sq.result[oid] = None
+            # A moved member's stored exact distance is stale either
+            # way, so the bounds-accepted marker always overwrites it.
+            if sq.result.get(oid, _MISSING) is not None:
+                self._touch(sq)
+                sq.result[oid] = None
             self.stats.pairs_skipped += 1
         elif interval.entirely_beyond(sq.r):
-            sq.result.pop(oid, None)
+            if oid in sq.result:
+                self._touch(sq)
+                del sq.result[oid]
             self.stats.pairs_skipped += 1
         else:
             d = self._exact(sq.q, obj, dd)
             self.stats.pairs_refined += 1
             if d <= sq.r:
-                sq.result[oid] = d
-            else:
-                sq.result.pop(oid, None)
+                if sq.result.get(oid, _MISSING) != d:
+                    self._touch(sq)
+                    sq.result[oid] = d
+            elif oid in sq.result:
+                self._touch(sq)
+                del sq.result[oid]
 
     def _update_knn(self, sq: _StandingKNN, obj: UncertainObject) -> None:
         dd = self.session.door_distances(sq.q)
@@ -351,13 +592,17 @@ class QueryMonitor:
             # A member moved: its stored distance is stale, refine it.
             d = self._exact(sq.q, obj, dd)
             if math.isfinite(d) and d <= tau:
-                sq.result[oid] = d  # invariant holds; tau only shrinks
+                if sq.result[oid] != d:  # invariant holds; tau shrinks
+                    self._touch(sq)
+                    sq.result[oid] = d
                 self.stats.pairs_refined += 1
             else:
                 # The member drifted past the threshold (or became
                 # unreachable): an outsider may now beat it.  The pair
-                # counts as a full recompute (not also as refined — the
-                # counters partition pairs_evaluated).
+                # escalated (not also refined — the pair counters
+                # partition pairs_evaluated) and one query-level
+                # re-execution was paid.
+                self.stats.pairs_recomputed += 1
                 self.stats.full_recomputes += 1
                 self._recompute(sq)
             return
@@ -374,8 +619,10 @@ class QueryMonitor:
         if not math.isfinite(d):
             return
         if len(sq.result) < sq.k:
+            self._touch(sq)
             sq.result[oid] = d
         elif d < tau:
+            self._touch(sq)
             worst = max(sq.result, key=sq.result.__getitem__)
             del sq.result[worst]
             sq.result[oid] = d
@@ -385,6 +632,7 @@ class QueryMonitor:
     # ------------------------------------------------------------------
 
     def _recompute(self, sq: _StandingIRQ | _StandingKNN) -> None:
+        self._touch(sq)  # the whole result is about to be replaced
         dd = self.session.door_distances(sq.q)
         if isinstance(sq, _StandingIRQ):
             res = iRQ(sq.q, sq.r, self.index, precomputed_dd=dd)
@@ -396,7 +644,11 @@ class QueryMonitor:
                 d = res.distances[obj.object_id]
                 if d is None:  # accepted by bounds: refine for the tau
                     d = self._exact(sq.q, obj, dd)
-                distances[obj.object_id] = d
+                if math.isfinite(d):
+                    # An unreachable "member" would poison tau (= max of
+                    # the stored distances) forever; with fewer than k
+                    # reachable objects the result legitimately shrinks.
+                    distances[obj.object_id] = d
             sq.result = distances
 
     def _exact(

@@ -1,0 +1,288 @@
+"""Async serving: fan a movement stream into a monitor, push deltas out.
+
+The monitor's per-update maintenance is already ``O(standing queries)``
+(:mod:`repro.queries.monitor`) and sharding keeps the fan-out pruned
+(:mod:`repro.queries.shard`) — the serving layer is the remaining
+plumbing: a :class:`MonitorServer` drives batches of position updates
+through the monitor inside an asyncio event loop and pushes every
+emitted :class:`~repro.queries.deltas.ResultDelta` into the per-query
+queues of its :class:`Subscription`\\ s, so consumers ``async for``
+over result *changes* instead of polling result sets.
+
+Single-writer by design: all index mutation happens through the
+server's ``apply_*`` coroutines (or :meth:`serve`), which run the
+synchronous monitor call to completion and then yield to the loop so
+subscribers drain between batches.  Subscribers are decoupled through
+unbounded queues — a slow consumer delays only itself, and
+:attr:`Subscription.pending` exposes its backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Awaitable, Callable
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.objects.generator import MovementStream
+from repro.objects.population import ObjectMove
+from repro.objects.uncertain import UncertainObject
+from repro.queries.deltas import DeltaBatch, ResultDelta
+from repro.queries.monitor import QueryMonitor
+from repro.queries.shard import ShardedMonitor
+from repro.space.events import TopologyEvent
+
+#: Queue sentinel marking the end of a subscription's delta stream.
+_CLOSED = object()
+
+
+class Subscription:
+    """One consumer's live view of one standing query.
+
+    An async iterator of :class:`ResultDelta`; iteration ends when the
+    subscription is cancelled (:meth:`MonitorServer.unsubscribe`), its
+    query is deregistered, or the server closes.
+    """
+
+    def __init__(self, query_id: str) -> None:
+        self.query_id = query_id
+        self.delivered = 0
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Deltas queued but not yet consumed (consumer backlog).
+
+        The end-of-stream sentinel a close enqueues is internal
+        plumbing, not backlog — it is excluded from the count.
+        """
+        n = self._queue.qsize()
+        if self._closed and n:
+            return n - 1  # the sentinel is always the last item
+        return n
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def next_delta(self) -> ResultDelta | None:
+        """The next delta, or ``None`` once the stream has ended."""
+        if self._closed and self._queue.empty():
+            return None
+        item = await self._queue.get()
+        if item is _CLOSED:
+            return None
+        self.delivered += 1
+        return item
+
+    def __aiter__(self) -> AsyncIterator[ResultDelta]:
+        return self
+
+    async def __anext__(self) -> ResultDelta:
+        delta = await self.next_delta()
+        if delta is None:
+            raise StopAsyncIteration
+        return delta
+
+    # -- server side ---------------------------------------------------
+
+    def _push(self, delta: ResultDelta) -> None:
+        if not self._closed:
+            self._queue.put_nowait(delta)
+
+    def _close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(_CLOSED)
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one :meth:`MonitorServer.serve` run."""
+
+    batches: int = 0
+    updates: int = 0
+    deltas_published: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.updates / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def deltas_per_sec(self) -> float:
+        return (
+            self.deltas_published / self.elapsed_s if self.elapsed_s else 0.0
+        )
+
+
+@dataclass
+class MonitorServer:
+    """Delta-pushing front-end over a (sharded) query monitor.
+
+    Usage::
+
+        server = MonitorServer(ShardedMonitor(index, n_shards=4))
+        kiosk = server.register_irq(q, r=60.0)
+        sub = server.subscribe(kiosk)           # primed with a snapshot
+
+        async def consume():
+            async for delta in sub:
+                render(delta)
+
+        async def produce():
+            await server.serve(stream, n_batches=100, batch_size=50)
+            server.close()
+
+        asyncio.run(asyncio.gather(produce(), consume()))
+    """
+
+    monitor: QueryMonitor | ShardedMonitor
+    deltas_published: int = 0
+    _subs: dict[str, list[Subscription]] = field(default_factory=dict)
+    _closed: bool = False
+
+    # ------------------------------------------------------------------
+    # registration / subscription
+    # ------------------------------------------------------------------
+
+    def register_irq(
+        self, q: Point, r: float, query_id: str | None = None
+    ) -> str:
+        return self.monitor.register_irq(q, r, query_id=query_id)
+
+    def register_iknn(
+        self, q: Point, k: int, query_id: str | None = None
+    ) -> str:
+        return self.monitor.register_iknn(q, k, query_id=query_id)
+
+    def deregister(self, query_id: str) -> None:
+        """Deregister the query; its deregister delta (everything
+        leaves) is pushed and all its subscriptions end."""
+        self.monitor.deregister(query_id)
+        self.publish(self.monitor.drain_pending_deltas())
+        for sub in self._subs.pop(query_id, []):
+            sub._close()
+
+    def subscribe(self, query_id: str, snapshot: bool = True) -> Subscription:
+        """A live delta feed for one standing query.
+
+        ``snapshot=True`` primes the feed with a synthetic ``snapshot``
+        delta carrying the current members, so replaying the feed from
+        empty state always reconstructs the full result.
+        """
+        if self._closed:
+            raise QueryError("server is closed")
+        if query_id not in self.monitor:
+            raise QueryError(f"unknown standing query {query_id!r}")
+        # Flush parked deltas (registrations, out-of-band resyncs) to
+        # the *existing* subscribers first: a feed begins at its own
+        # snapshot, never with another query's history.
+        self.publish(self.monitor.drain_pending_deltas())
+        sub = Subscription(query_id)
+        if snapshot:
+            sub._push(
+                ResultDelta(
+                    query_id,
+                    "snapshot",
+                    self.monitor.result_distances(query_id),
+                )
+            )
+        self._subs.setdefault(query_id, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.query_id, [])
+        if sub in subs:
+            subs.remove(sub)
+        sub._close()
+
+    def close(self) -> None:
+        """End every subscription (pending deltas still drain)."""
+        self._closed = True
+        for subs in self._subs.values():
+            for sub in subs:
+                sub._close()
+        self._subs.clear()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, batch: DeltaBatch) -> int:
+        """Fan a delta batch into the matching subscription queues;
+        returns the number of deltas published (counted once per delta,
+        not per subscriber)."""
+        published = 0
+        for delta in batch:
+            if delta.is_empty:
+                continue
+            published += 1
+            for sub in self._subs.get(delta.query_id, ()):
+                sub._push(delta)
+        self.deltas_published += published
+        return published
+
+    # ------------------------------------------------------------------
+    # mutation coroutines (single writer)
+    # ------------------------------------------------------------------
+
+    async def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
+        return await self._mutate(lambda: self.monitor.apply_moves(moves))
+
+    async def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
+        return await self._mutate(lambda: self.monitor.apply_insert(obj))
+
+    async def apply_delete(self, object_id: str) -> DeltaBatch:
+        return await self._mutate(
+            lambda: self.monitor.apply_delete(object_id)
+        )
+
+    async def apply_event(self, event: TopologyEvent) -> DeltaBatch:
+        return await self._mutate(lambda: self.monitor.apply_event(event))
+
+    async def _mutate(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
+        if self._closed:
+            raise QueryError("server is closed")
+        batch = op()
+        self.publish(batch)
+        # Yield so subscribers drain between mutations.
+        await asyncio.sleep(0)
+        return batch
+
+    async def serve(
+        self,
+        stream: MovementStream,
+        n_batches: int,
+        batch_size: int,
+        on_batch: Callable[[int, DeltaBatch], Awaitable[None] | None]
+        | None = None,
+    ) -> ServeReport:
+        """Drive ``n_batches`` of ``batch_size`` moves from ``stream``
+        through the monitor, publishing deltas as they are produced.
+
+        ``on_batch(batch_no, delta_batch)`` is an optional hook (sync or
+        async) invoked after each batch — dashboards interleave topology
+        events or render progress from it.
+        """
+        report = ServeReport()
+        published_before = self.deltas_published
+        self.publish(self.monitor.drain_pending_deltas())
+        for batch_no in range(n_batches):
+            moves = stream.next_moves(batch_size)
+            t0 = time.perf_counter()
+            batch = await self.apply_moves(moves)
+            report.elapsed_s += time.perf_counter() - t0
+            report.batches += 1
+            report.updates += len(batch.moved)
+            if on_batch is not None:
+                out = on_batch(batch_no, batch)
+                if asyncio.iscoroutine(out):
+                    await out
+        # publish() is the single counting authority; the report covers
+        # everything this serve call published (hook mutations too).
+        report.deltas_published = self.deltas_published - published_before
+        return report

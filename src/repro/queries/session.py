@@ -47,6 +47,7 @@ class QuerySession:
     _cache: dict[tuple[float, float, int], DoorDistances] = field(
         default_factory=dict
     )
+    _pins: dict[tuple[float, float, int], int] = field(default_factory=dict)
     _cached_version: int = -1
     hits: int = 0
     misses: int = 0
@@ -68,6 +69,46 @@ class QuerySession:
         else:
             self.hits += 1
         return dd
+
+    def evict(self, q: Point) -> bool:
+        """Drop the cached search from ``q``, if any; returns whether an
+        entry was evicted.  Respects pins: a point some standing query
+        still holds (see :meth:`pin`) is never evicted."""
+        key = (q.x, q.y, q.floor)
+        if self._pins.get(key, 0) > 0:
+            return False
+        return self._cache.pop(key, None) is not None
+
+    def pin(self, q: Point) -> None:
+        """Declare a long-lived user of the search from ``q`` (a
+        standing query).  Pins are reference-counted **on the session**,
+        so monitors sharing one session (shards) cannot evict each
+        other's searches; the entry is dropped when the last pin at the
+        point is released."""
+        key = (q.x, q.y, q.floor)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, q: Point) -> bool:
+        """Release one pin at ``q``; when it was the last one, the
+        cached search is evicted (long-running monitors with churning
+        query populations must not grow without bound).  Returns whether
+        an entry was evicted."""
+        key = (q.x, q.y, q.floor)
+        count = self._pins.get(key)
+        if count is None:
+            # Never pinned (or already fully released): a stray unpin
+            # must not evict a live entry ad-hoc queries still reuse.
+            return False
+        if count > 1:
+            self._pins[key] = count - 1
+            return False
+        del self._pins[key]
+        return self._cache.pop(key, None) is not None
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised single-source searches currently held."""
+        return len(self._cache)
 
     # ------------------------------------------------------------------
 

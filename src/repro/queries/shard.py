@@ -1,0 +1,381 @@
+"""Sharded continuous monitoring: standing queries partitioned across
+per-shard :class:`~repro.queries.monitor.QueryMonitor` instances.
+
+One :class:`QueryMonitor` evaluates every ``(update, standing query)``
+pair serially, so update fan-out grows linearly with the standing-query
+population.  A :class:`ShardedMonitor` splits the standing queries by
+**floor and spatial zone** of their query point across ``n_shards``
+monitors that all share one :class:`~repro.index.composite.CompositeIndex`
+(and one :class:`~repro.queries.session.QuerySession`, so a query point
+still pays its full Dijkstra exactly once), then routes each index
+mutation only to the shards it can possibly affect.
+
+The router's skip test is the same conservative geometry Table III's
+intervals are built from: a 3-D Euclidean distance never exceeds an
+indoor (walking) distance, so for a shard whose standing queries all
+sit inside a bounding box ``B`` with maximum influence radius ``R``
+(iRQ radius / current ikNNQ ``tau``, see
+:meth:`~repro.queries.monitor.QueryMonitor.influence_radii`), an object
+whose old **and** new instance boxes are Euclidean-farther than ``R``
+from ``B`` provably cannot enter, leave, or re-rank any result in the
+shard — the update is filtered out, and a shard left with no relevant
+updates is skipped outright (``ShardStats.shards_skipped``).  Both old
+and new positions matter: leaving is as much a result change as
+entering.  An unfull ikNNQ makes its shard unskippable (``tau`` is
+infinite — any reachable object could enter).
+
+Skipping is sound against the monitor's incremental invariants because
+``tau`` never *grows* on an incremental path (members refine downward,
+entries evict the worst member); the only path that can grow it is a
+full re-execution, which re-reads the whole — already fully updated —
+index population and therefore sees filtered objects anyway.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Box3, Rect
+from repro.index.composite import CompositeIndex
+from repro.objects.population import ObjectMove
+from repro.objects.uncertain import UncertainObject
+from repro.queries.deltas import DeltaBatch
+from repro.queries.monitor import (
+    MonitorStats,
+    QueryMonitor,
+    claim_query_id,
+)
+from repro.queries.session import QuerySession
+from repro.space.events import TopologyEvent
+
+#: Safety margin added to influence radii before a skip decision, so a
+#: distance that ties the threshold to the last float bit never skips.
+_EPS = 1e-9
+
+
+@dataclass
+class ShardStats:
+    """Routing accounting across the lifetime of one sharded monitor.
+
+    ``shard_visits`` / ``shards_skipped`` count (batch, shard) routing
+    decisions over shards that *hold standing queries* (an empty shard
+    is not evidence the router works); ``updates_filtered`` counts
+    per-shard update exclusions inside visited shards — updates whose
+    pairs were never evaluated even though the shard itself ran.
+    """
+
+    batches_routed: int = 0
+    shard_visits: int = 0
+    shards_skipped: int = 0
+    updates_filtered: int = 0
+
+    @property
+    def skip_ratio(self) -> float:
+        """Share of (batch, shard) decisions that skipped the shard."""
+        decisions = self.shard_visits + self.shards_skipped
+        if decisions == 0:
+            return 0.0
+        return self.shards_skipped / decisions
+
+
+def _object_box(obj: UncertainObject, floor_height: float) -> Box3:
+    """The object's instance bounding box at its floor elevation (the
+    flattened :class:`Box3` the tree tier also measures distances on)."""
+    return Box3.from_rect(obj.bounds(), obj.floor, floor_height).flattened()
+
+
+@dataclass(frozen=True)
+class _ShardReach:
+    """One shard's influence summary for one batch: the bounding box of
+    its query points and the largest influence radius among them."""
+
+    box: Box3
+    radius: float
+
+    def may_affect(self, obj_box: Box3) -> bool:
+        if math.isinf(self.radius):
+            return True
+        return obj_box.min_distance_to(self.box) <= self.radius + _EPS
+
+
+class ShardedMonitor:
+    """``n_shards`` query monitors over one shared composite index.
+
+    Mirrors the :class:`~repro.queries.monitor.QueryMonitor` API —
+    registration, result access, and the four ``apply_*`` mutation
+    paths, each returning a merged
+    :class:`~repro.queries.deltas.DeltaBatch` — but mutates the shared
+    index exactly once per call and fans maintenance out through the
+    per-shard ``ingest_*`` hooks, skipping shards the router proves
+    untouched.
+
+    Standing queries are assigned by :meth:`shard_of`: the query
+    point's floor and spatial quadrant hash onto a shard, so co-located
+    queries (one kiosk's iRQ and ikNNQ) tend to share both a shard and
+    a session-cached Dijkstra.
+    """
+
+    def __init__(
+        self,
+        index: CompositeIndex,
+        n_shards: int = 4,
+        session: QuerySession | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+        self.index = index
+        self.session = session or QuerySession(index)
+        self.shards = [
+            QueryMonitor(index, session=self.session)
+            for _ in range(n_shards)
+        ]
+        self.routing = ShardStats()
+        self._homes: dict[str, int] = {}
+        self._id_counter = itertools.count(1)
+        self._updates_seen = 0
+        self._bounds: Rect = index.space.bounds()
+
+    # ------------------------------------------------------------------
+    # registration / result access (QueryMonitor-compatible surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, q: Point) -> int:
+        """The shard a query at ``q`` lands on: floor-major, with the
+        floor split into 2x2 spatial zones (a deterministic
+        floor/region partition, not a content hash — co-located query
+        points always land together)."""
+        b = self._bounds
+        zx = int(q.x >= (b.minx + b.maxx) / 2.0)
+        zy = int(q.y >= (b.miny + b.maxy) / 2.0)
+        zone = 4 * q.floor + 2 * zy + zx
+        return zone % len(self.shards)
+
+    def register_irq(
+        self, q: Point, r: float, query_id: str | None = None
+    ) -> str:
+        query_id = self._claim_id(query_id, "irq")
+        shard = self.shard_of(q)
+        self.shards[shard].register_irq(q, r, query_id=query_id)
+        self._homes[query_id] = shard
+        return query_id
+
+    def register_iknn(
+        self, q: Point, k: int, query_id: str | None = None
+    ) -> str:
+        query_id = self._claim_id(query_id, "iknn")
+        shard = self.shard_of(q)
+        self.shards[shard].register_iknn(q, k, query_id=query_id)
+        self._homes[query_id] = shard
+        return query_id
+
+    def deregister(self, query_id: str) -> None:
+        self._home(query_id).deregister(query_id)
+        del self._homes[query_id]
+
+    def _claim_id(self, query_id: str | None, kind: str) -> str:
+        return claim_query_id(
+            self._homes, query_id, kind, self._id_counter
+        )
+
+    def _home(self, query_id: str) -> QueryMonitor:
+        shard = self._homes.get(query_id)
+        if shard is None:
+            raise QueryError(f"unknown standing query {query_id!r}")
+        return self.shards[shard]
+
+    def result_ids(self, query_id: str) -> set[str]:
+        return self._home(query_id).result_ids(query_id)
+
+    def result_distances(self, query_id: str) -> dict[str, float | None]:
+        return self._home(query_id).result_distances(query_id)
+
+    def results(self) -> dict[str, set[str]]:
+        out: dict[str, set[str]] = {}
+        for shard in self.shards:
+            out.update(shard.results())
+        return out
+
+    def query_ids(self) -> list[str]:
+        return list(self._homes)
+
+    def query_spec(self, query_id: str) -> tuple[str, Point, float | int]:
+        return self._home(query_id).query_spec(query_id)
+
+    def __len__(self) -> int:
+        return len(self._homes)
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._homes
+
+    @property
+    def stats(self) -> MonitorStats:
+        """Aggregated work accounting across all shards.
+
+        Pair-level counters sum (each shard evaluated its own pairs);
+        per-monitor observations of shared state do not: ``updates_seen``
+        counts each routed update once (not once per ingesting shard)
+        and ``topology_invalidations`` counts each ``topology_version``
+        bump once (every shard sees the same bumps).
+        """
+        merged = MonitorStats()
+        for shard in self.shards:
+            merged = merged.merge(shard.stats)
+        merged.updates_seen = self._updates_seen
+        merged.topology_invalidations = max(
+            (s.stats.topology_invalidations for s in self.shards),
+            default=0,
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # routed mutation paths
+    # ------------------------------------------------------------------
+
+    def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
+        """Absorb a batch of position updates: one shared index update,
+        then per-shard maintenance of only the updates that can affect
+        each shard."""
+        fh = self.index.space.floor_height
+        old_boxes = {
+            oid: _object_box(self.index.population.get(oid), fh)
+            for oid in {move.object_id for move in moves}
+        }
+        # update_objects owns the last-write-wins dedupe: it returns
+        # (and the monitor pairs against) one object per unique id.
+        moved = self.index.update_objects(moves)
+        batch = DeltaBatch(moved=tuple(moved))
+        if not moved:
+            # An idle tick is not a routing decision: flush parked
+            # deltas but keep the skip statistics honest.
+            for shard in self.shards:
+                batch = batch.merge(shard.drain_pending_deltas())
+            return batch
+        new_boxes = {
+            obj.object_id: _object_box(obj, fh) for obj in moved
+        }
+        self._updates_seen += len(moved)
+        self.routing.batches_routed += 1
+        for shard in self.shards:
+            reach = self._reach_of(shard)
+            if reach is None:
+                # No standing queries: nothing to route, but a parked
+                # delta (the last query's deregister) still flows.
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            if math.isinf(reach.radius):
+                relevant = moved
+            else:
+                relevant = [
+                    obj
+                    for obj in moved
+                    if reach.may_affect(old_boxes[obj.object_id])
+                    or reach.may_affect(new_boxes[obj.object_id])
+                ]
+            if not relevant:
+                # Skipped: no pair is evaluated, but parked deltas
+                # (registrations, out-of-band resyncs) still flow.
+                self.routing.shards_skipped += 1
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            self.routing.shard_visits += 1
+            # Filtered updates are only counted for shards that
+            # actually ran — a whole-shard skip is its own statistic.
+            self.routing.updates_filtered += len(moved) - len(relevant)
+            shard_batch = shard.ingest_moves(relevant)
+            # Keep only the deltas: `moved` is already carried once at
+            # the top level (shards each re-list their routed subset).
+            batch = batch.merge(DeltaBatch(deltas=shard_batch.deltas))
+        return batch
+
+    def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
+        """A brand-new object appears: only shards it can reach run."""
+        fh = self.index.space.floor_height
+        self.index.insert_object(obj)
+        self._updates_seen += 1
+        self.routing.batches_routed += 1
+        box = _object_box(obj, fh)
+        batch = DeltaBatch()
+        for shard in self.shards:
+            reach = self._reach_of(shard)
+            if reach is None:
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            if not reach.may_affect(box):
+                self.routing.shards_skipped += 1
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            self.routing.shard_visits += 1
+            batch = batch.merge(shard.ingest_insert(obj))
+        return batch
+
+    def apply_delete(self, object_id: str) -> DeltaBatch:
+        """An object disappears: shards it provably never belonged to
+        are skipped (a member is always within its query's reach)."""
+        fh = self.index.space.floor_height
+        obj = self.index.population.get(object_id)
+        box = _object_box(obj, fh)
+        deleted = self.index.delete_object(object_id)
+        self._updates_seen += 1
+        self.routing.batches_routed += 1
+        batch = DeltaBatch(deleted=deleted)
+        for shard in self.shards:
+            reach = self._reach_of(shard)
+            if reach is None:
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            if not reach.may_affect(box):
+                self.routing.shards_skipped += 1
+                batch = batch.merge(shard.drain_pending_deltas())
+                continue
+            self.routing.shard_visits += 1
+            batch = batch.merge(shard.ingest_delete(object_id))
+        return batch
+
+    def apply_event(self, event: TopologyEvent) -> DeltaBatch:
+        """Topology events invalidate every cached search — all shards
+        resynchronise; there is nothing to skip."""
+        result = self.index.apply_event(event)
+        batch = DeltaBatch(event_result=result)
+        for shard in self.shards:
+            batch = batch.merge(shard.drain_pending_deltas())
+        return batch
+
+    def drain_pending_deltas(self) -> DeltaBatch:
+        """Registration/deregistration/out-of-band resync deltas from
+        every shard."""
+        batch = DeltaBatch()
+        for shard in self.shards:
+            batch = batch.merge(shard.drain_pending_deltas())
+        return batch
+
+    # ------------------------------------------------------------------
+
+    def _reach_of(self, shard: QueryMonitor) -> _ShardReach | None:
+        """The shard's current influence summary (``None`` when it has
+        no standing queries).  Recomputed per routed mutation — ikNNQ
+        thresholds move with every update, and the summary is a cheap
+        O(queries-in-shard) pass of pure arithmetic."""
+        radii = shard.influence_radii()
+        if not radii:
+            return None
+        fh = self.index.space.floor_height
+        minx = miny = minz = math.inf
+        maxx = maxy = maxz = -math.inf
+        radius = 0.0
+        for _qid, q, reach in radii:
+            minx, maxx = min(minx, q.x), max(maxx, q.x)
+            miny, maxy = min(miny, q.y), max(maxy, q.y)
+            z = q.z(fh)
+            minz, maxz = min(minz, z), max(maxz, z)
+            radius = max(radius, reach)
+        return _ShardReach(
+            Box3(minx, miny, minz, maxx, maxy, maxz), radius
+        )

@@ -114,3 +114,33 @@ class TestReporting:
         r.add("s1", 2.0)
         assert "Panel" in r.to_table()
         assert "s1" in r.to_table()
+
+
+class TestStreamScenarios:
+    def test_run_stream_reports_sharded_stats(self, tiny_factory):
+        """Regression: ShardedMonitor.stats is a computed snapshot, so
+        run_stream must re-read it after the loop (a pre-loop capture
+        reported all zeros for sharded scenarios)."""
+        from repro.bench.workloads import run_stream
+        from repro.queries import ShardedMonitor
+
+        scenario = tiny_factory.stream_scenario(
+            n_irq=1, n_iknn=1, n_shards=2
+        )
+        assert isinstance(scenario.monitor, ShardedMonitor)
+        report = run_stream(scenario, n_batches=2, batch_size=5)
+        assert report.updates == 10
+        assert report.stats.updates_seen == 10
+        assert report.stats.pairs_evaluated > 0
+        assert report.updates_per_sec > 0
+
+    def test_stream_scenario_zero_range_respected(self, tiny_factory):
+        """Regression: an explicit query_range=0.0 must not be replaced
+        by the profile default (falsy-zero bug)."""
+        scenario = tiny_factory.stream_scenario(
+            n_irq=1, n_iknn=1, query_range=0.0, k=1
+        )
+        _, _, r = scenario.monitor.query_spec(scenario.irq_ids[0])
+        assert r == 0.0
+        _, _, k = scenario.monitor.query_spec(scenario.knn_ids[0])
+        assert k == 1

@@ -5,7 +5,9 @@ import pytest
 from repro.errors import GeometryError
 from repro.geometry import Circle, Point, Polygon, Rect
 from repro.geometry.decompose import (
+    _trace_cell_outline,
     decompose_partition_geometry,
+    fill_enclosed_cells,
     rectilinearize,
 )
 
@@ -126,3 +128,33 @@ class TestRectilinearize:
         tri = Polygon([(0, 0), (4, 0), (2, 3)])
         with pytest.raises(GeometryError):
             rectilinearize(tri, resolution=1)
+
+
+class TestHoleyCellSets:
+    """Regression: a 4-connected cell set enclosing a hole used to
+    mis-trace (the hole boundary is a second ring; a diagonally
+    pinching hole even makes boundary vertices non-manifold)."""
+
+    # A 3x3 ring: (1, 1) is an enclosed hole.
+    RING = {(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)}
+    # The hypothesis-found shape: hole at (1, 0), pinching at a corner.
+    PINCHED = {(0, -1), (0, 0), (0, 1), (1, -1), (1, 1), (2, 0), (2, 1)}
+
+    def test_fill_enclosed_cells(self):
+        assert fill_enclosed_cells(self.RING) == self.RING | {(1, 1)}
+        assert fill_enclosed_cells(self.PINCHED) == self.PINCHED | {(1, 0)}
+        assert fill_enclosed_cells(set()) == set()
+        solid = {(0, 0), (1, 0)}
+        assert fill_enclosed_cells(solid) == solid
+
+    @pytest.mark.parametrize("cells", [RING, PINCHED], ids=["ring", "pinch"])
+    def test_holey_input_raises_instead_of_mistracing(self, cells):
+        with pytest.raises(GeometryError):
+            _trace_cell_outline(cells, 0.0, 0.0, 1.0, 1.0)
+
+    @pytest.mark.parametrize("cells", [RING, PINCHED], ids=["ring", "pinch"])
+    def test_filled_outline_area_is_exact(self, cells):
+        filled = fill_enclosed_cells(cells)
+        poly = _trace_cell_outline(filled, 0.0, 0.0, 1.0, 1.0)
+        assert poly.area == len(filled)
+        assert poly.is_rectilinear()

@@ -133,6 +133,32 @@ class TestObjectOps:
         units = idx.otable.units_of("a")
         assert {idx.htable.partition_of(u) for u in units} == {"r5"}
 
+    def test_update_objects_dedupes_duplicate_moves(self, five_rooms):
+        """A batch carrying several moves for one object applies
+        last-write-wins and diffs the object exactly once."""
+        from repro.objects import ObjectMove
+
+        idx = CompositeIndex.build(five_rooms)
+        idx.insert_object(point_obj("a", 5, 5))  # r1
+        moves = [
+            ObjectMove(
+                "a",
+                Circle(Point(15, 12, 0), 1.0),
+                InstanceSet.uniform(np.array([[15.0, 12.0]]), 0),
+            ),
+            ObjectMove(  # last write: back into r1
+                "a",
+                Circle(Point(6, 5, 0), 1.0),
+                InstanceSet.uniform(np.array([[6.0, 5.0]]), 0),
+            ),
+        ]
+        moved = idx.update_objects(moves)
+        assert [obj.object_id for obj in moved] == ["a"]
+        assert idx.population.get("a").region.center == Point(6.0, 5.0, 0)
+        units = idx.otable.units_of("a")
+        assert {idx.htable.partition_of(u) for u in units} == {"r1"}
+        assert not idx.validate()
+
     def test_straddling_object_in_multiple_buckets(self, five_rooms):
         idx = CompositeIndex.build(five_rooms)
         obj = UncertainObject(

@@ -1,0 +1,75 @@
+"""Shared scenario machinery for the continuous-monitoring property
+tests: randomized floorplans, standing-query registration and the
+from-scratch equivalence assertion.  Used by
+``test_prop_monitor.py`` (single monitor vs oracle) and
+``test_prop_deltas.py`` (delta replay + sharded equivalence)."""
+
+import math
+
+import pytest
+
+from repro.baselines import NaiveEvaluator
+from repro.index import CompositeIndex
+from repro.objects import ObjectGenerator
+from repro.queries import iRQ
+from repro.space.mall import build_mall
+
+
+def build_world(seed: int, n_objects: int):
+    """A randomized floorplan + population + monitor-ready index.
+
+    Deterministic in ``seed``: calling twice yields two *independent*
+    but identical worlds (same spaces, same object ids and positions) —
+    the sharded-equivalence tests run twin worlds in lockstep.
+    """
+    space = build_mall(
+        floors=1 + seed % 2,
+        bands=2,
+        rooms_per_band_side=2 + seed % 2,
+        floor_size=100.0,
+        hallway_width=4.0,
+        stair_size=10.0,
+        seed=seed,
+    )
+    gen = ObjectGenerator(space, radius=3.0, n_instances=6, seed=seed)
+    pop = gen.generate(n_objects)
+    index = CompositeIndex.build(space, pop)
+    return space, gen, pop, index
+
+
+def register_random_queries(monitor, space, rng):
+    """Two standing iRQs and two ikNNQs at random points/parameters."""
+    irqs = [
+        (monitor.register_irq(q, r), q, r)
+        for q, r in (
+            (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
+            (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
+        )
+    ]
+    knns = [
+        (monitor.register_iknn(q, k), q, k)
+        for q, k in (
+            (space.random_point(rng=rng), rng.randint(2, 8)),
+            (space.random_point(rng=rng), rng.randint(2, 8)),
+        )
+    ]
+    return irqs, knns
+
+
+def assert_equivalent(monitor, space, pop, index, irqs, knns):
+    """The monitor's maintained results equal from-scratch execution:
+    iRQ by exact set equality, ikNNQ tie-aware."""
+    oracle = NaiveEvaluator(space, pop)
+    for qid, q, r in irqs:
+        got = monitor.result_ids(qid)
+        assert got == iRQ(q, r, index).ids()
+        assert got == oracle.range_query(q, r)
+    for qid, q, k in knns:
+        exact = oracle.all_distances(q)
+        kth = oracle.kth_distance(q, k)
+        got = monitor.result_distances(qid)
+        reachable = sum(1 for d in exact.values() if math.isfinite(d))
+        assert len(got) == min(k, reachable)
+        for oid, d in got.items():
+            assert exact[oid] <= kth + 1e-6
+            assert exact[oid] == pytest.approx(d, abs=1e-6)

@@ -1,0 +1,131 @@
+"""Properties of the delta serving subsystem.
+
+Two contracts, over fully randomized scenarios (floorplan, standing
+queries, movement stream, interleaved inserts/deletes):
+
+* **Delta replay** — folding every emitted
+  :class:`~repro.queries.deltas.ResultDelta` for a query, starting from
+  the empty state at registration time, reproduces the monitor's
+  current result exactly (membership *and* stored distances) after
+  every batch, while the monitor itself stays equivalent to
+  from-scratch execution.
+* **Sharded equivalence** — a ``ShardedMonitor(n_shards=4)`` driven
+  with the same mutation sequence as a single ``QueryMonitor`` over a
+  twin world produces identical result sets for identically registered
+  standing queries, its own deltas replay too, and its router never
+  skips a shard it should have visited (equivalence is the proof).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from monitor_world import (
+    assert_equivalent,
+    build_world,
+    register_random_queries,
+)
+from repro.objects import MovementStream
+from repro.queries import QueryMonitor, ShardedMonitor, replay_deltas
+
+
+class _Replayer:
+    """Folds every delta a monitor emits into per-query states."""
+
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self.states: dict[str, dict] = {}
+        self.absorb(monitor.drain_pending_deltas())  # register deltas
+
+    def absorb(self, batch):
+        for delta in batch:
+            state = self.states.setdefault(delta.query_id, {})
+            delta.apply_to(state)
+
+    def assert_matches(self):
+        for qid in self.monitor.query_ids():
+            assert self.states.get(qid, {}) == \
+                self.monitor.result_distances(qid)
+
+
+class TestDeltaReplay:
+    @given(seed=st.integers(0, 10_000))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_replayed_deltas_reproduce_results(self, seed):
+        space, gen, pop, index = build_world(seed, n_objects=25)
+        monitor = QueryMonitor(index)
+        rng = random.Random(seed ^ 0xD31A)
+        irqs, knns = register_random_queries(monitor, space, rng)
+        replay = _Replayer(monitor)
+        replay.assert_matches()
+        stream = MovementStream(space, pop, gen, seed=seed + 1)
+        for batch in stream.batches(3, 8):
+            replay.absorb(monitor.apply_moves(batch))
+            action = rng.random()
+            if action < 0.3:
+                replay.absorb(monitor.apply_insert(gen.generate_one()))
+            elif action < 0.5 and len(pop) > 15:
+                replay.absorb(
+                    monitor.apply_delete(rng.choice(sorted(pop.ids())))
+                )
+            replay.assert_matches()
+            assert_equivalent(monitor, space, pop, index, irqs, knns)
+
+    def test_replay_deltas_helper_folds_in_order(self):
+        """replay_deltas is the documented one-call fold."""
+        from repro.queries import ResultDelta
+
+        deltas = [
+            ResultDelta("q", "register", {"a": 1.0, "b": 2.0}),
+            ResultDelta("q", "move", {"c": 3.0}, ("a",), {"b": 1.5}),
+            ResultDelta("q", "delete", {}, ("c",)),
+        ]
+        assert replay_deltas(deltas) == {"b": 1.5}
+
+
+class TestShardedEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_matches_single_monitor(self, seed):
+        # Twin worlds: same seed, independent indexes/populations.
+        space, gen, pop, index = build_world(seed, n_objects=25)
+        space2, _gen2, pop2, index2 = build_world(seed, n_objects=25)
+        assert sorted(pop.ids()) == sorted(pop2.ids())
+        monitor = QueryMonitor(index)
+        sharded = ShardedMonitor(index2, n_shards=4)
+        rng = random.Random(seed ^ 0x54A2)
+        irqs, knns = register_random_queries(monitor, space, rng)
+        for qid, q, r in irqs:
+            sharded.register_irq(q, r, query_id=qid)
+        for qid, q, k in knns:
+            sharded.register_iknn(q, k, query_id=qid)
+        replay = _Replayer(sharded)
+
+        # One stream drives both monitors: moves carry absolute
+        # positions, so the twin worlds stay in lockstep.
+        stream = MovementStream(space, pop, gen, seed=seed + 1)
+        for batch in stream.batches(4, 6):
+            monitor.apply_moves(batch)
+            replay.absorb(sharded.apply_moves(batch))
+            if rng.random() < 0.4 and len(pop) > 15:
+                victim = rng.choice(sorted(pop.ids()))
+                monitor.apply_delete(victim)
+                replay.absorb(sharded.apply_delete(victim))
+            for qid, _q, _p in irqs + knns:
+                assert sharded.result_ids(qid) == monitor.result_ids(qid)
+                assert sharded.result_distances(qid) == \
+                    monitor.result_distances(qid)
+            replay.assert_matches()
+            assert_equivalent(sharded, space2, pop2, index2, irqs, knns)
+        # The sharded monitor never evaluates more pairs than the
+        # single one — the router only removes work.
+        assert sharded.stats.pairs_evaluated <= monitor.stats.pairs_evaluated

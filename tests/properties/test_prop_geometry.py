@@ -11,6 +11,7 @@ from repro.geometry.decompose import (
     _components,
     _trace_cell_outline,
     decompose_partition_geometry,
+    fill_enclosed_cells,
 )
 
 coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
@@ -28,8 +29,11 @@ def rects(draw):
 
 @st.composite
 def cell_regions(draw):
-    """A random 4-connected set of unit grid cells (a rectilinear
-    region), used to exercise outline tracing and decomposition."""
+    """A random 4-connected, simply connected set of unit grid cells (a
+    rectilinear region), used to exercise outline tracing and
+    decomposition.  The random walk can enclose holes, which a single
+    outline ring cannot represent — they are filled, exactly as
+    production callers (``rectilinearize``) do."""
     n = draw(st.integers(1, 18))
     cells = {(0, 0)}
     for _ in range(n):
@@ -38,7 +42,7 @@ def cell_regions(draw):
             st.sampled_from([(1, 0), (-1, 0), (0, 1), (0, -1)])
         )
         cells.add((base[0] + dx, base[1] + dy))
-    return max(_components(cells), key=len)
+    return fill_enclosed_cells(max(_components(cells), key=len))
 
 
 class TestRectProperties:

@@ -7,74 +7,23 @@ population — iRQ by exact set equality, ikNNQ tie-aware (same size,
 every member within the oracle's k-th distance, exact distances agree).
 Scenarios are fully randomized: the floorplan itself, the standing
 query parameters, the movement stream, and (in the heavy tier-2
-variant) interleaved topology events and inserts/deletes."""
+variant) interleaved topology events and inserts/deletes.  The shared
+scenario machinery lives in ``monitor_world.py``."""
 
-import math
 import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import NaiveEvaluator
-from repro.index import CompositeIndex
-from repro.objects import MovementStream, ObjectGenerator
-from repro.queries import QueryMonitor, iRQ
+from monitor_world import (
+    assert_equivalent,
+    build_world,
+    register_random_queries,
+)
+from repro.objects import MovementStream
+from repro.queries import QueryMonitor
 from repro.space.events import CloseDoor, OpenDoor
-from repro.space.mall import build_mall
-
-
-def _build_world(seed: int, n_objects: int):
-    """A randomized floorplan + population + monitor-ready index."""
-    space = build_mall(
-        floors=1 + seed % 2,
-        bands=2,
-        rooms_per_band_side=2 + seed % 2,
-        floor_size=100.0,
-        hallway_width=4.0,
-        stair_size=10.0,
-        seed=seed,
-    )
-    gen = ObjectGenerator(space, radius=3.0, n_instances=6, seed=seed)
-    pop = gen.generate(n_objects)
-    index = CompositeIndex.build(space, pop)
-    return space, gen, pop, index
-
-
-def _register_random_queries(monitor, space, rng):
-    """Two standing iRQs and two ikNNQs at random points/parameters."""
-    irqs = [
-        (monitor.register_irq(q, r), q, r)
-        for q, r in (
-            (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
-            (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
-        )
-    ]
-    knns = [
-        (monitor.register_iknn(q, k), q, k)
-        for q, k in (
-            (space.random_point(rng=rng), rng.randint(2, 8)),
-            (space.random_point(rng=rng), rng.randint(2, 8)),
-        )
-    ]
-    return irqs, knns
-
-
-def _assert_equivalent(monitor, space, pop, index, irqs, knns):
-    oracle = NaiveEvaluator(space, pop)
-    for qid, q, r in irqs:
-        got = monitor.result_ids(qid)
-        assert got == iRQ(q, r, index).ids()
-        assert got == oracle.range_query(q, r)
-    for qid, q, k in knns:
-        exact = oracle.all_distances(q)
-        kth = oracle.kth_distance(q, k)
-        got = monitor.result_distances(qid)
-        reachable = sum(1 for d in exact.values() if math.isfinite(d))
-        assert len(got) == min(k, reachable)
-        for oid, d in got.items():
-            assert exact[oid] <= kth + 1e-6
-            assert exact[oid] == pytest.approx(d, abs=1e-6)
 
 
 class TestMonitorEquivalence:
@@ -85,14 +34,14 @@ class TestMonitorEquivalence:
         suppress_health_check=[HealthCheck.too_slow],
     )
     def test_streamed_updates_match_from_scratch(self, seed):
-        space, gen, pop, index = _build_world(seed, n_objects=30)
+        space, gen, pop, index = build_world(seed, n_objects=30)
         monitor = QueryMonitor(index)
         rng = random.Random(seed)
-        irqs, knns = _register_random_queries(monitor, space, rng)
+        irqs, knns = register_random_queries(monitor, space, rng)
         stream = MovementStream(space, pop, gen, seed=seed + 1)
         for batch in stream.batches(3, 8):
             monitor.apply_moves(batch)
-            _assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_equivalent(monitor, space, pop, index, irqs, knns)
         # The equivalence must not have been bought by recomputing
         # everything: bounds decided at least one pair.
         assert monitor.stats.recompute_ratio < 1.0
@@ -111,10 +60,10 @@ class TestMonitorEquivalenceHeavy:
         suppress_health_check=[HealthCheck.too_slow],
     )
     def test_chaotic_stream_matches_from_scratch(self, seed):
-        space, gen, pop, index = _build_world(seed, n_objects=60)
+        space, gen, pop, index = build_world(seed, n_objects=60)
         monitor = QueryMonitor(index)
         rng = random.Random(seed ^ 0xBEEF)
-        irqs, knns = _register_random_queries(monitor, space, rng)
+        irqs, knns = register_random_queries(monitor, space, rng)
         stream = MovementStream(space, pop, gen, seed=seed + 1)
         closed: list[str] = []
         for i, batch in enumerate(stream.batches(6, 12)):
@@ -132,5 +81,5 @@ class TestMonitorEquivalenceHeavy:
                 monitor.apply_insert(gen.generate_one())
             elif action < 0.7 and len(pop) > 20:
                 monitor.apply_delete(rng.choice(sorted(pop.ids())))
-            _assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_equivalent(monitor, space, pop, index, irqs, knns)
         assert monitor.stats.recompute_ratio < 1.0

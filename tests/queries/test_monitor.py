@@ -96,6 +96,23 @@ class TestRegistration:
         with pytest.raises(QueryError):
             monitor.register_iknn(Q1, 0)
 
+    def test_failed_registration_leaves_no_trace(self, five_rooms_index):
+        """Regression: a query point outside every partition raises on
+        first execution; the half-registered query must not linger and
+        poison every later mutation (nor hold a session pin)."""
+        monitor = QueryMonitor(five_rooms_index)
+        outside = Point(-500.0, -500.0, 0)
+        with pytest.raises(QueryError):
+            monitor.register_irq(outside, 10.0)
+        with pytest.raises(QueryError):
+            monitor.register_iknn(outside, 2)
+        assert len(monitor) == 0
+        assert not monitor.drain_pending_deltas()
+        assert monitor.session.cache_size == 0  # nothing cached or pinned
+        a = monitor.register_irq(Q1, 10.0)  # the monitor still works
+        monitor.apply_moves([_point_move("far", 6.0, 6.0)])
+        assert monitor.result_ids(a) == {"near", "mid", "far"}
+
     def test_query_spec_round_trip(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
         a = monitor.register_irq(Q1, 10.0)
@@ -317,6 +334,160 @@ class TestSessionCachedVersion:
         session.irq(Q1, 10.0)
         assert session._cached_version == five_rooms.topology_version
         assert session.misses == 2  # the bump emptied the cache
+
+
+class TestDeregisterEvictsSessionCache:
+    """Regression: deregistering a standing query used to leak its
+    cached full Dijkstra in the QuerySession memo forever."""
+
+    def test_cache_shrinks_on_deregister(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        b = monitor.register_irq(Point(25.0, 5.0, 0), 10.0)
+        assert monitor.session.cache_size == 2
+        monitor.deregister(a)
+        assert monitor.session.cache_size == 1
+        monitor.deregister(b)
+        assert monitor.session.cache_size == 0
+
+    def test_shared_point_keeps_cache_until_last(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        b = monitor.register_iknn(Q1, 2)  # same point, shared search
+        assert monitor.session.cache_size == 1
+        monitor.deregister(a)
+        assert monitor.session.cache_size == 1  # b still needs it
+        monitor.deregister(b)
+        assert monitor.session.cache_size == 0
+
+    def test_shared_session_pins_across_monitors(self, five_rooms_index):
+        """Pins live on the session, not the monitor: two monitors
+        sharing one session must not evict each other's searches."""
+        session = QuerySession(five_rooms_index)
+        m1 = QueryMonitor(five_rooms_index, session=session)
+        m2 = QueryMonitor(five_rooms_index, session=session)
+        a = m1.register_irq(Q1, 10.0)
+        b = m2.register_irq(Q1, 20.0)  # same point, other monitor
+        assert session.cache_size == 1
+        m1.deregister(a)
+        assert session.cache_size == 1  # m2 still pins the point
+        # ...and m2 keeps serving from the cache, not re-searching.
+        hits = session.hits
+        m2.apply_moves([_point_move("near", 4.5, 5.0)])
+        assert session.hits > hits and session.misses == 1
+        m2.deregister(b)
+        assert session.cache_size == 0
+
+    def test_evict_respects_pins(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_irq(Q1, 10.0)
+        assert not monitor.session.evict(Q1)  # pinned: refused
+        assert monitor.session.cache_size == 1
+
+    def test_stray_unpin_keeps_adhoc_cache(self, five_rooms_index):
+        """A zero-pin unpin must not evict an entry that ad-hoc (never
+        pinned) session queries are still reusing."""
+        session = QuerySession(five_rooms_index)
+        session.irq(Q1, 10.0)  # cached, unpinned
+        assert not session.unpin(Q1)
+        assert session.cache_size == 1
+
+    def test_churning_queries_stay_bounded(self, five_rooms_index,
+                                           five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        rng = __import__("random").Random(3)
+        for _ in range(12):
+            qid = monitor.register_irq(
+                five_rooms.random_point(rng=rng), 10.0
+            )
+            monitor.deregister(qid)
+        assert monitor.session.cache_size == 0
+
+
+class TestBelowK:
+    """The surviving population dropping below k: the result shrinks
+    legitimately, tau goes infinite, later arrivals refill it."""
+
+    def test_delete_below_k_shrinks_then_refills(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 3)  # exactly the population size
+        assert monitor.result_ids(b) == {"near", "mid", "far"}
+        monitor.apply_delete("far")
+        assert monitor.result_ids(b) == {"near", "mid"}
+        monitor.apply_delete("mid")
+        assert monitor.result_ids(b) == {"near"}
+        # An unfull result admits any reachable newcomer.
+        monitor.apply_insert(_point_object("new", 5.0, 4.0))
+        assert monitor.result_ids(b) == {"near", "new"}
+
+    def test_unreachable_survivors_never_poison_tau(self, five_rooms_index,
+                                                    five_rooms):
+        from repro.space.events import CloseDoor
+
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register_iknn(Q1, 3)
+        # r3 loses its only door: "far" becomes unreachable and must
+        # drop out (not linger with an infinite stored distance).
+        monitor.apply_event(CloseDoor("d3"))
+        assert monitor.result_ids(b) == {"near", "mid"}
+        assert all(
+            math.isfinite(d)
+            for d in monitor.result_distances(b).values()
+        )
+        # A member deletion below k recomputes cleanly...
+        monitor.apply_delete("near")
+        assert monitor.result_ids(b) == {"mid"}
+        # ...and maintenance keeps working on the shrunken result.
+        monitor.apply_moves([_point_move("mid", 7.0, 5.0)])
+        assert monitor.result_ids(b) == {"mid"}
+
+    def test_member_walking_unreachable_falls_back(self, five_rooms_index,
+                                                   five_rooms):
+        from repro.space.events import CloseDoor
+
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.apply_event(CloseDoor("d3"))  # r3 sealed, "far" gone
+        b = monitor.register_iknn(Q1, 2)
+        assert monitor.result_ids(b) == {"near", "mid"}
+        # A member walks into the hallway-adjacent room r2 — fine — and
+        # then the sealed room cannot be entered, so instead send it to
+        # r4: still reachable, still a member or not by distance.
+        monitor.apply_moves([_point_move("near", 5.0, 20.0)])  # r4
+        assert monitor.result_ids(b) == {"near", "mid"}
+        assert all(
+            math.isfinite(d)
+            for d in monitor.result_distances(b).values()
+        )
+
+
+class TestDuplicateMovesInBatch:
+    """Regression: duplicate moves for one object in a single batch are
+    absorbed last-write-wins, producing a single diff and delta."""
+
+    def test_last_write_wins_no_net_change(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        monitor.drain_pending_deltas()
+        batch = monitor.apply_moves([
+            _point_move("far", 6.0, 6.0),    # would enter...
+            _point_move("far", 25.0, 5.0),   # ...but ends where it began
+        ])
+        assert [obj.object_id for obj in batch.moved] == ["far"]
+        assert monitor.stats.updates_seen == 1  # one diff, one pair-set
+        assert not batch  # no net result change, no delta
+        assert monitor.result_ids(a) == {"near", "mid"}
+
+    def test_last_write_wins_enters_once(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register_irq(Q1, 10.0)
+        monitor.drain_pending_deltas()
+        batch = monitor.apply_moves([
+            _point_move("far", 25.0, 8.0),   # stale observation
+            _point_move("far", 6.0, 6.0),    # final position: in range
+        ])
+        (delta,) = batch.for_query(a)
+        assert set(delta.entered) == {"far"}
+        assert monitor.result_ids(a) == {"near", "mid", "far"}
 
 
 class TestStreamedEquivalence:

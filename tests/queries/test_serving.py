@@ -1,0 +1,246 @@
+"""Unit tests for the asyncio serving layer: subscription lifecycle,
+delta fan-out, snapshot priming, and the serve() driver loop."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import QueryError
+from repro.geometry import Circle, Point
+from repro.index import CompositeIndex
+from repro.objects import (
+    InstanceSet,
+    MovementStream,
+    ObjectGenerator,
+    ObjectPopulation,
+    UncertainObject,
+)
+from repro.objects.population import ObjectMove
+from repro.queries import (
+    MonitorServer,
+    QueryMonitor,
+    ShardedMonitor,
+    replay_deltas,
+)
+from repro.space.events import CloseDoor
+
+
+def _point_object(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return UncertainObject(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+def _point_move(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return ObjectMove(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+@pytest.fixture
+def five_rooms_index(five_rooms):
+    pop = ObjectPopulation(five_rooms)
+    pop.insert(_point_object("near", 4.0, 5.0))
+    pop.insert(_point_object("mid", 8.0, 5.0))
+    pop.insert(_point_object("far", 25.0, 5.0))
+    return CompositeIndex.build(five_rooms, pop)
+
+
+Q1 = Point(5.0, 5.0, 0)
+
+
+class TestSubscriptions:
+    def test_snapshot_primes_feed(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a)
+            delta = await sub.next_delta()
+            assert delta.cause == "snapshot"
+            assert set(delta.entered) == {"near", "mid"}
+            assert sub.delivered == 1
+
+        asyncio.run(run())
+
+    def test_unknown_query_rejected(self, five_rooms_index):
+        server = MonitorServer(QueryMonitor(five_rooms_index))
+        with pytest.raises(QueryError):
+            server.subscribe("nope")
+
+    def test_mutations_fan_out_to_subscribers(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            b = server.register_iknn(Q1, 2)
+            sub_a = server.subscribe(a, snapshot=False)
+            sub_b = server.subscribe(b, snapshot=False)
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            delta = await sub_a.next_delta()
+            assert delta.query_id == a and "far" in delta.entered
+            delta = await sub_b.next_delta()
+            assert delta.query_id == b and "far" in delta.entered
+            assert sub_a.pending == 0
+
+        asyncio.run(run())
+
+    def test_replaying_feed_reconstructs_result(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a)  # snapshot makes replay complete
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            await server.apply_insert(_point_object("new", 5.0, 4.0))
+            await server.apply_delete("mid")
+            await server.apply_event(CloseDoor("d12"))
+            server.close()
+            deltas = [d async for d in sub]
+            assert replay_deltas(deltas) == \
+                server.monitor.result_distances(a)
+
+        asyncio.run(run())
+
+    def test_pending_excludes_close_sentinel(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a)  # snapshot queued
+            assert sub.pending == 1
+            server.close()
+            assert sub.pending == 1  # the sentinel is not backlog
+            assert (await sub.next_delta()).cause == "snapshot"
+            assert sub.pending == 0
+            assert await sub.next_delta() is None
+            assert sub.pending == 0
+
+        asyncio.run(run())
+
+    def test_unsubscribe_ends_iteration(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a, snapshot=False)
+            server.unsubscribe(sub)
+            assert await sub.next_delta() is None
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            assert sub.closed and sub.pending == 0
+
+        asyncio.run(run())
+
+    def test_deregister_pushes_final_delta_and_closes(
+        self, five_rooms_index
+    ):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a, snapshot=False)
+            server.deregister(a)
+            delta = await sub.next_delta()
+            assert delta.cause == "deregister"
+            assert set(delta.left) == {"near", "mid"}
+            assert await sub.next_delta() is None
+
+        asyncio.run(run())
+
+    def test_closed_server_rejects_mutations(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            server.close()
+            with pytest.raises(QueryError):
+                await server.apply_moves([])
+            # A post-close subscription would hang its consumer forever
+            # (nothing can ever publish or close it): refuse it instead.
+            with pytest.raises(QueryError):
+                server.subscribe(a)
+
+        asyncio.run(run())
+
+
+class TestServeLoop:
+    def test_serve_reports_and_feeds_subscribers(self, small_mall):
+        gen = ObjectGenerator(small_mall, radius=3.0, n_instances=8, seed=3)
+        pop = gen.generate(30)
+        index = CompositeIndex.build(small_mall, pop)
+        server = MonitorServer(ShardedMonitor(index, n_shards=2))
+        q = small_mall.random_point(seed=8)
+        a = server.register_irq(q, 45.0)
+        b = server.register_iknn(q, 4)
+        stream = MovementStream(small_mall, pop, gen, seed=13)
+
+        async def run():
+            sub = server.subscribe(a)
+            consumed: list = []
+
+            async def consume():
+                async for delta in sub:
+                    consumed.append(delta)
+
+            task = asyncio.ensure_future(consume())
+            report = await server.serve(stream, n_batches=4, batch_size=10)
+            server.close()
+            await task
+            return report, consumed
+
+        report, consumed = asyncio.run(run())
+        assert report.batches == 4
+        assert report.updates == 40
+        assert report.updates_per_sec > 0
+        # Every published delta for `a` reached the subscriber, and the
+        # replayed feed (snapshot included) equals the live result.
+        assert replay_deltas(consumed) == server.monitor.result_distances(a)
+        assert server.deltas_published >= report.deltas_published
+        assert b in server.monitor  # untouched by the close
+
+    def test_on_batch_hook_can_mutate(self, five_rooms_index, five_rooms):
+        """The per-batch hook interleaves topology events (sync or
+        async) with the served stream."""
+        gen = ObjectGenerator(five_rooms, radius=1.0, n_instances=4, seed=2)
+        server = MonitorServer(QueryMonitor(five_rooms_index))
+        a = server.register_irq(Q1, 40.0)
+        stream = MovementStream(
+            five_rooms, five_rooms_index.population, gen, seed=5
+        )
+        seen: list[int] = []
+
+        async def on_batch(batch_no, batch):
+            seen.append(batch_no)
+            if batch_no == 0:
+                await server.apply_event(CloseDoor("d3"))
+
+        async def run():
+            return await server.serve(
+                stream, n_batches=2, batch_size=2, on_batch=on_batch
+            )
+
+        asyncio.run(run())
+        assert seen == [0, 1]
+        assert "far" not in server.monitor.result_ids(a)
+
+    def test_subscribe_flushes_history(self, five_rooms_index, five_rooms):
+        """A feed begins at its own snapshot: the parked register delta
+        is flushed at subscribe time, not replayed into the new feed."""
+        gen = ObjectGenerator(five_rooms, radius=1.0, n_instances=4, seed=2)
+        server = MonitorServer(QueryMonitor(five_rooms_index))
+        a = server.register_irq(Q1, 10.0)
+        sub = server.subscribe(a, snapshot=False)
+        stream = MovementStream(
+            five_rooms, five_rooms_index.population, gen, seed=5
+        )
+
+        async def run():
+            await server.serve(stream, n_batches=1, batch_size=1)
+            server.close()
+            return [d async for d in sub]
+
+        deltas = asyncio.run(run())
+        assert all(d.cause != "register" for d in deltas)
+
+    def test_serve_counts_filtered_duplicates_once(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            server.register_irq(Q1, 10.0)
+            batch = await server.apply_moves([
+                _point_move("far", 6.0, 6.0),
+                _point_move("far", 25.0, 5.0),
+            ])
+            assert len(batch.moved) == 1  # last-write-wins, single diff
+
+        asyncio.run(run())

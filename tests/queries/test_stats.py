@@ -1,11 +1,11 @@
-"""Unit tests for QueryStats bookkeeping."""
+"""Unit tests for QueryStats and MonitorStats bookkeeping."""
 
 import pytest
 
 from repro.geometry import Point
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
-from repro.queries import QueryStats, iRQ
+from repro.queries import MonitorStats, QueryStats, iRQ
 
 
 class TestRatios:
@@ -64,6 +64,81 @@ class TestMerge:
         m = a.merge(b)
         assert m.filtering_ratio == pytest.approx(1 - 40 / 200)
         assert m.pruning_ratio == pytest.approx(1 - 15 / 200)
+
+
+class TestMonitorStatsUnits:
+    """Regression: ``recompute_ratio`` used to divide the query-level
+    fallback counter by the pair-level denominator.  The counters are
+    now split — pair-level ratios over pairs, query-level rates over
+    updates — and the pair counters partition ``pairs_evaluated``."""
+
+    def test_empty_stats_ratios(self):
+        s = MonitorStats()
+        assert s.recompute_ratio == 0.0
+        assert s.skip_ratio == 0.0
+        assert s.refine_ratio == 0.0
+        assert s.recomputes_per_update == 0.0
+
+    def test_pair_level_ratios_partition(self):
+        s = MonitorStats(
+            pairs_evaluated=10, pairs_skipped=6, pairs_refined=3,
+            pairs_recomputed=1,
+        )
+        assert s.skip_ratio == pytest.approx(0.6)
+        assert s.refine_ratio == pytest.approx(0.3)
+        assert s.recompute_ratio == pytest.approx(0.1)
+        assert (
+            s.pairs_skipped + s.pairs_refined + s.pairs_recomputed
+            == s.pairs_evaluated
+        )
+
+    def test_query_level_rate_uses_updates(self):
+        s = MonitorStats(updates_seen=20, full_recomputes=5)
+        assert s.recomputes_per_update == pytest.approx(0.25)
+
+    def test_merge_sums_counters(self):
+        a = MonitorStats(updates_seen=2, pairs_evaluated=4, pairs_skipped=3,
+                         pairs_refined=1, full_recomputes=1,
+                         deltas_emitted=2)
+        b = MonitorStats(updates_seen=3, pairs_evaluated=6, pairs_skipped=2,
+                         pairs_refined=2, pairs_recomputed=2,
+                         event_recomputes=1, topology_invalidations=1,
+                         deltas_emitted=1)
+        m = a.merge(b)
+        assert m.updates_seen == 5
+        assert m.pairs_evaluated == 10
+        assert m.pairs_skipped == 5
+        assert m.pairs_refined == 3
+        assert m.pairs_recomputed == 2
+        assert m.full_recomputes == 1
+        assert m.event_recomputes == 1
+        assert m.topology_invalidations == 1
+        assert m.deltas_emitted == 3
+        # merge does not mutate its inputs
+        assert a.updates_seen == 2 and b.updates_seen == 3
+
+    def test_monitor_partitions_pairs_on_real_stream(self, two_floor_space):
+        """The partition invariant holds on an actual monitored run."""
+        from repro.objects import MovementStream
+        from repro.queries import QueryMonitor
+
+        gen = ObjectGenerator(
+            two_floor_space, radius=2.0, n_instances=6, seed=3
+        )
+        pop = gen.generate(15)
+        index = CompositeIndex.build(two_floor_space, pop)
+        monitor = QueryMonitor(index)
+        monitor.register_irq(Point(5.0, 5.0, 0), 12.0)
+        monitor.register_iknn(Point(5.0, 5.0, 1), 4)
+        stream = MovementStream(two_floor_space, pop, gen, seed=4)
+        for batch in stream.batches(4, 6):
+            monitor.apply_moves(batch)
+        s = monitor.stats
+        assert s.pairs_evaluated == (
+            s.pairs_skipped + s.pairs_refined + s.pairs_recomputed
+        )
+        assert s.updates_seen == 24
+        assert 0.0 <= s.recompute_ratio <= 1.0
 
 
 class TestFallbackRecomputes:
