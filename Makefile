@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: tier1 tier2 test bench bench-stream bench-serving figures
+.PHONY: tier1 tier2 test bench bench-stream bench-serving \
+	bench-serving-parallel lint figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -23,10 +24,20 @@ bench-stream:
 	$(PYTHON) -m pytest -q -m tier2 benchmarks/bench_stream.py
 
 # The delta-serving benchmark (single vs sharded monitor).  The quick
-# CLI variant (`python benchmarks/bench_serving.py --quick`) is the CI
-# smoke gate.
+# CLI variant (`python benchmarks/bench_serving.py --quick --workers 2`)
+# is the CI smoke gate.
 bench-serving:
 	$(PYTHON) -m pytest -q -m tier2 benchmarks/bench_serving.py
+
+# Full serving profile with the worker-scaling (1/2/4) and
+# router-tightening (coarse vs bucketed) sweep, printed as a table.
+bench-serving-parallel:
+	$(PYTHON) benchmarks/bench_serving.py --workers 4
+
+# Same checks the CI lint job runs (requires ruff, pinned in ci.yml).
+lint:
+	ruff check .
+	ruff format --check .
 
 # Regenerate the paper's figure tables via the CLI harness.
 figures:

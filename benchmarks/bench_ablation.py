@@ -18,8 +18,6 @@ from repro.distances.bounds import (
 )
 from repro.distances.expected import classify_subregion_paths
 from repro.index import CompositeIndex, IndRTree
-from repro.queries import iRQ
-
 
 def test_bisector_fastpath(factory, save_table, benchmark):
     """A1: both classification routes agree; benchmark the bisector one."""

@@ -1,32 +1,35 @@
 """Serving benchmark — the delta-emitting sharded monitor vs a single
-monitor.
+monitor, across router and parallelism variants.
 
-Not a paper figure: this measures the PR-2 serving subsystem.  Two
-identical worlds are built (same seeds, independent indexes); one is
+Not a paper figure: this measures the PR-2/PR-3 serving subsystem.
+Identical worlds are built (same seeds, independent indexes); one is
 monitored by a single :class:`~repro.queries.monitor.QueryMonitor`, the
-other by a :class:`~repro.queries.shard.ShardedMonitor` behind an
-asyncio :class:`~repro.queries.serving.MonitorServer`.  The *same*
-absolute-position move batches drive both, so the comparison is
-apples-to-apples and the final results must agree exactly.
+others by :class:`~repro.queries.shard.ShardedMonitor` variants behind
+asyncio :class:`~repro.queries.serving.MonitorServer`\\ s.  The *same*
+absolute-position move batches drive every monitor, so the comparison
+is apples-to-apples and all results must agree exactly.
 
-Reported:
+Variants swept:
 
-* ``updates_per_sec`` — absorb throughput, single vs sharded;
-* ``deltas_per_sec`` / ``deltas_published`` — delta emission rate
-  through the server (per-query result *changes*, not result sets);
-* ``shard_skip_%`` — share of (batch, shard) routing decisions where
-  the Table III-compatible bound proved the shard untouched and it was
-  skipped outright;
-* ``pairs_single`` / ``pairs_sharded`` — pair evaluations actually
-  paid; the router only ever removes work.
+* ``coarse`` — sharded, single-bbox router (``bucketed_router=False``),
+  the PR-2 baseline;
+* ``sharded`` — sharded, tightened per-floor bucketed router (serial);
+* ``workers=N`` — same router, routed shard maintenance fanned out on
+  a thread pool (parallel ingest).
 
-Shape expectations asserted: the shard-skip ratio is > 0 (the router
-provably avoids untouched shards), the sharded monitor evaluates no
-more pairs than the single one, and both end bit-identical.
+Reported per variant: wall-clock + updates/sec, shard-skip ratio (and
+``bucket_skips`` — exclusions only the tightened router found), pair
+evaluations, deltas/sec through the server.
+
+Shape expectations asserted: every variant ends bit-identical to the
+single monitor *and* publishes the identical delta sequence (parallel
+merge is deterministic), the bucketed router skips at least as often
+as the coarse one, and no variant evaluates more pairs than the single
+monitor.
 
 Also runnable standalone (CI smoke)::
 
-    python benchmarks/bench_serving.py --quick
+    python benchmarks/bench_serving.py --quick --workers 2
 """
 
 import argparse
@@ -34,7 +37,7 @@ import asyncio
 import pathlib
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 if __name__ == "__main__":  # allow `python benchmarks/bench_serving.py`
     sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
@@ -52,6 +55,9 @@ pytestmark = pytest.mark.tier2
 #: small batches are what gives the router whole-shard skips to find.
 FULL = (50, 5, 6, 3, 4)
 QUICK = (4, 10, 4, 2, 4)
+
+#: Worker counts swept by the scaling run (1 == serial reference).
+WORKERS_GRID = (1, 2, 4)
 
 #: A deliberately small profile for the standalone --quick smoke run.
 SMOKE = ScaleProfile(
@@ -76,132 +82,271 @@ SMOKE = ScaleProfile(
 )
 
 
+@dataclass(frozen=True)
+class Variant:
+    """One sharded-monitor configuration under test."""
+
+    label: str
+    workers: int = 1
+    bucketed_router: bool = True
+
+
+#: The full sweep: router before/after, then worker scaling.
+FULL_VARIANTS = (
+    Variant("coarse", bucketed_router=False),
+    Variant("sharded"),
+) + tuple(Variant(f"workers={w}", workers=w) for w in WORKERS_GRID[1:])
+
+
 @dataclass
-class ServingComparison:
-    """Outcome of one single-vs-sharded run over identical streams."""
+class VariantResult:
+    """Outcome of one sharded variant over the shared stream."""
+
+    variant: Variant
+    elapsed_s: float
+    deltas_published: int
+    shard_skip_ratio: float
+    bucket_skips: int
+    updates_filtered: int
+    pairs: int
+    results_equal: bool
+    #: Per-batch delta tuples — the bit-identity evidence across
+    #: variants (deterministic routing + deterministic merge).
+    delta_history: tuple = field(repr=False, default=())
+
+
+@dataclass
+class ServingRun:
+    """One benchmark run: a single-monitor reference plus variants."""
 
     updates: int
     single_s: float
-    sharded_s: float
-    deltas_published: int
-    shard_skip_ratio: float
-    updates_filtered: int
     pairs_single: int
-    pairs_sharded: int
-    results_equal: bool
+    variants: list[VariantResult]
 
     @property
     def single_updates_per_sec(self) -> float:
         return self.updates / self.single_s if self.single_s else 0.0
 
-    @property
-    def sharded_updates_per_sec(self) -> float:
-        return self.updates / self.sharded_s if self.sharded_s else 0.0
+    def updates_per_sec(self, res: VariantResult) -> float:
+        return self.updates / res.elapsed_s if res.elapsed_s else 0.0
 
-    @property
-    def deltas_per_sec(self) -> float:
+    def deltas_per_sec(self, res: VariantResult) -> float:
         return (
-            self.deltas_published / self.sharded_s if self.sharded_s else 0.0
+            res.deltas_published / res.elapsed_s if res.elapsed_s else 0.0
         )
 
+    def by_label(self, label: str) -> VariantResult:
+        for res in self.variants:
+            if res.variant.label == label:
+                return res
+        raise KeyError(label)
 
-def run_comparison(
+    def speedup(self, label: str, over: str) -> float:
+        """Wall-clock speedup of ``label`` over ``over`` (>1 is faster)."""
+        num = self.by_label(over).elapsed_s
+        den = self.by_label(label).elapsed_s
+        return num / den if den else 0.0
+
+
+def run_serving(
     factory: WorkloadFactory,
     n_batches: int,
     batch_size: int,
     n_irq: int,
     n_iknn: int,
     n_shards: int,
-) -> ServingComparison:
-    # Two independent but identical worlds (same seeds): the single
-    # monitor's scenario also owns the stream that drives both.
+    variants: tuple[Variant, ...],
+) -> ServingRun:
+    # Independent but identical worlds (same seeds): the single
+    # monitor's scenario also owns the stream that drives them all.
     single = factory.stream_scenario(n_irq=n_irq, n_iknn=n_iknn)
-    sharded = factory.stream_scenario(
-        n_irq=n_irq, n_iknn=n_iknn, n_shards=n_shards
-    )
-    assert single.irq_ids == sharded.irq_ids
-    server = MonitorServer(sharded.monitor)
-    # Discard registration history directly on the monitor (unpublished),
-    # then hold one snapshot-free subscription per standing query: from
-    # here on, every published delta lands in exactly one queue.
-    sharded.monitor.drain_pending_deltas()
-    subs = [
-        server.subscribe(qid, snapshot=False)
-        for qid in sharded.irq_ids + sharded.knn_ids
+    scenarios = [
+        factory.stream_scenario(
+            n_irq=n_irq,
+            n_iknn=n_iknn,
+            n_shards=n_shards,
+            workers=v.workers,
+            bucketed_router=v.bucketed_router,
+        )
+        for v in variants
     ]
+    servers = []
+    all_subs = []
+    for scenario in scenarios:
+        assert single.irq_ids == scenario.irq_ids
+        server = MonitorServer(scenario.monitor)
+        # Discard registration history directly on the monitor
+        # (unpublished), then hold one snapshot-free subscription per
+        # standing query: from here on, every published delta lands in
+        # exactly one queue.
+        scenario.monitor.drain_pending_deltas()
+        all_subs.append([
+            server.subscribe(qid, snapshot=False)
+            for qid in scenario.irq_ids + scenario.knn_ids
+        ])
+        servers.append(server)
 
-    single_s = sharded_s = 0.0
+    elapsed = [0.0] * len(variants)
+    histories: list[list[tuple]] = [[] for _ in variants]
+    single_s = 0.0
     updates = 0
 
     async def drive() -> None:
-        nonlocal single_s, sharded_s, updates
+        nonlocal single_s, updates
         for _ in range(n_batches):
             moves = single.stream.next_moves(batch_size)
             t0 = time.perf_counter()
             batch = single.monitor.apply_moves(moves)
             single_s += time.perf_counter() - t0
             updates += len(batch.moved)
-            t0 = time.perf_counter()
-            await server.apply_moves(moves)
-            sharded_s += time.perf_counter() - t0
+            for i, server in enumerate(servers):
+                t0 = time.perf_counter()
+                batch = await server.apply_moves(moves)
+                elapsed[i] += time.perf_counter() - t0
+                histories[i].append(batch.deltas)
 
     asyncio.run(drive())
-    server.close()
 
-    results_equal = all(
-        single.monitor.result_distances(qid)
-        == sharded.monitor.result_distances(qid)
-        for qid in single.irq_ids + single.knn_ids
-    )
-    # The fan-out path is load-bearing: everything the server published
-    # is sitting in (or was drained from) the per-query queues.
-    assert (
-        sum(sub.delivered + sub.pending for sub in subs)
-        == server.deltas_published
-    )
-    routing = sharded.monitor.routing
-    return ServingComparison(
+    results = []
+    for i, (variant, scenario, server) in enumerate(
+        zip(variants, scenarios, servers)
+    ):
+        server.close()
+        scenario.monitor.close()
+        results_equal = all(
+            single.monitor.result_distances(qid)
+            == scenario.monitor.result_distances(qid)
+            for qid in single.irq_ids + single.knn_ids
+        )
+        # The fan-out path is load-bearing: everything the server
+        # published is sitting in (or was drained from) its queues.
+        assert (
+            sum(sub.delivered + sub.pending for sub in all_subs[i])
+            == server.deltas_published
+        )
+        routing = scenario.monitor.routing
+        results.append(
+            VariantResult(
+                variant=variant,
+                elapsed_s=elapsed[i],
+                deltas_published=server.deltas_published,
+                shard_skip_ratio=routing.skip_ratio,
+                bucket_skips=routing.bucket_skips,
+                updates_filtered=routing.updates_filtered,
+                pairs=scenario.monitor.stats.pairs_evaluated,
+                results_equal=results_equal,
+                delta_history=tuple(histories[i]),
+            )
+        )
+    return ServingRun(
         updates=updates,
         single_s=single_s,
-        sharded_s=sharded_s,
-        deltas_published=server.deltas_published,
-        shard_skip_ratio=routing.skip_ratio,
-        updates_filtered=routing.updates_filtered,
         pairs_single=single.monitor.stats.pairs_evaluated,
-        pairs_sharded=sharded.monitor.stats.pairs_evaluated,
-        results_equal=results_equal,
+        variants=results,
     )
 
 
-def _check(cmp: ServingComparison) -> None:
-    assert cmp.results_equal, "sharded and single monitors diverged"
-    assert cmp.shard_skip_ratio > 0.0, "router never skipped a shard"
-    assert cmp.pairs_sharded <= cmp.pairs_single
-    assert cmp.deltas_published > 0
+def _check(run: ServingRun) -> None:
+    reference = run.variants[0]
+    for res in run.variants:
+        label = res.variant.label
+        assert res.results_equal, f"{label} diverged from the single monitor"
+        assert res.pairs <= run.pairs_single, label
+        assert res.deltas_published > 0, label
+        # Deterministic routing + ordered merge: every variant (router
+        # ablation and parallel alike) publishes the identical delta
+        # sequence, batch for batch.
+        assert res.delta_history == reference.delta_history, (
+            f"{label} published a different delta sequence than "
+            f"{reference.variant.label}"
+        )
+    bucketed = [r for r in run.variants if r.variant.bucketed_router]
+    coarse = [r for r in run.variants if not r.variant.bucketed_router]
+    assert bucketed and bucketed[0].shard_skip_ratio > 0.0, (
+        "router never skipped a shard"
+    )
+    for c in coarse:
+        assert c.bucket_skips == 0  # coarse mode cannot bucket-skip
+        assert bucketed[0].shard_skip_ratio >= c.shard_skip_ratio, (
+            "tightened router skipped less than the coarse one"
+        )
 
 
-def test_serving_single_vs_sharded(save_table):
-    from repro.bench.runner import ExperimentResult
+def _serial_parallel(workers: int) -> tuple[Variant, ...]:
+    return (
+        Variant("sharded"),
+        Variant(f"workers={workers}", workers=workers),
+    )
 
+
+@pytest.fixture(scope="module")
+def full_run():
+    """One full-profile sweep over every variant, shared by the table
+    tests below (each sweep drives 1 + len(variants) worlds — running
+    it once halves the nightly bench wall-clock)."""
     factory = WorkloadFactory()
     n_batches, batch_size, n_irq, n_iknn, n_shards = FULL
-    cmp = run_comparison(
-        factory, n_batches, batch_size, n_irq, n_iknn, n_shards
+    return run_serving(
+        factory,
+        n_batches,
+        batch_size,
+        n_irq,
+        n_iknn,
+        n_shards,
+        FULL_VARIANTS,
     )
+
+
+def test_serving_single_vs_sharded(full_run, save_table):
+    from repro.bench.runner import ExperimentResult
+
+    run = full_run
+    n_shards = FULL[4]
+    sharded = run.by_label("sharded")
+    coarse = run.by_label("coarse")
     result = ExperimentResult(
         title=f"Serving — single vs sharded(n={n_shards}) monitor",
         x_label="metric",
         unit="",
     )
     result.x_values.append("run")
-    result.add("single_upd_per_s", cmp.single_updates_per_sec)
-    result.add("sharded_upd_per_s", cmp.sharded_updates_per_sec)
-    result.add("deltas_per_s", cmp.deltas_per_sec)
-    result.add("shard_skip_%", 100.0 * cmp.shard_skip_ratio)
-    result.add("pairs_single", cmp.pairs_single)
-    result.add("pairs_sharded", cmp.pairs_sharded)
+    result.add("single_upd_per_s", run.single_updates_per_sec)
+    result.add("sharded_upd_per_s", run.updates_per_sec(sharded))
+    result.add("deltas_per_s", run.deltas_per_sec(sharded))
+    result.add("skip_%_coarse", 100.0 * coarse.shard_skip_ratio)
+    result.add("skip_%_bucketed", 100.0 * sharded.shard_skip_ratio)
+    result.add("bucket_skips", sharded.bucket_skips)
+    result.add("pairs_single", run.pairs_single)
+    result.add("pairs_sharded", sharded.pairs)
     save_table("serving_comparison", result)
-    _check(cmp)
+    _check(run)
+
+
+def test_serving_worker_scaling(full_run, save_table):
+    from repro.bench.runner import ExperimentResult
+
+    run = full_run
+    # The serial bucketed variant is the workers=1 reference.
+    scaling = [run.by_label("sharded")] + [
+        run.by_label(f"workers={w}") for w in WORKERS_GRID[1:]
+    ]
+    result = ExperimentResult(
+        title=f"Serving — worker scaling (n_shards={FULL[4]})",
+        x_label="workers",
+        unit="",
+    )
+    result.x_values.extend(
+        f"workers={res.variant.workers}" for res in scaling
+    )
+    result.series["upd_per_s"] = [
+        run.updates_per_sec(res) for res in scaling
+    ]
+    result.series["speedup_vs_serial"] = [
+        run.speedup(res.variant.label, "sharded") for res in scaling
+    ]
+    save_table("serving_worker_scaling", result)
+    _check(run)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,6 +357,13 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="tiny smoke-sized run (CI gate)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="also run a parallel variant and assert it is "
+        "bit-identical to serial",
     )
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--batches", type=int, default=None)
@@ -228,19 +380,51 @@ def main(argv: list[str] | None = None) -> int:
     n_batches = args.batches or n_batches
     batch_size = args.batch_size or batch_size
 
-    cmp = run_comparison(
-        factory, n_batches, batch_size, n_irq, n_iknn, n_shards
+    if args.quick and args.workers:
+        # CI smoke: serial vs parallel equivalence, not timing.
+        variants = _serial_parallel(args.workers)
+    elif args.quick:
+        variants = (
+            Variant("coarse", bucketed_router=False),
+            Variant("sharded"),
+        )
+    elif args.workers:
+        variants = FULL_VARIANTS + (
+            ()
+            if any(v.workers == args.workers for v in FULL_VARIANTS)
+            else (Variant(f"workers={args.workers}", workers=args.workers),)
+        )
+    else:
+        variants = FULL_VARIANTS
+
+    run = run_serving(
+        factory, n_batches, batch_size, n_irq, n_iknn, n_shards, variants
     )
-    print(f"updates absorbed        {cmp.updates}")
-    print(f"single   updates/sec    {cmp.single_updates_per_sec:10.1f}")
-    print(f"sharded  updates/sec    {cmp.sharded_updates_per_sec:10.1f}")
-    print(f"deltas published        {cmp.deltas_published}")
-    print(f"deltas/sec              {cmp.deltas_per_sec:10.1f}")
-    print(f"shard skip ratio        {100.0 * cmp.shard_skip_ratio:9.1f}%")
-    print(f"updates filtered        {cmp.updates_filtered}")
-    print(f"pairs single/sharded    {cmp.pairs_single} / {cmp.pairs_sharded}")
-    print(f"results identical       {cmp.results_equal}")
-    _check(cmp)
+    print(f"updates absorbed        {run.updates}")
+    print(f"single   updates/sec    {run.single_updates_per_sec:10.1f}")
+    print(f"pairs single            {run.pairs_single}")
+    header = (
+        f"{'variant':<12} {'upd/s':>10} {'speedup':>8} {'skip%':>7} "
+        f"{'bucket_skips':>12} {'filtered':>9} {'pairs':>7} {'deltas':>7}"
+    )
+    print(header)
+    serial = next(
+        (r for r in run.variants
+         if r.variant.workers == 1 and r.variant.bucketed_router),
+        run.variants[0],
+    )
+    for res in run.variants:
+        speedup = (
+            serial.elapsed_s / res.elapsed_s if res.elapsed_s else 0.0
+        )
+        print(
+            f"{res.variant.label:<12} {run.updates_per_sec(res):>10.1f} "
+            f"{speedup:>8.2f} {100.0 * res.shard_skip_ratio:>6.1f}% "
+            f"{res.bucket_skips:>12} {res.updates_filtered:>9} "
+            f"{res.pairs:>7} {res.deltas_published:>7}"
+        )
+    print("results identical       True (asserted)")
+    _check(run)
     print("serving bench OK")
     return 0
 

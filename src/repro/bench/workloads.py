@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
@@ -233,6 +233,8 @@ class WorkloadFactory:
         n_shards: int | None = None,
         query_range: float | None = None,
         k: int | None = None,
+        workers: int = 1,
+        bucketed_router: bool = True,
     ) -> "StreamScenario":
         """A continuous-monitoring scenario: standing queries + stream.
 
@@ -244,7 +246,9 @@ class WorkloadFactory:
 
         ``n_shards`` selects a :class:`ShardedMonitor` front-end instead
         of a single :class:`QueryMonitor` (``bench_serving`` compares
-        the two over identical streams).
+        the two over identical streams); ``workers`` and
+        ``bucketed_router`` pass through to it (parallel ingest /
+        router-tightening ablation).
         """
         p = self.profile
         space = self.space(floors)
@@ -265,7 +269,12 @@ class WorkloadFactory:
         if n_shards is None:
             monitor: QueryMonitor | ShardedMonitor = QueryMonitor(index)
         else:
-            monitor = ShardedMonitor(index, n_shards=n_shards)
+            monitor = ShardedMonitor(
+                index,
+                n_shards=n_shards,
+                workers=workers,
+                bucketed_router=bucketed_router,
+            )
         if query_range is None:
             query_range = p.default_range
         if k is None:

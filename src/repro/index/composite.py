@@ -15,7 +15,6 @@ doors graph refreshes itself from the space's ``topology_version``.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Iterable

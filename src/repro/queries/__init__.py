@@ -20,8 +20,10 @@ subgraph computation across related queries, and :class:`QueryMonitor`
 keeps *standing* iRQ/ikNNQ queries incrementally maintained over streams
 of object position updates, emitting per-query :class:`ResultDelta`\\ s.
 :class:`ShardedMonitor` partitions standing queries by floor/region
-across monitor shards with a bound-based update router, and
-:class:`MonitorServer` serves the delta stream to asyncio subscribers.
+across monitor shards with a bound-based update router (per-floor
+bucketed reach tables; ``workers=N`` runs routed shard maintenance on
+a thread pool, bit-identical to serial), and :class:`MonitorServer`
+serves the delta stream to asyncio subscribers.
 """
 
 from repro.queries.stats import QueryStats

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import threading
 from dataclasses import dataclass, field, fields
 
 from repro.distances.bounds import object_bounds
@@ -268,6 +269,11 @@ class QueryMonitor:
         self._id_counter = itertools.count(1)
         self._topology_version = index.space.topology_version
         self._pending: list[ResultDelta] = []
+        # Serialises the maintenance-only ingest hooks: the parallel
+        # sharded front-end runs different shards' hooks on pool
+        # threads, and this lock is what makes one *shard* safe even if
+        # a caller ever routes two batches into it concurrently.
+        self._ingest_lock = threading.Lock()
         # Pre-mutation copies of the results actually touched in the
         # current mutation scope (lazy: an untouched query costs
         # nothing), consumed by _collect().
@@ -302,18 +308,22 @@ class QueryMonitor:
         return query_id
 
     def _register(self, sq: _StandingIRQ | _StandingKNN) -> None:
-        self._ensure_topology_current()
-        # Execute first, commit after: a failing first execution (query
-        # point outside every partition, say) must not leave a broken
-        # standing query — or its session pin — behind.
-        try:
-            self._recompute(sq)  # touches sq with its pre-result ({})
-        except Exception:
-            self._before.pop(sq.query_id, None)
-            raise
-        self._queries[sq.query_id] = sq
-        self.session.pin(sq.q)
-        self._pending.extend(self._collect("register"))
+        # Under the ingest lock: a registration from the event-loop
+        # thread must not mutate _queries/_pending while an offloaded
+        # parallel batch iterates them on a pool thread.
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            # Execute first, commit after: a failing first execution
+            # (query point outside every partition, say) must not leave
+            # a broken standing query — or its session pin — behind.
+            try:
+                self._recompute(sq)  # touches sq with its pre-result ({})
+            except Exception:
+                self._before.pop(sq.query_id, None)
+                raise
+            self._queries[sq.query_id] = sq
+            self.session.pin(sq.q)
+            self._pending.extend(self._collect("register"))
 
     def deregister(self, query_id: str) -> None:
         """Remove a standing query.
@@ -325,17 +335,20 @@ class QueryMonitor:
         Pins are counted on the (possibly shared) session itself, so
         monitors sharing one session never evict each other's searches.
         """
-        sq = self._queries.pop(query_id, None)
-        if sq is None:
-            raise QueryError(f"unknown standing query {query_id!r}")
-        self._before.pop(query_id, None)
-        if sq.result:
-            self._push_pending(
-                ResultDelta(
-                    query_id, "deregister", left=tuple(sorted(sq.result))
+        with self._ingest_lock:
+            sq = self._queries.pop(query_id, None)
+            if sq is None:
+                raise QueryError(f"unknown standing query {query_id!r}")
+            self._before.pop(query_id, None)
+            if sq.result:
+                self._push_pending(
+                    ResultDelta(
+                        query_id,
+                        "deregister",
+                        left=tuple(sorted(sq.result)),
+                    )
                 )
-            )
-        self.session.unpin(sq.q)
+            self.session.unpin(sq.q)
 
     def _claim_id(self, query_id: str | None, kind: str) -> str:
         return claim_query_id(
@@ -377,11 +390,28 @@ class QueryMonitor:
         distance beyond which an object provably cannot change the
         result right now (iRQ radius / current ikNNQ ``tau``).  The
         shard router turns these into conservative skip decisions."""
-        self._ensure_topology_current()
-        return [
-            (qid, sq.q, sq.influence_radius())
-            for qid, sq in self._queries.items()
-        ]
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            return [
+                (qid, sq.q, sq.influence_radius())
+                for qid, sq in self._queries.items()
+            ]
+
+    def influence_radii_by_floor(
+        self,
+    ) -> dict[int, list[tuple[str, Point, float]]]:
+        """:meth:`influence_radii` grouped by the query point's floor —
+        the shape the sharded router's per-floor reach table consumes
+        (queries on one floor share their z elevation, so their reaches
+        bucket into tight same-floor boxes)."""
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            out: dict[int, list[tuple[str, Point, float]]] = {}
+            for qid, sq in self._queries.items():
+                out.setdefault(sq.q.floor, []).append(
+                    (qid, sq.q, sq.influence_radius())
+                )
+            return out
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -443,53 +473,58 @@ class QueryMonitor:
 
     def ingest_moves(self, moved: list[UncertainObject]) -> DeltaBatch:
         """Maintain standing results for objects the *shared* index
-        already moved (no index mutation here)."""
-        self._ensure_topology_current()
-        for obj in moved:
-            self._absorb_update(obj)
-        return DeltaBatch(
-            deltas=self._drain_pending() + self._collect("move"),
-            moved=tuple(moved),
-        )
+        already moved (no index mutation here).  Thread-safe: shards run
+        their hooks concurrently under the parallel front-end."""
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            for obj in moved:
+                self._absorb_update(obj)
+            return DeltaBatch(
+                deltas=self._drain_pending() + self._collect("move"),
+                moved=tuple(moved),
+            )
 
     def ingest_insert(self, obj: UncertainObject) -> DeltaBatch:
         """Maintain standing results for an already-inserted object."""
-        self._ensure_topology_current()
-        self._absorb_update(obj)
-        return DeltaBatch(
-            deltas=self._drain_pending() + self._collect("insert")
-        )
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            self._absorb_update(obj)
+            return DeltaBatch(
+                deltas=self._drain_pending() + self._collect("insert")
+            )
 
     def ingest_delete(
         self, object_id: str, deleted: UncertainObject | None = None
     ) -> DeltaBatch:
         """Maintain standing results for an already-deleted object."""
-        self._ensure_topology_current()
-        self.stats.updates_seen += 1
-        for sq in self._queries.values():
-            self.stats.pairs_evaluated += 1
-            if object_id not in sq.result:
-                self.stats.pairs_skipped += 1
-                continue
-            if isinstance(sq, _StandingKNN):
-                self.stats.pairs_recomputed += 1
-                self.stats.full_recomputes += 1
-                self._recompute(sq)
-            else:
-                self._touch(sq)
-                del sq.result[object_id]
-                self.stats.pairs_skipped += 1
-        return DeltaBatch(
-            deltas=self._drain_pending() + self._collect("delete"),
-            deleted=deleted,
-        )
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            self.stats.updates_seen += 1
+            for sq in self._queries.values():
+                self.stats.pairs_evaluated += 1
+                if object_id not in sq.result:
+                    self.stats.pairs_skipped += 1
+                    continue
+                if isinstance(sq, _StandingKNN):
+                    self.stats.pairs_recomputed += 1
+                    self.stats.full_recomputes += 1
+                    self._recompute(sq)
+                else:
+                    self._touch(sq)
+                    del sq.result[object_id]
+                    self.stats.pairs_skipped += 1
+            return DeltaBatch(
+                deltas=self._drain_pending() + self._collect("delete"),
+                deleted=deleted,
+            )
 
     def drain_pending_deltas(self) -> DeltaBatch:
         """Collect deltas parked by out-of-band work: registrations,
         deregistrations, and topology resyncs triggered by result
         access instead of a mutation call."""
-        self._ensure_topology_current()
-        return DeltaBatch(deltas=self._drain_pending())
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            return DeltaBatch(deltas=self._drain_pending())
 
     # ------------------------------------------------------------------
     # delta bookkeeping

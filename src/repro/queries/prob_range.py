@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.distances.bounds import subregion_stats
 from repro.distances.expected import instance_indoor_distances

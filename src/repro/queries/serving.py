@@ -10,11 +10,18 @@ queues of its :class:`Subscription`\\ s, so consumers ``async for``
 over result *changes* instead of polling result sets.
 
 Single-writer by design: all index mutation happens through the
-server's ``apply_*`` coroutines (or :meth:`serve`), which run the
-synchronous monitor call to completion and then yield to the loop so
-subscribers drain between batches.  Subscribers are decoupled through
-unbounded queues — a slow consumer delays only itself, and
-:attr:`Subscription.pending` exposes its backlog.
+server's ``apply_*`` coroutines (or :meth:`serve`).  A serial monitor's
+call runs to completion inline and then yields to the loop; a parallel
+:class:`~repro.queries.shard.ShardedMonitor` (``workers > 1``) is
+offloaded to the loop's default executor instead, so the event loop
+keeps draining subscribers while the shard pool grinds through the
+batch.  Subscribers are decoupled through per-query queues — unbounded
+by default (a slow consumer delays only itself), or bounded with
+``maxlen`` under a drop-oldest overflow policy
+(:attr:`Subscription.dropped` counts the losses; a feed that dropped
+deltas no longer replays exactly and should be re-primed with a fresh
+snapshot).  :attr:`Subscription.pending` exposes the backlog either
+way.
 """
 
 from __future__ import annotations
@@ -44,11 +51,22 @@ class Subscription:
     An async iterator of :class:`ResultDelta`; iteration ends when the
     subscription is cancelled (:meth:`MonitorServer.unsubscribe`), its
     query is deregistered, or the server closes.
+
+    ``maxlen`` bounds the queue: when a push would exceed it, the
+    *oldest* queued delta is dropped and ``dropped`` is incremented —
+    the newest state always gets through, and the consumer can detect
+    the gap (``dropped > 0`` means the feed no longer replays exactly;
+    resubscribe with a snapshot to re-prime).  ``None`` keeps the
+    PR-2 unbounded behaviour.
     """
 
-    def __init__(self, query_id: str) -> None:
+    def __init__(self, query_id: str, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise QueryError(f"maxlen must be >= 1, got {maxlen}")
         self.query_id = query_id
+        self.maxlen = maxlen
         self.delivered = 0
+        self.dropped = 0
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed = False
 
@@ -90,8 +108,17 @@ class Subscription:
     # -- server side ---------------------------------------------------
 
     def _push(self, delta: ResultDelta) -> None:
-        if not self._closed:
-            self._queue.put_nowait(delta)
+        if self._closed:
+            return
+        if (
+            self.maxlen is not None
+            and self._queue.qsize() >= self.maxlen
+        ):
+            # Drop-oldest: a consumer this far behind wants the newest
+            # state, not a complete history it will never catch up on.
+            self._queue.get_nowait()
+            self.dropped += 1
+        self._queue.put_nowait(delta)
 
     def _close(self) -> None:
         if not self._closed:
@@ -141,9 +168,19 @@ class MonitorServer:
     """
 
     monitor: QueryMonitor | ShardedMonitor
+    #: ``None`` (default) auto-detects: offload mutations to the loop's
+    #: default executor when the monitor runs parallel (``workers>1``).
+    #: ``True``/``False`` force either behaviour.
+    offload: bool | None = None
     deltas_published: int = 0
     _subs: dict[str, list[Subscription]] = field(default_factory=dict)
     _closed: bool = False
+    # Restores the single-writer guarantee under offload: an inline
+    # op() could never interleave with another mutation (no await
+    # point), but an offloaded one yields the loop mid-mutation — the
+    # lock keeps concurrent apply_* callers serialized, publishes
+    # included, in acquisition order.
+    _mutex: asyncio.Lock = field(default_factory=asyncio.Lock)
 
     # ------------------------------------------------------------------
     # registration / subscription
@@ -167,12 +204,19 @@ class MonitorServer:
         for sub in self._subs.pop(query_id, []):
             sub._close()
 
-    def subscribe(self, query_id: str, snapshot: bool = True) -> Subscription:
+    def subscribe(
+        self,
+        query_id: str,
+        snapshot: bool = True,
+        maxlen: int | None = None,
+    ) -> Subscription:
         """A live delta feed for one standing query.
 
         ``snapshot=True`` primes the feed with a synthetic ``snapshot``
         delta carrying the current members, so replaying the feed from
-        empty state always reconstructs the full result.
+        empty state always reconstructs the full result.  ``maxlen``
+        bounds the feed's queue under the drop-oldest policy (see
+        :class:`Subscription`).
         """
         if self._closed:
             raise QueryError("server is closed")
@@ -182,7 +226,7 @@ class MonitorServer:
         # the *existing* subscribers first: a feed begins at its own
         # snapshot, never with another query's history.
         self.publish(self.monitor.drain_pending_deltas())
-        sub = Subscription(query_id)
+        sub = Subscription(query_id, maxlen=maxlen)
         if snapshot:
             sub._push(
                 ResultDelta(
@@ -247,11 +291,30 @@ class MonitorServer:
     async def _mutate(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
         if self._closed:
             raise QueryError("server is closed")
-        batch = op()
-        self.publish(batch)
+        async with self._mutex:
+            if self._offloads():
+                # A parallel sharded monitor grinds on its own thread
+                # pool; hop off the loop so subscribers keep draining
+                # meanwhile.  Publishing still happens on the loop
+                # thread (asyncio queues are not thread-safe),
+                # preserving delta order.
+                batch = await asyncio.get_running_loop().run_in_executor(
+                    None, op
+                )
+            else:
+                batch = op()
+            self.publish(batch)
         # Yield so subscribers drain between mutations.
         await asyncio.sleep(0)
         return batch
+
+    def _offloads(self) -> bool:
+        """Whether mutations leave the event loop: only worthwhile when
+        the monitor itself fans out on a pool (``workers > 1``) — for a
+        serial monitor the thread hop costs more than it frees."""
+        if self.offload is not None:
+            return self.offload
+        return getattr(self.monitor, "workers", 1) > 1
 
     async def serve(
         self,

@@ -28,6 +28,7 @@ a fresh Dijkstra only when the topology actually changes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.geometry.point import Point
@@ -51,33 +52,57 @@ class QuerySession:
     _cached_version: int = -1
     hits: int = 0
     misses: int = 0
+    # Shards of a parallel ShardedMonitor share one session and call in
+    # from pool threads; the lock keeps the cache/pin maps consistent.
+    # The Dijkstra itself runs outside the lock, so concurrent searches
+    # from *different* points never serialise each other.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     def door_distances(self, q: Point) -> DoorDistances:
-        """The (memoised) full single-source search from ``q``."""
+        """The (memoised) full single-source search from ``q``.
+
+        ``misses`` counts searches actually paid: two threads racing on
+        one uncached point may both compute (the search is deterministic,
+        so either result is the same), and each counts one miss.
+        """
         space = self.index.space
-        if self._cached_version != space.topology_version:
-            # Any topology change invalidates every cached search.
-            self._cache.clear()
-            self._cached_version = space.topology_version
         key = (q.x, q.y, q.floor)
-        dd = self._cache.get(key)
-        if dd is None:
+        with self._lock:
+            if self._cached_version != space.topology_version:
+                # Any topology change invalidates every cached search.
+                self._cache.clear()
+                self._cached_version = space.topology_version
+            dd = self._cache.get(key)
+            if dd is not None:
+                self.hits += 1
+                return dd
             self.misses += 1
-            source = locate_source(self.index, q)
-            dd = self.index.doors_graph.dijkstra_from_point(q, source)
-            self._cache[key] = dd
-        else:
-            self.hits += 1
-        return dd
+            searched_version = self._cached_version
+        source = locate_source(self.index, q)
+        dd = self.index.doors_graph.dijkstra_from_point(q, source)
+        with self._lock:
+            if (
+                self._cached_version == searched_version
+                and space.topology_version == searched_version
+            ):
+                # First writer wins, so every caller shares one object.
+                return self._cache.setdefault(key, dd)
+            # Topology moved mid-search (the version this search ran
+            # under is gone): usable for this caller, stale for the
+            # cache.
+            return dd
 
     def evict(self, q: Point) -> bool:
         """Drop the cached search from ``q``, if any; returns whether an
         entry was evicted.  Respects pins: a point some standing query
         still holds (see :meth:`pin`) is never evicted."""
         key = (q.x, q.y, q.floor)
-        if self._pins.get(key, 0) > 0:
-            return False
-        return self._cache.pop(key, None) is not None
+        with self._lock:
+            if self._pins.get(key, 0) > 0:
+                return False
+            return self._cache.pop(key, None) is not None
 
     def pin(self, q: Point) -> None:
         """Declare a long-lived user of the search from ``q`` (a
@@ -86,7 +111,8 @@ class QuerySession:
         other's searches; the entry is dropped when the last pin at the
         point is released."""
         key = (q.x, q.y, q.floor)
-        self._pins[key] = self._pins.get(key, 0) + 1
+        with self._lock:
+            self._pins[key] = self._pins.get(key, 0) + 1
 
     def unpin(self, q: Point) -> bool:
         """Release one pin at ``q``; when it was the last one, the
@@ -94,16 +120,18 @@ class QuerySession:
         query populations must not grow without bound).  Returns whether
         an entry was evicted."""
         key = (q.x, q.y, q.floor)
-        count = self._pins.get(key)
-        if count is None:
-            # Never pinned (or already fully released): a stray unpin
-            # must not evict a live entry ad-hoc queries still reuse.
-            return False
-        if count > 1:
-            self._pins[key] = count - 1
-            return False
-        del self._pins[key]
-        return self._cache.pop(key, None) is not None
+        with self._lock:
+            count = self._pins.get(key)
+            if count is None:
+                # Never pinned (or already fully released): a stray
+                # unpin must not evict a live entry ad-hoc queries
+                # still reuse.
+                return False
+            if count > 1:
+                self._pins[key] = count - 1
+                return False
+            del self._pins[key]
+            return self._cache.pop(key, None) is not None
 
     @property
     def cache_size(self) -> int:

@@ -12,30 +12,55 @@ mutation only to the shards it can possibly affect.
 
 The router's skip test is the same conservative geometry Table III's
 intervals are built from: a 3-D Euclidean distance never exceeds an
-indoor (walking) distance, so for a shard whose standing queries all
-sit inside a bounding box ``B`` with maximum influence radius ``R``
-(iRQ radius / current ikNNQ ``tau``, see
-:meth:`~repro.queries.monitor.QueryMonitor.influence_radii`), an object
-whose old **and** new instance boxes are Euclidean-farther than ``R``
-from ``B`` provably cannot enter, leave, or re-rank any result in the
-shard — the update is filtered out, and a shard left with no relevant
-updates is skipped outright (``ShardStats.shards_skipped``).  Both old
-and new positions matter: leaving is as much a result change as
+indoor (walking) distance, so an object whose old **and** new instance
+boxes are Euclidean-farther than a query's influence radius (iRQ ``r``
+/ current ikNNQ ``tau``, see
+:meth:`~repro.queries.monitor.QueryMonitor.influence_radii`) from that
+query provably cannot enter, leave, or re-rank its result — both old
+and new positions matter, because leaving is as much a result change as
 entering.  An unfull ikNNQ makes its shard unskippable (``tau`` is
 infinite — any reachable object could enter).
+
+The reach summary the router tests against is **two-level**:
+
+* a coarse bounding box of the shard's query points with the maximum
+  influence radius among them — one cheap test that rejects most far
+  updates outright;
+* a per-floor table of **grid buckets** (query points grouped on a
+  coarse per-floor grid, each bucket carrying its own tight box and its
+  own maximum radius) — so one far-reaching query inflates only its own
+  bucket, and an update landing *between* a shard's query clusters no
+  longer wakes the shard just because the coarse box spans the gap.
+  Updates the buckets exclude after the coarse box admitted them are
+  counted in ``ShardStats.bucket_skips``.
 
 Skipping is sound against the monitor's incremental invariants because
 ``tau`` never *grows* on an incremental path (members refine downward,
 entries evict the worst member); the only path that can grow it is a
 full re-execution, which re-reads the whole — already fully updated —
 index population and therefore sees filtered objects anyway.
+
+Parallel execution
+------------------
+
+Shards are provably independent once routed: each ``ingest_*`` call
+touches only its own monitor's standing results, and the one shared
+mutable structure — the session's Dijkstra cache — takes its own lock.
+``ShardedMonitor(..., workers=N)`` therefore runs the routed per-shard
+maintenance on a :class:`~concurrent.futures.ThreadPoolExecutor`
+(pair maintenance is numpy-heavy, so threads help wherever numpy drops
+the GIL), gathering per-shard :class:`~repro.queries.deltas.DeltaBatch`
+results **in shard-index order** — the same order the serial loop
+merges in — so the merged batch is bit-identical to serial execution.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import QueryError
 from repro.geometry.point import Point
@@ -56,6 +81,12 @@ from repro.space.events import TopologyEvent
 #: distance that ties the threshold to the last float bit never skips.
 _EPS = 1e-9
 
+#: Per-floor bucket grid resolution: each floor's footprint is split
+#: into this many cells per side when grouping query reaches.  Shards
+#: hold few queries, so the populated bucket count is bounded by the
+#: query count, never by the grid.
+_BUCKETS_PER_SIDE = 8
+
 
 @dataclass
 class ShardStats:
@@ -66,12 +97,18 @@ class ShardStats:
     is not evidence the router works); ``updates_filtered`` counts
     per-shard update exclusions inside visited shards — updates whose
     pairs were never evaluated even though the shard itself ran.
+    ``bucket_skips`` counts the update exclusions the per-floor grid
+    buckets are *responsible* for: the coarse shard box admitted the
+    update and only the bucketed reach table proved it irrelevant —
+    the direct measure of what router tightening buys over the single
+    bbox + max-radius summary.
     """
 
     batches_routed: int = 0
     shard_visits: int = 0
     shards_skipped: int = 0
     updates_filtered: int = 0
+    bucket_skips: int = 0
 
     @property
     def skip_ratio(self) -> float:
@@ -89,17 +126,75 @@ def _object_box(obj: UncertainObject, floor_height: float) -> Box3:
 
 
 @dataclass(frozen=True)
-class _ShardReach:
-    """One shard's influence summary for one batch: the bounding box of
-    its query points and the largest influence radius among them."""
+class _ReachBucket:
+    """One grid bucket of a shard's reach table: the tight bounding box
+    of the query points that hash into one per-floor grid cell, and the
+    largest influence radius among them."""
 
     box: Box3
     radius: float
 
     def may_affect(self, obj_box: Box3) -> bool:
+        return obj_box.min_distance_to(self.box) <= self.radius + _EPS
+
+
+@dataclass(frozen=True)
+class _ShardReach:
+    """One shard's influence summary for one batch.
+
+    ``box``/``radius`` are the coarse level (bounding box of all query
+    points, maximum radius); ``buckets`` is the tightened per-floor
+    grid level.  An empty bucket tuple means "coarse only" (the
+    ``bucketed_router=False`` ablation mode).
+    """
+
+    box: Box3
+    radius: float
+    buckets: tuple[_ReachBucket, ...] = ()
+
+    def coarse_may_affect(self, obj_box: Box3) -> bool:
         if math.isinf(self.radius):
             return True
         return obj_box.min_distance_to(self.box) <= self.radius + _EPS
+
+    def bucket_may_affect(self, obj_box: Box3) -> bool:
+        if not self.buckets:
+            return True  # coarse-only mode: never tighten
+        return any(b.may_affect(obj_box) for b in self.buckets)
+
+    def may_affect(
+        self, obj_box: Box3, stats: ShardStats | None = None
+    ) -> bool:
+        """Two-level test for a single box (insert/delete routing)."""
+        if not self.coarse_may_affect(obj_box):
+            return False
+        if self.bucket_may_affect(obj_box):
+            return True
+        if stats is not None:
+            stats.bucket_skips += 1
+        return False
+
+    def may_affect_move(
+        self,
+        old_box: Box3,
+        new_box: Box3,
+        stats: ShardStats | None = None,
+    ) -> bool:
+        """Two-level test for a move (old *or* new position relevant);
+        a bucket skip is counted once per excluded update, not once per
+        tested box."""
+        if not (
+            self.coarse_may_affect(old_box)
+            or self.coarse_may_affect(new_box)
+        ):
+            return False
+        if self.bucket_may_affect(old_box) or self.bucket_may_affect(
+            new_box
+        ):
+            return True
+        if stats is not None:
+            stats.bucket_skips += 1
+        return False
 
 
 class ShardedMonitor:
@@ -117,6 +212,13 @@ class ShardedMonitor:
     point's floor and spatial quadrant hash onto a shard, so co-located
     queries (one kiosk's iRQ and ikNNQ) tend to share both a shard and
     a session-cached Dijkstra.
+
+    ``workers > 1`` selects the parallel execution mode: routed
+    per-shard maintenance runs on a thread pool and the per-shard delta
+    batches are merged in shard-index order, bit-identical to serial.
+    ``bucketed_router=False`` falls back to the coarse single-box reach
+    summary (kept as an ablation for the benchmark's before/after
+    skip-ratio comparison).
     """
 
     def __init__(
@@ -124,20 +226,50 @@ class ShardedMonitor:
         index: CompositeIndex,
         n_shards: int = 4,
         session: QuerySession | None = None,
+        workers: int = 1,
+        bucketed_router: bool = True,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
         self.index = index
         self.session = session or QuerySession(index)
         self.shards = [
             QueryMonitor(index, session=self.session)
             for _ in range(n_shards)
         ]
+        self.workers = workers
+        self.bucketed_router = bucketed_router
         self.routing = ShardStats()
         self._homes: dict[str, int] = {}
         self._id_counter = itertools.count(1)
         self._updates_seen = 0
         self._bounds: Rect = index.space.bounds()
+        self._executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="shard"
+            )
+            if workers > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle (the thread pool is the only owned resource)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; serial mode no-ops).
+        The monitor itself stays usable — it falls back to serial."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # registration / result access (QueryMonitor-compatible surface)
@@ -242,7 +374,7 @@ class ShardedMonitor:
     def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
         """Absorb a batch of position updates: one shared index update,
         then per-shard maintenance of only the updates that can affect
-        each shard."""
+        each shard (fanned out on the worker pool when ``workers > 1``)."""
         fh = self.index.space.floor_height
         old_boxes = {
             oid: _object_box(self.index.population.get(oid), fh)
@@ -251,24 +383,26 @@ class ShardedMonitor:
         # update_objects owns the last-write-wins dedupe: it returns
         # (and the monitor pairs against) one object per unique id.
         moved = self.index.update_objects(moves)
-        batch = DeltaBatch(moved=tuple(moved))
+        head = DeltaBatch(moved=tuple(moved))
         if not moved:
             # An idle tick is not a routing decision: flush parked
             # deltas but keep the skip statistics honest.
-            for shard in self.shards:
-                batch = batch.merge(shard.drain_pending_deltas())
-            return batch
+            return DeltaBatch.merge_all(
+                [head]
+                + [shard.drain_pending_deltas() for shard in self.shards]
+            )
         new_boxes = {
             obj.object_id: _object_box(obj, fh) for obj in moved
         }
         self._updates_seen += len(moved)
         self.routing.batches_routed += 1
+        tasks: list[Callable[[], DeltaBatch]] = []
         for shard in self.shards:
             reach = self._reach_of(shard)
             if reach is None:
                 # No standing queries: nothing to route, but a parked
                 # delta (the last query's deregister) still flows.
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
             if math.isinf(reach.radius):
                 relevant = moved
@@ -276,24 +410,24 @@ class ShardedMonitor:
                 relevant = [
                     obj
                     for obj in moved
-                    if reach.may_affect(old_boxes[obj.object_id])
-                    or reach.may_affect(new_boxes[obj.object_id])
+                    if reach.may_affect_move(
+                        old_boxes[obj.object_id],
+                        new_boxes[obj.object_id],
+                        self.routing,
+                    )
                 ]
             if not relevant:
                 # Skipped: no pair is evaluated, but parked deltas
                 # (registrations, out-of-band resyncs) still flow.
                 self.routing.shards_skipped += 1
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
             self.routing.shard_visits += 1
             # Filtered updates are only counted for shards that
             # actually ran — a whole-shard skip is its own statistic.
             self.routing.updates_filtered += len(moved) - len(relevant)
-            shard_batch = shard.ingest_moves(relevant)
-            # Keep only the deltas: `moved` is already carried once at
-            # the top level (shards each re-list their routed subset).
-            batch = batch.merge(DeltaBatch(deltas=shard_batch.deltas))
-        return batch
+            tasks.append(self._moves_task(shard, relevant))
+        return DeltaBatch.merge_all([head] + self._run_tasks(tasks))
 
     def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
         """A brand-new object appears: only shards it can reach run."""
@@ -302,19 +436,19 @@ class ShardedMonitor:
         self._updates_seen += 1
         self.routing.batches_routed += 1
         box = _object_box(obj, fh)
-        batch = DeltaBatch()
+        tasks: list[Callable[[], DeltaBatch]] = []
         for shard in self.shards:
             reach = self._reach_of(shard)
             if reach is None:
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
-            if not reach.may_affect(box):
+            if not reach.may_affect(box, self.routing):
                 self.routing.shards_skipped += 1
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
             self.routing.shard_visits += 1
-            batch = batch.merge(shard.ingest_insert(obj))
-        return batch
+            tasks.append(self._insert_task(shard, obj))
+        return DeltaBatch.merge_all(self._run_tasks(tasks))
 
     def apply_delete(self, object_id: str) -> DeltaBatch:
         """An object disappears: shards it provably never belonged to
@@ -325,36 +459,81 @@ class ShardedMonitor:
         deleted = self.index.delete_object(object_id)
         self._updates_seen += 1
         self.routing.batches_routed += 1
-        batch = DeltaBatch(deleted=deleted)
+        head = DeltaBatch(deleted=deleted)
+        tasks: list[Callable[[], DeltaBatch]] = []
         for shard in self.shards:
             reach = self._reach_of(shard)
             if reach is None:
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
-            if not reach.may_affect(box):
+            if not reach.may_affect(box, self.routing):
                 self.routing.shards_skipped += 1
-                batch = batch.merge(shard.drain_pending_deltas())
+                tasks.append(shard.drain_pending_deltas)
                 continue
             self.routing.shard_visits += 1
-            batch = batch.merge(shard.ingest_delete(object_id))
-        return batch
+            tasks.append(self._delete_task(shard, object_id))
+        return DeltaBatch.merge_all([head] + self._run_tasks(tasks))
 
     def apply_event(self, event: TopologyEvent) -> DeltaBatch:
         """Topology events invalidate every cached search — all shards
         resynchronise; there is nothing to skip."""
         result = self.index.apply_event(event)
-        batch = DeltaBatch(event_result=result)
-        for shard in self.shards:
-            batch = batch.merge(shard.drain_pending_deltas())
-        return batch
+        head = DeltaBatch(event_result=result)
+        return DeltaBatch.merge_all(
+            [head]
+            + self._run_tasks(
+                [shard.drain_pending_deltas for shard in self.shards]
+            )
+        )
 
     def drain_pending_deltas(self) -> DeltaBatch:
         """Registration/deregistration/out-of-band resync deltas from
         every shard."""
-        batch = DeltaBatch()
-        for shard in self.shards:
-            batch = batch.merge(shard.drain_pending_deltas())
-        return batch
+        return DeltaBatch.merge_all(
+            shard.drain_pending_deltas() for shard in self.shards
+        )
+
+    # ------------------------------------------------------------------
+    # parallel fan-out
+    # ------------------------------------------------------------------
+
+    def _run_tasks(
+        self, tasks: list[Callable[[], DeltaBatch]]
+    ) -> list[DeltaBatch]:
+        """Execute one thunk per shard, returning results in shard
+        order (the merge order, serial and parallel alike).  Routing
+        already proved the thunks touch disjoint monitors; the shared
+        session takes its own lock."""
+        if self._executor is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [self._executor.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _moves_task(
+        self, shard: QueryMonitor, relevant: list[UncertainObject]
+    ) -> Callable[[], DeltaBatch]:
+        def run() -> DeltaBatch:
+            # Keep only the deltas: `moved` is already carried once at
+            # the top level (shards each re-list their routed subset).
+            return DeltaBatch(deltas=shard.ingest_moves(relevant).deltas)
+
+        return run
+
+    def _insert_task(
+        self, shard: QueryMonitor, obj: UncertainObject
+    ) -> Callable[[], DeltaBatch]:
+        def run() -> DeltaBatch:
+            return shard.ingest_insert(obj)
+
+        return run
+
+    def _delete_task(
+        self, shard: QueryMonitor, object_id: str
+    ) -> Callable[[], DeltaBatch]:
+        def run() -> DeltaBatch:
+            return shard.ingest_delete(object_id)
+
+        return run
 
     # ------------------------------------------------------------------
 
@@ -363,19 +542,56 @@ class ShardedMonitor:
         no standing queries).  Recomputed per routed mutation — ikNNQ
         thresholds move with every update, and the summary is a cheap
         O(queries-in-shard) pass of pure arithmetic."""
-        radii = shard.influence_radii()
-        if not radii:
+        by_floor = shard.influence_radii_by_floor()
+        if not by_floor:
             return None
         fh = self.index.space.floor_height
+        b = self._bounds
+        cell_w = max(b.width, _EPS) / _BUCKETS_PER_SIDE
+        cell_h = max(b.height, _EPS) / _BUCKETS_PER_SIDE
         minx = miny = minz = math.inf
         maxx = maxy = maxz = -math.inf
         radius = 0.0
-        for _qid, q, reach in radii:
-            minx, maxx = min(minx, q.x), max(maxx, q.x)
-            miny, maxy = min(miny, q.y), max(maxy, q.y)
-            z = q.z(fh)
-            minz, maxz = min(minz, z), max(maxz, z)
-            radius = max(radius, reach)
+        cells: dict[tuple[int, int, int], list[float]] = {}
+        for floor, entries in by_floor.items():
+            for _qid, q, reach in entries:
+                if math.isinf(reach):
+                    # An unfull ikNNQ reaches forever: the shard is
+                    # unskippable, no summary geometry needed.
+                    z = q.z(fh)
+                    return _ShardReach(
+                        Box3(q.x, q.y, z, q.x, q.y, z), math.inf
+                    )
+                minx, maxx = min(minx, q.x), max(maxx, q.x)
+                miny, maxy = min(miny, q.y), max(maxy, q.y)
+                z = q.z(fh)
+                minz, maxz = min(minz, z), max(maxz, z)
+                radius = max(radius, reach)
+                if not self.bucketed_router:
+                    continue
+                gx = min(
+                    max(int((q.x - b.minx) / cell_w), 0),
+                    _BUCKETS_PER_SIDE - 1,
+                )
+                gy = min(
+                    max(int((q.y - b.miny) / cell_h), 0),
+                    _BUCKETS_PER_SIDE - 1,
+                )
+                cell = cells.get((floor, gx, gy))
+                if cell is None:
+                    cells[(floor, gx, gy)] = [
+                        q.x, q.y, q.x, q.y, z, reach,
+                    ]
+                else:
+                    cell[0] = min(cell[0], q.x)
+                    cell[1] = min(cell[1], q.y)
+                    cell[2] = max(cell[2], q.x)
+                    cell[3] = max(cell[3], q.y)
+                    cell[5] = max(cell[5], reach)
+        buckets = tuple(
+            _ReachBucket(Box3(x0, y0, z, x1, y1, z), r)
+            for x0, y0, x1, y1, z, r in cells.values()
+        )
         return _ShardReach(
-            Box3(minx, miny, minz, maxx, maxy, maxz), radius
+            Box3(minx, miny, minz, maxx, maxy, maxz), radius, buckets
         )

@@ -73,9 +73,7 @@ class TestQueries:
 
 class TestMaintenance:
     def test_rebuild_needed_after_topology_change(self, five_rooms):
-        import numpy as np
-        from repro.geometry import Circle, Point
-        from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
+        from repro.objects import ObjectPopulation
         pop = ObjectPopulation(five_rooms)
         pre = PrecomputedDistanceIndex(five_rooms, pop)
         before = pre.door_distance("d1", "d3")

@@ -12,7 +12,7 @@ from repro.baselines import (
 )
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
-from repro.queries import QueryStats, iRQ, ikNNQ
+from repro.queries import QueryStats, iRQ
 
 
 @pytest.fixture(scope="module")

@@ -2,7 +2,6 @@
 reporting) — these must be trustworthy for EXPERIMENTS.md to mean
 anything."""
 
-import os
 
 import pytest
 

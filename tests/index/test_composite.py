@@ -5,7 +5,7 @@ import pytest
 
 from repro.geometry import Circle, Point, Rect
 from repro.index import CompositeIndex
-from repro.objects import InstanceSet, ObjectGenerator, ObjectPopulation, UncertainObject
+from repro.objects import InstanceSet, ObjectGenerator, UncertainObject
 from repro.space import DoorsGraph, Partition, SplitPartition, MergePartitions
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import IndexError_
 from repro.geometry import Point, Rect
 from repro.index import IndRTree
-from repro.space import Partition, PartitionKind
+from repro.space import Partition
 
 
 class TestConstruction:

@@ -6,7 +6,7 @@ import math
 import pytest
 
 from repro.baselines import NaiveEvaluator
-from repro.geometry import Circle, Point
+from repro.geometry import Circle
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
 from repro.queries import QueryStats, iRQ, ikNNQ

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.geometry import Circle, Point
+from repro.geometry import Point
 from repro.objects import ObjectGenerator
 
 

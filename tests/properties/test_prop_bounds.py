@@ -5,12 +5,10 @@ query points in a real multi-floor mall."""
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import NaiveEvaluator
 from repro.distances import (
     euclidean_lower_bound,
     expected_indoor_distance,

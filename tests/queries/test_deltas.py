@@ -4,7 +4,6 @@ repro.queries.deltas and the monitor's per-mutation emission paths
 
 import pytest
 
-from repro.errors import QueryError
 from repro.geometry import Circle, Point
 from repro.index import CompositeIndex
 from repro.objects import InstanceSet, ObjectPopulation, UncertainObject

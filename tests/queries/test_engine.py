@@ -2,13 +2,12 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.errors import QueryError
-from repro.geometry import Circle, Point
+from repro.geometry import Point
 from repro.index import CompositeIndex
-from repro.objects import InstanceSet, ObjectGenerator, UncertainObject
+from repro.objects import ObjectGenerator
 from repro.queries.engine import (
     Refiner,
     filtering_phase,

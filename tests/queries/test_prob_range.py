@@ -1,11 +1,9 @@
 """Tests for the probabilistic-threshold range query (iPRQ)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import NaiveEvaluator
 from repro.errors import QueryError
-from repro.geometry import Point
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
 from repro.queries import QueryStats, iPRQ

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.baselines import NaiveEvaluator
 from repro.errors import QueryError
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator

@@ -19,7 +19,9 @@ from repro.objects.population import ObjectMove
 from repro.queries import (
     MonitorServer,
     QueryMonitor,
+    ResultDelta,
     ShardedMonitor,
+    Subscription,
     replay_deltas,
 )
 from repro.space.events import CloseDoor
@@ -150,6 +152,97 @@ class TestSubscriptions:
             # (nothing can ever publish or close it): refuse it instead.
             with pytest.raises(QueryError):
                 server.subscribe(a)
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    """Bounded subscription queues: drop-oldest overflow policy."""
+
+    def test_maxlen_validated(self):
+        with pytest.raises(QueryError):
+            Subscription("q", maxlen=0)
+
+    def test_push_drops_oldest_and_counts(self):
+        sub = Subscription("q", maxlen=2)
+        deltas = [
+            ResultDelta("q", "move", entered={f"o{i}": float(i)})
+            for i in range(4)
+        ]
+        for delta in deltas:
+            sub._push(delta)
+        assert sub.dropped == 2
+        assert sub.pending == 2
+
+        async def drain():
+            return [await sub.next_delta() for _ in range(2)]
+
+        assert asyncio.run(drain()) == deltas[2:]
+
+    def test_close_sentinel_bypasses_the_bound(self):
+        """A full bounded queue must still terminate its consumer: the
+        end-of-stream sentinel is never dropped (and never drops data)."""
+        sub = Subscription("q", maxlen=1)
+        delta = ResultDelta("q", "move", entered={"o": 1.0})
+        sub._push(delta)
+        sub._close()
+        assert sub.pending == 1  # the sentinel is not backlog
+
+        async def drain():
+            got = await sub.next_delta()
+            assert got == delta
+            return await sub.next_delta()
+
+        assert asyncio.run(drain()) is None
+        assert sub.dropped == 0
+
+    def test_unbounded_default_never_drops(self, five_rooms_index):
+        sub = Subscription("q")
+        for i in range(100):
+            sub._push(ResultDelta("q", "move", entered={f"o{i}": 1.0}))
+        assert sub.dropped == 0 and sub.pending == 100
+
+    def test_slow_subscriber_keeps_newest_state(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register_irq(Q1, 10.0)
+            sub = server.subscribe(a, snapshot=False, maxlen=1)
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            await server.apply_moves([_point_move("far", 25.0, 5.0)])
+            assert sub.dropped == 1 and sub.pending == 1
+            delta = await sub.next_delta()
+            assert delta.left == ("far",)  # the newest delta survived
+
+        asyncio.run(run())
+
+
+class TestParallelOffload:
+    """A parallel sharded monitor's mutations leave the event loop."""
+
+    def test_offload_autodetects_parallel_monitor(self, five_rooms_index):
+        serial = MonitorServer(ShardedMonitor(five_rooms_index, n_shards=2))
+        assert not serial._offloads()
+        with ShardedMonitor(
+            five_rooms_index, n_shards=2, workers=2
+        ) as monitor:
+            parallel = MonitorServer(monitor)
+            assert parallel._offloads()
+            assert not MonitorServer(monitor, offload=False)._offloads()
+
+    def test_offloaded_mutations_still_fan_out(self, five_rooms_index):
+        async def run():
+            with ShardedMonitor(
+                five_rooms_index, n_shards=2, workers=2
+            ) as monitor:
+                server = MonitorServer(monitor)
+                a = server.register_irq(Q1, 10.0)
+                sub = server.subscribe(a)
+                await server.apply_moves([_point_move("far", 6.0, 6.0)])
+                await server.apply_delete("mid")
+                server.close()
+                deltas = [d async for d in sub]
+                assert replay_deltas(deltas) == \
+                    server.monitor.result_distances(a)
 
         asyncio.run(run())
 

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines import NaiveEvaluator
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
-from repro.queries import QuerySession, iRQ, ikNNQ
+from repro.queries import QuerySession
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ from repro.index import CompositeIndex
 from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
 from repro.objects.population import ObjectMove
 from repro.geometry.rect import Box3
-from repro.queries import QuerySession, ShardedMonitor
+from repro.queries import QueryMonitor, QuerySession, ShardedMonitor
 from repro.queries.shard import ShardStats, _object_box
 from repro.space.events import CloseDoor
 
@@ -173,6 +173,133 @@ class TestRouter:
         ])
         assert [obj.object_id for obj in batch.moved] == ["far"]
         assert "far" not in sharded.result_ids(a)
+
+
+class TestBucketRouter:
+    """The tightened router: per-floor grid buckets exclude updates the
+    coarse shard bbox + max radius would admit."""
+
+    def test_update_between_query_clusters_is_bucket_skipped(
+        self, five_rooms_index
+    ):
+        # One shard holding two small-reach queries at opposite ends:
+        # the coarse box spans the gap between them, the buckets don't.
+        sharded = ShardedMonitor(five_rooms_index, n_shards=1)
+        a = sharded.register_irq(Q_LEFT, 4.0)
+        b = sharded.register_irq(Q_RIGHT, 4.0)
+        # Park "mid" in the dead middle first (old box is near Q_LEFT,
+        # so this batch still routes).
+        sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
+        assert sharded.routing.shard_visits == 1
+        before = sharded.routing.shards_skipped
+        # Now it shuffles within the gap: both old and new boxes sit
+        # inside the coarse box but outside every bucket's reach.
+        sharded.apply_moves([_point_move("mid", 15.5, 5.0)])
+        assert sharded.routing.shards_skipped == before + 1
+        assert sharded.routing.bucket_skips >= 1
+        assert sharded.result_ids(a) == {"near"}
+        assert sharded.result_ids(b) == {"far"}
+
+    def test_coarse_mode_admits_what_buckets_reject(self, five_rooms_index):
+        """The bucketed_router=False ablation reproduces the PR-2
+        single-bbox behaviour: the gap update wakes the shard."""
+        sharded = ShardedMonitor(
+            five_rooms_index, n_shards=1, bucketed_router=False
+        )
+        sharded.register_irq(Q_LEFT, 4.0)
+        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
+        sharded.apply_moves([_point_move("mid", 15.5, 5.0)])
+        assert sharded.routing.shards_skipped == 0
+        assert sharded.routing.bucket_skips == 0
+
+    def test_insert_in_gap_is_bucket_skipped(self, five_rooms_index):
+        sharded = ShardedMonitor(five_rooms_index, n_shards=1)
+        sharded.register_irq(Q_LEFT, 4.0)
+        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.apply_insert(_point_object("gap", 15.0, 5.0))
+        assert sharded.routing.shards_skipped == 1
+        assert sharded.routing.bucket_skips == 1
+
+    def test_unfull_knn_still_unskippable(self, five_rooms_index):
+        """An infinite reach short-circuits before any bucket logic."""
+        sharded = ShardedMonitor(five_rooms_index, n_shards=1)
+        sharded.register_iknn(Q_LEFT, 5)  # k > population: tau = inf
+        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
+        assert sharded.routing.shards_skipped == 0
+
+    def test_per_floor_radii_grouping(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        monitor.register_irq(Q_LEFT, 4.0, query_id="a")
+        monitor.register_irq(Q_RIGHT, 6.0, query_id="b")
+        by_floor = monitor.influence_radii_by_floor()
+        assert set(by_floor) == {0}
+        assert {(qid, r) for qid, _q, r in by_floor[0]} == {
+            ("a", 4.0),
+            ("b", 6.0),
+        }
+
+
+class TestParallelExecution:
+    """workers=N: routed shard maintenance on a thread pool, merged
+    bit-identically to serial."""
+
+    def _sequence(self, monitor):
+        batches = [monitor.drain_pending_deltas()]
+        batches.append(monitor.apply_moves([
+            _point_move("near", 4.5, 5.0),
+            _point_move("far", 24.5, 5.0),
+        ]))
+        batches.append(monitor.apply_insert(_point_object("new", 24.0, 5.0)))
+        batches.append(monitor.apply_moves([
+            _point_move("new", 6.0, 6.0),
+            _point_move("mid", 15.0, 5.0),
+        ]))
+        batches.append(monitor.apply_delete("new"))
+        return batches
+
+    def test_parallel_is_bit_identical_to_serial(self, five_rooms):
+        def fresh_index():
+            pop = ObjectPopulation(five_rooms)
+            pop.insert(_point_object("near", 4.0, 5.0))
+            pop.insert(_point_object("mid", 8.0, 5.0))
+            pop.insert(_point_object("far", 25.0, 5.0))
+            return CompositeIndex.build(five_rooms, pop)
+
+        serial = ShardedMonitor(fresh_index(), n_shards=2)
+        parallel = ShardedMonitor(fresh_index(), n_shards=2, workers=3)
+        for monitor in (serial, parallel):
+            monitor.register_irq(Q_LEFT, 10.0, query_id="left")
+            monitor.register_iknn(Q_RIGHT, 2, query_id="right")
+        serial_batches = self._sequence(serial)
+        parallel_batches = self._sequence(parallel)
+        for got, want in zip(parallel_batches, serial_batches):
+            assert got.deltas == want.deltas
+            assert [o.object_id for o in got.moved] == \
+                [o.object_id for o in want.moved]
+        for qid in ("left", "right"):
+            assert parallel.result_distances(qid) == \
+                serial.result_distances(qid)
+        assert parallel.routing == serial.routing
+        parallel.close()
+
+    def test_workers_validated(self, five_rooms_index):
+        with pytest.raises(QueryError):
+            ShardedMonitor(five_rooms_index, n_shards=2, workers=0)
+
+    def test_close_is_idempotent_and_degrades_to_serial(
+        self, five_rooms_index
+    ):
+        with ShardedMonitor(
+            five_rooms_index, n_shards=2, workers=2
+        ) as sharded:
+            a = sharded.register_irq(Q_LEFT, 10.0)
+            sharded.apply_moves([_point_move("far", 6.0, 6.0)])
+        sharded.close()  # second close is a no-op
+        # The pool is gone but the monitor still works (serially).
+        sharded.apply_moves([_point_move("far", 25.0, 5.0)])
+        assert sharded.result_ids(a) == {"near", "mid"}
 
 
 class TestEventsAndStats:

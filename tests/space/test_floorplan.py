@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SpaceError
 from repro.geometry import Point, Rect
-from repro.space import Door, IndoorSpace, Partition, PartitionKind
+from repro.space import Door, IndoorSpace, Partition
 
 
 def simple_space():

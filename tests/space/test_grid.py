@@ -1,6 +1,5 @@
 """Unit tests for the partition grid accelerator."""
 
-import pytest
 
 from repro.geometry import Point, Rect
 from repro.space.grid import PartitionGrid
