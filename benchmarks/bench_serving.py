@@ -45,9 +45,15 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_serving.py`
 import pytest
 
 from repro.bench.workloads import ScaleProfile, WorkloadFactory
-from repro.queries import MonitorServer
+from repro.queries import DeltaBatch, MonitorServer
 
 pytestmark = pytest.mark.tier2
+
+#: Queue bound of the per-scenario "lossy audit" subscription: a
+#: deliberately tiny, never-drained feed whose drop-oldest losses prove
+#: the ``deltas_dropped`` accounting end to end (unbounded primary
+#: subscriptions never drop).
+AUDIT_MAXLEN = 2
 
 #: Scenario knobs: (n_batches, batch_size, n_irq, n_iknn, n_shards).
 #: Serving is the frequent-small-batch regime (positioning systems push
@@ -110,6 +116,8 @@ class VariantResult:
     updates_filtered: int
     pairs: int
     results_equal: bool
+    #: Server-wide drop total (only the bounded audit feed can drop).
+    deltas_dropped: int = 0
     #: Per-batch delta tuples — the bit-identity evidence across
     #: variants (deterministic routing + deterministic merge).
     delta_history: tuple = field(repr=False, default=())
@@ -173,18 +181,27 @@ def run_serving(
     ]
     servers = []
     all_subs = []
+    audit_subs = []
     for scenario in scenarios:
         assert single.irq_ids == scenario.irq_ids
         server = MonitorServer(scenario.monitor)
         # Discard registration history directly on the monitor
         # (unpublished), then hold one snapshot-free subscription per
         # standing query: from here on, every published delta lands in
-        # exactly one queue.
+        # exactly one *primary* queue.
         scenario.monitor.drain_pending_deltas()
         all_subs.append([
             server.subscribe(qid, snapshot=False)
             for qid in scenario.irq_ids + scenario.knn_ids
         ])
+        # Plus one deliberately lossy feed on the first standing query:
+        # never drained, so its drop-oldest losses surface in the
+        # dropped column (the primary queues stay loss-free).
+        audit_subs.append(
+            server.subscribe(
+                scenario.irq_ids[0], snapshot=False, maxlen=AUDIT_MAXLEN
+            )
+        )
         servers.append(server)
 
     elapsed = [0.0] * len(variants)
@@ -220,11 +237,24 @@ def run_serving(
             for qid in single.irq_ids + single.knn_ids
         )
         # The fan-out path is load-bearing: everything the server
-        # published is sitting in (or was drained from) its queues.
+        # published is sitting in (or was drained from) the primary
+        # queues (deltas are counted once per delta, not per
+        # subscriber, so the extra audit feed does not inflate this).
         assert (
             sum(sub.delivered + sub.pending for sub in all_subs[i])
             == server.deltas_published
         )
+        # The lossy audit feed accounts for every delta of its query:
+        # queued + dropped, with the drops mirrored on the server total.
+        audit = audit_subs[i]
+        audit_published = sum(
+            1
+            for deltas in histories[i]
+            for d in deltas
+            if d.query_id == audit.query_id
+        )
+        assert audit.pending + audit.dropped == audit_published
+        assert server.deltas_dropped == audit.dropped
         routing = scenario.monitor.routing
         results.append(
             VariantResult(
@@ -236,6 +266,7 @@ def run_serving(
                 updates_filtered=routing.updates_filtered,
                 pairs=scenario.monitor.stats.pairs_evaluated,
                 results_equal=results_equal,
+                deltas_dropped=server.deltas_dropped,
                 delta_history=tuple(histories[i]),
             )
         )
@@ -271,6 +302,54 @@ def _check(run: ServingRun) -> None:
         assert bucketed[0].shard_skip_ratio >= c.shard_skip_ratio, (
             "tightened router skipped less than the coarse one"
         )
+
+
+@dataclass
+class WireTransport:
+    """Throughput of the JSONL delta wire over one run's history."""
+
+    deltas: int
+    lines: int
+    wire_bytes: int
+    encode_s: float
+    decode_s: float
+
+    @property
+    def encode_per_sec(self) -> float:
+        return self.deltas / self.encode_s if self.encode_s else 0.0
+
+    @property
+    def decode_per_sec(self) -> float:
+        return self.deltas / self.decode_s if self.decode_s else 0.0
+
+
+def measure_wire(history: tuple) -> WireTransport:
+    """Encode one run's per-batch delta history as JSONL batch records
+    (exactly what a served feed writes), decode it back, and time both
+    directions — the out-of-process transport cost per delta.
+
+    Round-trip fidelity is asserted inline: decoded deltas equal the
+    live ones, and re-encoding is byte-identical (canonical encoding).
+    """
+    from repro.api import wire
+
+    batches = [DeltaBatch(deltas=deltas) for deltas in history if deltas]
+    n_deltas = sum(len(b.deltas) for b in batches)
+    t0 = time.perf_counter()
+    lines = [wire.encode_record(b) for b in batches]
+    encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    decoded = [wire.decode_record(line) for line in lines]
+    decode_s = time.perf_counter() - t0
+    assert [b.deltas for b in decoded] == [b.deltas for b in batches]
+    assert [wire.encode_record(b) for b in decoded] == lines
+    return WireTransport(
+        deltas=n_deltas,
+        lines=len(lines),
+        wire_bytes=sum(len(line) + 1 for line in lines),
+        encode_s=encode_s,
+        decode_s=decode_s,
+    )
 
 
 def _serial_parallel(workers: int) -> tuple[Variant, ...]:
@@ -319,6 +398,7 @@ def test_serving_single_vs_sharded(full_run, save_table):
     result.add("bucket_skips", sharded.bucket_skips)
     result.add("pairs_single", run.pairs_single)
     result.add("pairs_sharded", sharded.pairs)
+    result.add("audit_dropped", sharded.deltas_dropped)
     save_table("serving_comparison", result)
     _check(run)
 
@@ -349,6 +429,28 @@ def test_serving_worker_scaling(full_run, save_table):
     _check(run)
 
 
+def test_serving_wire_transport(full_run, save_table):
+    """The `--transport jsonl` column of the nightly profile: JSONL
+    encode/decode throughput of the run's whole delta history, with
+    round-trip fidelity asserted inside :func:`measure_wire`."""
+    from repro.bench.runner import ExperimentResult
+
+    wt = measure_wire(full_run.by_label("sharded").delta_history)
+    assert wt.deltas > 0
+    result = ExperimentResult(
+        title="Serving — JSONL delta wire transport",
+        x_label="metric",
+        unit="",
+    )
+    result.x_values.append("run")
+    result.add("deltas", wt.deltas)
+    result.add("batch_lines", wt.lines)
+    result.add("wire_bytes", wt.wire_bytes)
+    result.add("encode_deltas_per_s", wt.encode_per_sec)
+    result.add("decode_deltas_per_s", wt.decode_per_sec)
+    save_table("serving_wire_transport", result)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Delta-serving benchmark: single vs sharded monitor."
@@ -368,6 +470,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--batches", type=int, default=None)
     parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument(
+        "--transport",
+        choices=("jsonl",),
+        default=None,
+        help="also measure the repro.api.wire delta transport: "
+        "encode/decode deltas-per-second over the run's history",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -423,6 +532,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{res.bucket_skips:>12} {res.updates_filtered:>9} "
             f"{res.pairs:>7} {res.deltas_published:>7}"
         )
+    print(
+        f"lossy audit dropped     {serial.deltas_dropped} "
+        f"(one never-drained sub, maxlen={AUDIT_MAXLEN})"
+    )
+    if args.transport == "jsonl":
+        wt = measure_wire(serial.delta_history)
+        print(
+            f"wire transport (jsonl)  {wt.deltas} deltas in "
+            f"{wt.lines} batch lines, {wt.wire_bytes} bytes"
+        )
+        print(f"  encode deltas/sec     {wt.encode_per_sec:10.1f}")
+        print(f"  decode deltas/sec     {wt.decode_per_sec:10.1f}")
     print("results identical       True (asserted)")
     _check(run)
     print("serving bench OK")

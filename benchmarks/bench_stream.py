@@ -67,9 +67,9 @@ def test_stream_monitor_throughput(stream_scenario, save_table, benchmark):
     )
     # ...and still be exact: spot-check one standing iRQ from scratch.
     qid = scenario.irq_ids[0]
-    _, q, r = scenario.monitor.query_spec(qid)
+    spec = scenario.monitor.query_spec(qid)
     assert scenario.monitor.result_ids(qid) == iRQ(
-        q, float(r), scenario.index
+        spec.q, spec.r, scenario.index
     ).ids()
 
     benchmark(lambda: scenario.absorb_batch(BATCH_SIZE))

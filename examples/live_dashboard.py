@@ -1,14 +1,16 @@
-"""Live dashboard: delta subscriptions over a moving crowd.
+"""Live dashboard: delta subscriptions through the QueryService façade.
 
 A mall operations desk watches two standing queries while visitors walk
 around: an information kiosk's "who is within 60 m" range query and a
-security desk's 8 nearest visitors.  Instead of polling result sets,
-the dashboard *subscribes*: a sharded :class:`repro.ShardedMonitor`
-(4 shards over one shared index) keeps both results continuously
-correct, and an asyncio :class:`repro.MonitorServer` pushes every
-result **delta** — who entered, who left, whose distance changed — into
-the dashboard's subscription queues, absorbing a corridor-door closure
-(a cleaning blockage) without missing a beat.
+security desk's 8 nearest visitors.  Everything goes through one
+:class:`repro.QueryService`: declarative specs
+(:class:`repro.RangeSpec` / :class:`repro.KNNSpec`) instead of
+per-class registration calls, a :class:`repro.ServiceConfig` that picks
+the sharded engine (4 shards over one shared index) without touching
+dashboard code, and :meth:`subscribe` feeds that push every result
+**delta** — who entered, who left, whose distance changed — into the
+dashboard's queues, absorbing a corridor-door closure (a cleaning
+blockage) without missing a beat.
 
 Run with::
 
@@ -19,10 +21,12 @@ import asyncio
 
 from repro import (
     CompositeIndex,
-    MonitorServer,
+    KNNSpec,
     MovementStream,
     ObjectGenerator,
-    ShardedMonitor,
+    QueryService,
+    RangeSpec,
+    ServiceConfig,
     build_mall,
     replay_deltas,
 )
@@ -59,21 +63,25 @@ async def main() -> None:
     print(f"Venue:    {space}")
     print(f"Visitors: {len(visitors)} moving objects\n")
 
-    monitor = ShardedMonitor(index, n_shards=4)
-    server = MonitorServer(monitor)
+    # One façade: the config picks the sharded engine; the dashboard
+    # below never mentions monitors, shards or servers again.
+    service = QueryService(index, ServiceConfig(n_shards=4))
     kiosk_q = space.random_point(seed=4)
     desk_q = space.random_point(seed=9)
-    kiosk = server.register_irq(kiosk_q, 60.0, query_id="kiosk")
-    desk = server.register_iknn(desk_q, 8, query_id="security")
+    kiosk_spec = RangeSpec(kiosk_q, 60.0)
+    desk_spec = KNNSpec(desk_q, 8)
+    kiosk = service.watch(kiosk_spec, query_id="kiosk")
+    desk = service.watch(desk_spec, query_id="security")
+    monitor = service.monitor  # introspection only (shards, routing)
     print(f"Standing queries: kiosk iRQ(60 m) at "
           f"({kiosk_q.x:.0f},{kiosk_q.y:.0f}) floor {kiosk_q.floor} "
           f"-> shard {monitor.shard_of(kiosk_q)}; "
           f"security 8-NN at ({desk_q.x:.0f},{desk_q.y:.0f}) "
           f"floor {desk_q.floor} -> shard {monitor.shard_of(desk_q)}\n")
 
-    kiosk_sub = server.subscribe(kiosk)      # primed with a snapshot
-    desk_sub = server.subscribe(desk)
-    replay_feed = server.subscribe(kiosk)    # independent audit feed
+    kiosk_sub = service.subscribe(kiosk)     # primed with a snapshot
+    desk_sub = service.subscribe(desk)
+    replay_feed_sub = service.subscribe(kiosk)  # independent audit feed
     feed_log: list[str] = []
     watchers = [
         asyncio.ensure_future(watch("kiosk", kiosk_sub, feed_log)),
@@ -91,23 +99,23 @@ async def main() -> None:
         tick = tick0 + 1
         note = ""
         if tick == 4:
-            await server.apply_event(CloseDoor(blocked_door))
+            service.apply_event(CloseDoor(blocked_door))
             note = f"door {blocked_door} closed (cleaning)"
         elif tick == 7:
-            await server.apply_event(OpenDoor(blocked_door))
+            service.apply_event(OpenDoor(blocked_door))
             note = f"door {blocked_door} reopened"
-        s = monitor.stats
+        s = service.stats
         print(
             f"{tick:4d} | {s.updates_seen:7d} | "
-            f"{len(monitor.result_ids(kiosk)):6d} | "
-            f"{len(monitor.result_ids(desk)):8d} | "
+            f"{len(service.result_ids(kiosk)):6d} | "
+            f"{len(service.result_ids(desk)):8d} | "
             f"{100 * s.skip_ratio:6.1f}% | "
-            f"{100 * monitor.routing.skip_ratio:9.1f}% | {note}"
+            f"{100 * service.routing.skip_ratio:9.1f}% | {note}"
         )
 
-    await server.serve(stream, n_batches=10, batch_size=30,
-                       on_batch=on_batch)
-    server.close()
+    report = await service.serve(stream, n_batches=10, batch_size=30,
+                                 on_batch=on_batch)
+    service.close()
     await asyncio.gather(*watchers)
 
     print("\nDelta feed (first 12 changes the widgets saw):")
@@ -118,26 +126,30 @@ async def main() -> None:
     # kiosk subscription received — snapshot included — reconstructs
     # the live result exactly.
     audit = []
-    while (delta := await replay_feed.next_delta()) is not None:
+    while (delta := await replay_feed_sub.next_delta()) is not None:
         audit.append(delta)
-    assert replay_deltas(audit) == monitor.result_distances(kiosk)
+    assert replay_deltas(audit) == service.result_distances(kiosk)
     print(f"\nReplayed {len(audit)} kiosk deltas == live result "
-          f"({len(monitor.result_ids(kiosk))} members): delta contract holds.")
+          f"({len(service.result_ids(kiosk))} members): delta contract holds.")
 
-    stats = monitor.stats
+    stats = service.stats
     print(
         f"Processed {stats.updates_seen} updates against "
-        f"{len(monitor)} standing queries across {monitor.n_shards} shards: "
+        f"{len(service)} standing queries across {monitor.n_shards} shards: "
         f"{stats.pairs_skipped} pairs decided without exact distance work, "
         f"{stats.pairs_refined} refined, "
         f"{stats.full_recomputes} bound-violation fallbacks, "
         f"{stats.event_recomputes} topology resyncs."
     )
-    routing = monitor.routing
+    routing = service.routing
     print(
         f"Router: {routing.shards_skipped} shard visits skipped outright "
         f"({100 * routing.skip_ratio:.1f}%), "
         f"{routing.updates_filtered} updates filtered before pairing."
+    )
+    print(
+        f"Serve report: {report.deltas_published} deltas published, "
+        f"{report.deltas_dropped} dropped (all queues unbounded here)."
     )
     assert stats.recompute_ratio < 1.0  # the monitor provably skips work
     print(

@@ -67,6 +67,12 @@ _EXPORTS = {
     "iRQ": "repro.queries",
     "ikNNQ": "repro.queries",
     "iPRQ": "repro.queries",
+    "QuerySpec": "repro.api",
+    "RangeSpec": "repro.api",
+    "KNNSpec": "repro.api",
+    "ProbRangeSpec": "repro.api",
+    "QueryService": "repro.api",
+    "ServiceConfig": "repro.api",
     "QueryStats": "repro.queries",
     "QuerySession": "repro.queries",
     "QueryMonitor": "repro.queries",
@@ -130,6 +136,12 @@ __all__ = [
     "iRQ",
     "ikNNQ",
     "iPRQ",
+    "QuerySpec",
+    "RangeSpec",
+    "KNNSpec",
+    "ProbRangeSpec",
+    "QueryService",
+    "ServiceConfig",
     "QueryStats",
     "QuerySession",
     "QueryMonitor",

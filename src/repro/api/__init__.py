@@ -1,0 +1,66 @@
+"""`repro.api` — the unified public query surface.
+
+One declarative vocabulary (:class:`RangeSpec`, :class:`KNNSpec`,
+:class:`ProbRangeSpec`), one façade (:class:`QueryService`:
+``run``/``watch``/``subscribe``/``ingest`` over one
+:class:`~repro.index.composite.CompositeIndex` and one
+:class:`~repro.queries.session.QuerySession`), and one versioned wire
+protocol (:mod:`repro.api.wire`, JSON lines) so subscribers can live
+out-of-process.  The legacy per-class entry points remain, but every
+standing registration now funnels through ``register(spec)`` — the
+``register_irq``/``register_iknn`` trios are deprecated shims.
+
+Quickstart::
+
+    from repro.api import KNNSpec, QueryService, RangeSpec, ServiceConfig
+
+    service = QueryService(index, ServiceConfig(n_shards=4))
+    nearby = service.run(RangeSpec(q, 60.0))       # one-shot
+    kiosk = service.watch(RangeSpec(q, 60.0))      # standing
+    feed = service.subscribe(KNNSpec(desk, 8))     # async delta push
+    service.ingest(moves)                          # drive updates
+
+Submodules are imported lazily (``repro.api.specs`` must stay
+importable from :mod:`repro.queries.monitor` without dragging the whole
+service stack in).
+"""
+
+import importlib
+
+# Public name -> defining submodule, resolved lazily via __getattr__.
+_EXPORTS = {
+    "QuerySpec": "repro.api.specs",
+    "RangeSpec": "repro.api.specs",
+    "KNNSpec": "repro.api.specs",
+    "ProbRangeSpec": "repro.api.specs",
+    "SPEC_SCHEMA_VERSION": "repro.api.specs",
+    "spec_from_dict": "repro.api.specs",
+    "QueryService": "repro.api.service",
+    "ServiceConfig": "repro.api.service",
+    "WIRE_VERSION": "repro.api.wire",
+    "WatchRecord": "repro.api.wire",
+    "SnapshotRecord": "repro.api.wire",
+    "DeltaFeedWriter": "repro.api.wire",
+    "encode_record": "repro.api.wire",
+    "decode_record": "repro.api.wire",
+    "read_feed": "repro.api.wire",
+    "replay_feed": "repro.api.wire",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.api' has no attribute {name!r}"
+        )
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

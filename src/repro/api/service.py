@@ -1,0 +1,400 @@
+"""The :class:`QueryService` façade: one object, four verbs.
+
+Before this layer, the paper's three query classes were reachable
+through five divergent entry-point styles — the free functions
+:func:`~repro.queries.iRQ` / :func:`~repro.queries.ikNNQ` /
+:func:`~repro.queries.iPRQ` plus near-duplicate registration trios on
+:class:`~repro.queries.monitor.QueryMonitor`,
+:class:`~repro.queries.shard.ShardedMonitor` and
+:class:`~repro.queries.serving.MonitorServer`.  The façade collapses
+them:
+
+* :meth:`QueryService.run` — one-shot evaluation of any spec, with the
+  subgraph phase served from the service's shared
+  :class:`~repro.queries.session.QuerySession`;
+* :meth:`QueryService.watch` — standing registration (iRQ/ikNNQ),
+  incrementally maintained over :meth:`ingest` streams;
+* :meth:`QueryService.subscribe` — an async
+  :class:`~repro.queries.serving.Subscription` pushing every result
+  delta, snapshot-primed;
+* :meth:`QueryService.ingest` (and ``insert``/``delete``/
+  ``apply_event``) — the single-writer mutation path; every emitted
+  delta fans out to subscribers *and* to any attached JSONL wire feed
+  (:meth:`attach_feed`), which is how subscribers live out-of-process.
+
+A :class:`ServiceConfig` picks the execution engine — single
+:class:`~repro.queries.monitor.QueryMonitor` versus
+:class:`~repro.queries.shard.ShardedMonitor` (shard count, worker
+pool, bucketed router) — without changing a caller's code, and every
+standing-query id is claimed through one
+:func:`~repro.queries.monitor.claim_query_id` guard so duplicates fail
+loudly no matter which surface claimed first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import IO, Awaitable, Callable
+
+from repro.api.specs import (
+    KNNSpec,
+    ProbRangeSpec,
+    QuerySpec,
+    RangeSpec,
+    standing_spec,
+)
+from repro.api.wire import DeltaFeedWriter
+from repro.errors import QueryError
+from repro.index.composite import CompositeIndex
+from repro.objects.generator import MovementStream
+from repro.objects.population import ObjectMove
+from repro.objects.uncertain import UncertainObject
+from repro.queries.deltas import DeltaBatch, ResultDelta
+from repro.queries.engine import QueryResult
+from repro.queries.monitor import (
+    MonitorStats,
+    QueryMonitor,
+    claim_query_id,
+)
+from repro.queries.prob_range import iPRQ
+from repro.queries.serving import (
+    MonitorServer,
+    ServeReport,
+    Subscription,
+)
+from repro.queries.session import QuerySession
+from repro.queries.shard import ShardedMonitor, ShardStats
+from repro.queries.stats import QueryStats
+from repro.space.events import EventResult, TopologyEvent
+
+#: Sentinel: "caller did not pass maxlen" (None is a meaningful value —
+#: an explicitly unbounded queue overriding the config default).
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Execution knobs of a :class:`QueryService`.
+
+    ``n_shards=1`` (default) runs a single
+    :class:`~repro.queries.monitor.QueryMonitor`; ``n_shards>1`` a
+    :class:`~repro.queries.shard.ShardedMonitor`, with ``workers``
+    selecting its parallel ingest mode and ``bucketed_router`` the
+    tightened per-floor reach tables.  ``maxlen`` is the default
+    subscription queue bound (``None`` = unbounded; see
+    :class:`~repro.queries.serving.Subscription` for the drop-oldest
+    policy and the ``dropped`` counter).
+    """
+
+    n_shards: int = 1
+    workers: int = 1
+    bucketed_router: bool = True
+    maxlen: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise QueryError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.maxlen is not None and self.maxlen < 1:
+            raise QueryError(f"maxlen must be >= 1, got {self.maxlen}")
+
+
+class QueryService:
+    """One façade over index, session, monitor and serving layers.
+
+    Usage::
+
+        service = QueryService(index, ServiceConfig(n_shards=4))
+        nearby = service.run(RangeSpec(q, 60.0))        # one-shot
+        kiosk = service.watch(RangeSpec(q, 60.0))       # standing
+        feed = service.subscribe(KNNSpec(desk, 8))      # push
+        service.ingest(stream.next_moves(100))          # update
+
+    ``run``/``watch``/``subscribe`` results are bit-identical to the
+    legacy entry points they wrap (``tests/api/test_service.py``
+    asserts it); the façade adds no semantics, only a single surface.
+    """
+
+    def __init__(
+        self,
+        index: CompositeIndex,
+        config: ServiceConfig | None = None,
+        session: QuerySession | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.index = index
+        self.session = session or QuerySession(index)
+        if self.config.n_shards > 1:
+            self.monitor: QueryMonitor | ShardedMonitor = ShardedMonitor(
+                index,
+                n_shards=self.config.n_shards,
+                session=self.session,
+                workers=self.config.workers,
+                bucketed_router=self.config.bucketed_router,
+            )
+        else:
+            self.monitor = QueryMonitor(index, session=self.session)
+        self.server = MonitorServer(self.monitor)
+        self.server.on_publish = self._feed_batch
+        self._feeds: list[DeltaFeedWriter] = []
+        self._id_counter = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """End every subscription and shut a sharded monitor's worker
+        pool down (idempotent).  Attached feeds are not closed — their
+        files belong to the caller."""
+        self._closed = True
+        self.server.close()
+        if isinstance(self.monitor, ShardedMonitor):
+            self.monitor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # one-shot evaluation
+    # ------------------------------------------------------------------
+
+    def run(
+        self, spec: QuerySpec, stats: QueryStats | None = None
+    ) -> QueryResult:
+        """Evaluate ``spec`` once, immediately, against the current
+        population.  iRQ/ikNNQ serve their subgraph phase from the
+        shared session cache (one Dijkstra per query point, reused by
+        standing queries at the same spot); iPRQ runs the full
+        four-phase pipeline."""
+        if isinstance(spec, RangeSpec):
+            return self.session.irq(spec.q, spec.r, stats=stats)
+        if isinstance(spec, KNNSpec):
+            return self.session.iknnq(spec.q, spec.k, stats=stats)
+        if isinstance(spec, ProbRangeSpec):
+            return iPRQ(spec.q, spec.r, spec.p_min, self.index, stats=stats)
+        raise QueryError(
+            f"cannot run {type(spec).__name__}: not a known query spec"
+        )
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+
+    def claim_query_id(
+        self, query_id: str | None, spec: QuerySpec
+    ) -> str:
+        """Allocate (or validate) a standing-query id.  Every id this
+        service hands out flows through here — one guard, one counter —
+        so a duplicate raises a clear
+        :class:`~repro.errors.QueryError` instead of colliding
+        silently across shards or surfaces."""
+        return claim_query_id(
+            self.monitor, query_id, standing_spec(spec).kind,
+            self._id_counter,
+        )
+
+    def watch(self, spec: QuerySpec, query_id: str | None = None) -> str:
+        """Register ``spec`` as a standing query; returns its id.
+
+        The initial result is emitted as a ``register`` delta to
+        subscribers and attached feeds (feeds also get the ``watch``
+        header record, so a replay knows the query's spec)."""
+        if self._closed:
+            raise QueryError("service is closed")
+        query_id = self.claim_query_id(query_id, spec)
+        self.monitor.register(spec, query_id=query_id)
+        for feed in self._feeds:
+            feed.watch(query_id, spec)
+        self.server.publish(self.monitor.drain_pending_deltas())
+        return query_id
+
+    def unwatch(self, query_id: str) -> None:
+        """Deregister a standing query: its deregister delta (every
+        member leaves) reaches subscribers and feeds, and all its
+        subscriptions end."""
+        members = self.monitor.result_distances(query_id)
+        self.server.deregister(query_id)
+        if not members:
+            # An empty result deregisters without a delta (nothing
+            # changed for in-process subscribers), but a wire feed
+            # still needs the closure record — replay_feed must drop
+            # the query, exactly as the live monitor did.
+            self._feed_batch(
+                DeltaBatch(
+                    deltas=(ResultDelta(query_id, "deregister"),)
+                )
+            )
+
+    def subscribe(
+        self,
+        spec_or_id: QuerySpec | str,
+        snapshot: bool = True,
+        maxlen: int | None = _UNSET,  # type: ignore[assignment]
+    ) -> Subscription:
+        """A live delta feed for one standing query.
+
+        Pass a spec to register-and-subscribe in one step (the
+        subscription's ``query_id`` carries the new id), or an existing
+        id to add another consumer.  ``maxlen`` defaults to the
+        service config's bound."""
+        if isinstance(spec_or_id, QuerySpec):
+            query_id = self.watch(spec_or_id)
+        else:
+            query_id = spec_or_id
+        if maxlen is _UNSET:
+            maxlen = self.config.maxlen
+        return self.server.subscribe(
+            query_id, snapshot=snapshot, maxlen=maxlen
+        )
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        self.server.unsubscribe(sub)
+
+    # ------------------------------------------------------------------
+    # mutation (single writer)
+    # ------------------------------------------------------------------
+
+    def ingest(self, moves: list[ObjectMove]) -> DeltaBatch:
+        """Absorb a batch of position updates: index mutation, standing
+        result maintenance, delta fan-out to subscribers and feeds."""
+        return self._publish(lambda: self.monitor.apply_moves(moves))
+
+    def insert(self, obj: UncertainObject) -> DeltaBatch:
+        """A brand-new object appears."""
+        return self._publish(lambda: self.monitor.apply_insert(obj))
+
+    def delete(self, object_id: str) -> DeltaBatch:
+        """An object disappears."""
+        return self._publish(
+            lambda: self.monitor.apply_delete(object_id)
+        )
+
+    def apply_event(self, event: TopologyEvent) -> EventResult:
+        """Apply a topology event (door closure, split, merge); every
+        standing query resynchronises and the resync deltas fan out.
+        Returns the space-level outcome."""
+        batch = self._publish(lambda: self.monitor.apply_event(event))
+        return batch.event_result
+
+    def _publish(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
+        if self._closed:
+            raise QueryError("service is closed")
+        # The server's writer lock serialises this sync mutation against
+        # any in-flight offloaded batch of a concurrently running
+        # serve() — monitor and index state stay single-writer.  (The
+        # publish itself is only loop-safe when no event loop is
+        # draining subscribers at this instant; interleave sync
+        # mutations with an active serve() from `on_batch`, not from a
+        # foreign thread.)
+        with self.server._op_lock:
+            batch = op()
+            self.server.publish(batch)
+        return batch
+
+    async def serve(
+        self,
+        stream: MovementStream,
+        n_batches: int,
+        batch_size: int,
+        on_batch: Callable[[int, DeltaBatch], Awaitable[None] | None]
+        | None = None,
+    ) -> ServeReport:
+        """Drive ``n_batches`` of ``batch_size`` moves from ``stream``
+        through the monitor inside the running event loop (see
+        :meth:`~repro.queries.serving.MonitorServer.serve`); the report
+        includes the run's published *and* dropped delta totals."""
+        return await self.server.serve(
+            stream, n_batches, batch_size, on_batch=on_batch
+        )
+
+    # ------------------------------------------------------------------
+    # wire feeds (out-of-process subscribers)
+    # ------------------------------------------------------------------
+
+    def attach_feed(self, fp: IO[str]) -> DeltaFeedWriter:
+        """Mirror this service's published deltas onto ``fp`` as JSON
+        lines (:mod:`repro.api.wire`).
+
+        The feed opens with a header — one ``watch`` record plus one
+        ``snapshot`` record per currently-standing query — then carries
+        every subsequently published non-empty batch, so a consumer
+        that replays the whole file (:func:`repro.api.wire.replay_feed`)
+        reconstructs each standing query's live result exactly.
+        """
+        writer = DeltaFeedWriter(fp)
+        for query_id in self.query_ids():
+            writer.watch(query_id, self.query_spec(query_id))
+            writer.snapshot(query_id, self.result_distances(query_id))
+        self._feeds.append(writer)
+        return writer
+
+    def detach_feed(self, writer: DeltaFeedWriter) -> None:
+        if writer in self._feeds:
+            self._feeds.remove(writer)
+
+    def _feed_batch(self, batch: DeltaBatch) -> None:
+        for feed in self._feeds:
+            feed.batch(batch)
+
+    # ------------------------------------------------------------------
+    # result / introspection surface
+    # ------------------------------------------------------------------
+
+    def result_ids(self, query_id: str) -> set[str]:
+        return self.monitor.result_ids(query_id)
+
+    def result_distances(self, query_id: str) -> dict[str, float | None]:
+        return self.monitor.result_distances(query_id)
+
+    def results(self) -> dict[str, set[str]]:
+        return self.monitor.results()
+
+    def query_ids(self) -> list[str]:
+        return self.monitor.query_ids()
+
+    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
+        return self.monitor.query_spec(query_id)
+
+    def __len__(self) -> int:
+        return len(self.monitor)
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self.monitor
+
+    @property
+    def stats(self) -> MonitorStats:
+        return self.monitor.stats
+
+    @property
+    def routing(self) -> ShardStats | None:
+        """Shard-router accounting (``None`` under a single monitor)."""
+        return getattr(self.monitor, "routing", None)
+
+    @property
+    def deltas_published(self) -> int:
+        return self.server.deltas_published
+
+    @property
+    def deltas_dropped(self) -> int:
+        return self.server.deltas_dropped
+
+    def drain_pending_deltas(self) -> DeltaBatch:
+        """Flush deltas parked by out-of-band work through the publish
+        path (subscribers and feeds see them); returns the batch."""
+        batch = self.monitor.drain_pending_deltas()
+        self.server.publish(batch)
+        return batch
+
+    def subscriptions(self, query_id: str) -> list[Subscription]:
+        """The live subscriptions for one standing query (server
+        internals surfaced read-only for tests/dashboards)."""
+        return list(self.server._subs.get(query_id, ()))

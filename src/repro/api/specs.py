@@ -1,0 +1,235 @@
+"""Declarative query specifications — the value objects of `repro.api`.
+
+A *spec* describes **what** to ask, independent of **how** it is
+evaluated: :class:`RangeSpec` is the paper's iRQ (Definition 3),
+:class:`KNNSpec` the ikNNQ (Definition 4) and :class:`ProbRangeSpec`
+the probabilistic-threshold extension (:func:`repro.queries.iPRQ`).
+Every evaluation surface — one-shot execution, standing registration on
+a (sharded) monitor, async subscription — takes the same spec, so a new
+capability is plumbed through exactly one registration path instead of
+three near-duplicate ``register_irq``/``register_iknn`` trios.
+
+Specs are frozen, validated at construction (same
+:class:`~repro.errors.QueryError`\\ s the legacy entry points raised),
+and **versioned**: :meth:`QuerySpec.to_dict` emits a plain dict stamped
+with :data:`SPEC_SCHEMA_VERSION` and :func:`spec_from_dict` rebuilds the
+spec from it, refusing unknown versions or kinds.  Numeric fields are
+canonicalised (``r`` to float, ``k`` to int) so that encoding a decoded
+dict is byte-identical under the canonical JSON encoding of
+:mod:`repro.api.wire` — the round-trip property
+``tests/api/test_wire.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.errors import QueryError
+from repro.geometry.point import Point
+
+#: Version stamped into every serialized spec.  Bump on any change to
+#: the spec dict layout; ``spec_from_dict`` rejects versions it does
+#: not know how to read (see the "API" section of ROADMAP.md).
+SPEC_SCHEMA_VERSION = 1
+
+#: kind string -> spec class, fed by ``_spec_kind`` below.
+_SPEC_KINDS: dict[str, type["QuerySpec"]] = {}
+
+
+def _spec_kind(cls: type["QuerySpec"]) -> type["QuerySpec"]:
+    _SPEC_KINDS[cls.kind] = cls
+    return cls
+
+
+def _point_to_wire(q: Point) -> list[float]:
+    """Canonical wire form of a query point: ``[x, y, floor]`` with the
+    planar coordinates coerced to float (so re-encoding a decoded point
+    is byte-identical even when the caller used ints)."""
+    return [float(q.x), float(q.y), int(q.floor)]
+
+
+def _point_from_wire(value: Any) -> Point:
+    if not isinstance(value, (list, tuple)) or len(value) != 3:
+        raise QueryError(f"malformed query point {value!r}")
+    x, y, floor = value
+    return Point(
+        _as_float(x, "query point x"),
+        _as_float(y, "query point y"),
+        _as_int(floor, "query point floor"),
+    )
+
+
+def _as_float(value: Any, what: str) -> float:
+    if isinstance(value, bool):  # bool is an int subclass: not a number
+        raise QueryError(f"{what} must be a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise QueryError(f"{what} must be a number, got {value!r}") from None
+
+
+def _as_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or (
+        isinstance(value, float) and not value.is_integer()
+    ):
+        raise QueryError(f"{what} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise QueryError(f"{what} must be an integer, got {value!r}") from None
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Base class of the declarative query specs.
+
+    Subclasses set ``kind`` (the wire discriminator, doubling as the
+    standing-query id prefix) and ``watchable`` (whether the continuous
+    monitor can maintain the query incrementally — ``iprq`` is one-shot
+    only).
+    """
+
+    kind: ClassVar[str] = ""
+    watchable: ClassVar[bool] = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned plain-dict form, ``spec_from_dict``'s inverse."""
+        out: dict[str, Any] = {
+            "v": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+            "q": _point_to_wire(self.q),  # type: ignore[attr-defined]
+        }
+        out.update(self._params())
+        return out
+
+    def _params(self) -> dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: Any) -> "QuerySpec":
+        return spec_from_dict(data)
+
+
+@_spec_kind
+@dataclass(frozen=True)
+class RangeSpec(QuerySpec):
+    """Indoor range query: objects within expected indoor distance
+    ``r`` of ``q`` (Definition 3, Algorithm 1)."""
+
+    q: Point
+    r: float
+
+    kind: ClassVar[str] = "irq"
+    watchable: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "r", _as_float(self.r, "query range"))
+        if not self.r >= 0:
+            raise QueryError(f"negative query range {self.r}")
+
+    def _params(self) -> dict[str, Any]:
+        return {"r": self.r}
+
+    @classmethod
+    def _from_dict(cls, data: dict[str, Any]) -> "RangeSpec":
+        return cls(_point_from_wire(data.get("q")), data.get("r"))
+
+
+@_spec_kind
+@dataclass(frozen=True)
+class KNNSpec(QuerySpec):
+    """Indoor k-nearest-neighbour query: the ``k`` objects with the
+    smallest expected indoor distances from ``q`` (Definition 4,
+    Algorithm 2)."""
+
+    q: Point
+    k: int
+
+    kind: ClassVar[str] = "iknn"
+    watchable: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "k", _as_int(self.k, "k"))
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+    def _params(self) -> dict[str, Any]:
+        return {"k": self.k}
+
+    @classmethod
+    def _from_dict(cls, data: dict[str, Any]) -> "KNNSpec":
+        return cls(_point_from_wire(data.get("q")), data.get("k"))
+
+
+@_spec_kind
+@dataclass(frozen=True)
+class ProbRangeSpec(QuerySpec):
+    """Probabilistic-threshold range query: objects whose probability
+    of lying within indoor distance ``r`` of ``q`` is at least
+    ``p_min`` (the iPRQ extension; one-shot only)."""
+
+    q: Point
+    r: float
+    p_min: float
+
+    kind: ClassVar[str] = "iprq"
+    watchable: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "r", _as_float(self.r, "query range"))
+        object.__setattr__(
+            self, "p_min", _as_float(self.p_min, "p_min")
+        )
+        if not self.r >= 0:
+            raise QueryError(f"negative query range {self.r}")
+        if not 0.0 < self.p_min <= 1.0:
+            raise QueryError(f"p_min must be in (0, 1], got {self.p_min}")
+
+    def _params(self) -> dict[str, Any]:
+        return {"r": self.r, "p_min": self.p_min}
+
+    @classmethod
+    def _from_dict(cls, data: dict[str, Any]) -> "ProbRangeSpec":
+        return cls(
+            _point_from_wire(data.get("q")),
+            data.get("r"),
+            data.get("p_min"),
+        )
+
+
+def spec_from_dict(data: Any) -> QuerySpec:
+    """Rebuild a spec from its :meth:`QuerySpec.to_dict` form.
+
+    Raises :class:`~repro.errors.QueryError` on malformed input, an
+    unsupported schema version, or an unknown kind — a clear failure
+    beats silently guessing at a wire peer's newer schema.
+    """
+    if not isinstance(data, dict):
+        raise QueryError(f"spec must be a dict, got {type(data).__name__}")
+    version = data.get("v")
+    if version != SPEC_SCHEMA_VERSION:
+        raise QueryError(
+            f"unsupported spec schema version {version!r} "
+            f"(this build reads version {SPEC_SCHEMA_VERSION})"
+        )
+    kind = data.get("kind")
+    cls = _SPEC_KINDS.get(kind)
+    if cls is None:
+        raise QueryError(f"unknown query spec kind {kind!r}")
+    return cls._from_dict(data)  # type: ignore[attr-defined]
+
+
+def standing_spec(spec: QuerySpec) -> RangeSpec | KNNSpec:
+    """Validate that ``spec`` can be registered as a standing query;
+    the single gate every ``register(spec)`` path shares."""
+    if not isinstance(spec, QuerySpec):
+        raise QueryError(
+            f"expected a QuerySpec, got {type(spec).__name__}"
+        )
+    if not spec.watchable:
+        raise QueryError(
+            f"{type(spec).__name__} ({spec.kind}) is one-shot only and "
+            "cannot be registered as a standing query"
+        )
+    return spec  # type: ignore[return-value]

@@ -1,0 +1,333 @@
+"""Versioned JSON-lines wire protocol for specs, deltas and snapshots.
+
+The ROADMAP's "delta transport" item: serialize the delta-serving
+subsystem's currency so subscribers can live **out-of-process** — a
+positioning gateway writes the feed, a dashboard in another process (or
+machine) tails it.  One JSON object per line, five record types::
+
+    {"v":1,"type":"spec","spec":{"v":1,"kind":"irq","q":[x,y,f],"r":60.0}}
+    {"v":1,"type":"watch","query_id":"kiosk","spec":{...spec body...}}
+    {"v":1,"type":"snapshot","query_id":"kiosk","members":{"o1":4.25}}
+    {"v":1,"type":"delta","query_id":"kiosk","cause":"move",
+     "entered":{"o2":7.5},"left":["o3"],"changed":{}}
+    {"v":1,"type":"batch","deltas":[{...delta body...}, ...]}
+
+``v`` is :data:`WIRE_VERSION`; nested spec bodies carry their own
+:data:`~repro.api.specs.SPEC_SCHEMA_VERSION`.  Unknown versions or
+record types raise :class:`~repro.errors.WireError` — a peer speaking a
+newer schema fails loudly instead of being half-read.
+
+Encoding is **canonical** (sorted keys, no whitespace, floats via
+``repr``), which buys the contract the property tests enforce:
+``encode_record(decode_record(line)) == line`` byte for byte, and
+replaying a decoded feed (:func:`replay_feed`) reconstructs every
+standing query's live result exactly — the same replayability guarantee
+:mod:`repro.queries.deltas` gives in-process, now across the wire.
+Non-finite distances are refused (``allow_nan=False``): the monitor
+never stores them, so one appearing in a feed is a bug upstream, not a
+value to smuggle through.
+
+A :class:`DeltaBatch` crosses the wire as its result deltas only; the
+in-process side outputs (``moved`` objects, ``deleted``,
+``event_result``) are host conveniences and stay home.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Any, Iterable, Iterator
+
+from repro.errors import WireError
+from repro.api.specs import QuerySpec, spec_from_dict
+from repro.queries.deltas import DeltaBatch, ResultDelta
+
+#: Version stamped into every wire record; bump on layout changes.
+WIRE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WatchRecord:
+    """Feed header: standing query ``query_id`` watches ``spec``."""
+
+    query_id: str
+    spec: QuerySpec
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """A standing query's full result at one instant: member id ->
+    stored distance (``None`` marks an iRQ member accepted by bounds
+    alone).  Re-primes a replay mid-feed."""
+
+    query_id: str
+    members: dict[str, float | None]
+
+
+def _dumps(payload: dict[str, Any]) -> str:
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+    except ValueError as exc:  # non-finite float
+        raise WireError(f"unencodable wire record: {exc}") from None
+    except TypeError as exc:  # non-JSON value smuggled in
+        raise WireError(f"unencodable wire record: {exc}") from None
+
+
+def _members_to_wire(
+    members: dict[str, float | None],
+) -> dict[str, float | None]:
+    return {
+        str(oid): (None if d is None else float(d))
+        for oid, d in members.items()
+    }
+
+
+def _members_from_wire(value: Any, what: str) -> dict[str, float | None]:
+    if not isinstance(value, dict):
+        raise WireError(f"malformed {what} {value!r}")
+    out: dict[str, float | None] = {}
+    for oid, d in value.items():
+        # bool is an int subclass: a JSON `true` is not a distance.
+        if d is not None and (
+            isinstance(d, bool) or not isinstance(d, (int, float))
+        ):
+            raise WireError(f"malformed {what} distance {d!r}")
+        out[str(oid)] = None if d is None else float(d)
+    return out
+
+
+def _delta_body(delta: ResultDelta) -> dict[str, Any]:
+    return {
+        "query_id": delta.query_id,
+        "cause": delta.cause,
+        "entered": _members_to_wire(delta.entered),
+        "left": [str(oid) for oid in delta.left],
+        "changed": _members_to_wire(delta.distance_changed),
+    }
+
+
+def _delta_from_body(body: Any) -> ResultDelta:
+    if not isinstance(body, dict):
+        raise WireError(f"malformed delta record {body!r}")
+    left = body.get("left", [])
+    if not isinstance(left, list):
+        raise WireError(f"malformed delta 'left' {left!r}")
+    try:
+        return ResultDelta(
+            query_id=str(body["query_id"]),
+            cause=str(body["cause"]),
+            entered=_members_from_wire(
+                body.get("entered", {}), "delta 'entered'"
+            ),
+            left=tuple(str(oid) for oid in left),
+            distance_changed=_members_from_wire(
+                body.get("changed", {}), "delta 'changed'"
+            ),
+        )
+    except KeyError as exc:
+        raise WireError(f"delta record missing field {exc}") from None
+    except ValueError as exc:  # unknown cause
+        raise WireError(str(exc)) from None
+
+
+def encode_record(
+    record: (
+        QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord
+    ),
+) -> str:
+    """One canonical JSON line (no trailing newline) for any wire
+    record type."""
+    if isinstance(record, QuerySpec):
+        # The spec body keeps its own schema version, nested: the wire
+        # envelope and the spec schema evolve independently.
+        payload: dict[str, Any] = {
+            "v": WIRE_VERSION,
+            "type": "spec",
+            "spec": record.to_dict(),
+        }
+    elif isinstance(record, ResultDelta):
+        payload = {
+            "v": WIRE_VERSION,
+            "type": "delta",
+            **_delta_body(record),
+        }
+    elif isinstance(record, DeltaBatch):
+        payload = {
+            "v": WIRE_VERSION,
+            "type": "batch",
+            "deltas": [_delta_body(d) for d in record.deltas],
+        }
+    elif isinstance(record, WatchRecord):
+        payload = {
+            "v": WIRE_VERSION,
+            "type": "watch",
+            "query_id": record.query_id,
+            "spec": record.spec.to_dict(),
+        }
+    elif isinstance(record, SnapshotRecord):
+        payload = {
+            "v": WIRE_VERSION,
+            "type": "snapshot",
+            "query_id": record.query_id,
+            "members": _members_to_wire(record.members),
+        }
+    else:
+        raise WireError(
+            f"cannot encode {type(record).__name__} as a wire record"
+        )
+    return _dumps(payload)
+
+
+def decode_record(
+    line: str,
+) -> QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord:
+    """Parse one wire line back into its typed record."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"malformed wire line: {exc}") from None
+    if not isinstance(data, dict):
+        raise WireError(f"wire record must be an object, got {data!r}")
+    version = data.get("v")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} "
+            f"(this build reads version {WIRE_VERSION})"
+        )
+    rtype = data.get("type")
+    if rtype == "spec":
+        try:
+            return spec_from_dict(data["spec"])
+        except KeyError:
+            raise WireError(
+                f"spec record missing 'spec' body: {data!r}"
+            ) from None
+    if rtype == "delta":
+        return _delta_from_body(data)
+    if rtype == "batch":
+        deltas = data.get("deltas")
+        if not isinstance(deltas, list):
+            raise WireError(f"malformed batch record {data!r}")
+        return DeltaBatch(
+            deltas=tuple(_delta_from_body(b) for b in deltas)
+        )
+    if rtype == "watch":
+        try:
+            return WatchRecord(
+                str(data["query_id"]), spec_from_dict(data["spec"])
+            )
+        except KeyError as exc:
+            raise WireError(
+                f"watch record missing field {exc}"
+            ) from None
+    if rtype == "snapshot":
+        try:
+            return SnapshotRecord(
+                str(data["query_id"]),
+                _members_from_wire(
+                    data["members"], "snapshot 'members'"
+                ),
+            )
+        except KeyError as exc:
+            raise WireError(
+                f"snapshot record missing field {exc}"
+            ) from None
+    raise WireError(f"unknown wire record type {rtype!r}")
+
+
+class DeltaFeedWriter:
+    """Serializes a standing-query delta feed onto a text stream, one
+    wire record per line.
+
+    :meth:`repro.api.service.QueryService.attach_feed` wires one of
+    these into the service's publish path, writing the feed header
+    (a ``watch`` + ``snapshot`` record per standing query) up front and
+    every published non-empty :class:`DeltaBatch` afterwards — exactly
+    the records :func:`replay_feed` folds back into live results.
+    """
+
+    def __init__(self, fp: IO[str]) -> None:
+        self._fp = fp
+        self.records_written = 0
+
+    def write(
+        self,
+        record: (
+            QuerySpec
+            | ResultDelta
+            | DeltaBatch
+            | WatchRecord
+            | SnapshotRecord
+        ),
+    ) -> None:
+        self._fp.write(encode_record(record) + "\n")
+        self.records_written += 1
+
+    def watch(self, query_id: str, spec: QuerySpec) -> None:
+        self.write(WatchRecord(query_id, spec))
+
+    def snapshot(
+        self, query_id: str, members: dict[str, float | None]
+    ) -> None:
+        self.write(SnapshotRecord(query_id, dict(members)))
+
+    def batch(self, batch: DeltaBatch) -> None:
+        """Write a batch's deltas; an empty batch writes nothing (an
+        idle tick is not a feed event)."""
+        if batch.deltas:
+            self.write(batch)
+
+
+def read_feed(
+    lines: Iterable[str],
+) -> Iterator[
+    QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord
+]:
+    """Decode a JSONL feed line by line (blank lines are skipped, so a
+    feed file still being appended to tails cleanly)."""
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield decode_record(line)
+
+
+def replay_feed(
+    records: Iterable[
+        QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord
+    ],
+) -> dict[str, dict[str, float | None]]:
+    """Fold a decoded feed into per-query result state.
+
+    ``watch`` opens a query at the empty state, ``snapshot`` re-primes
+    it wholesale, ``delta``/``batch`` records apply incrementally, and a
+    ``deregister``-cause delta closes the query (it is dropped from the
+    returned mapping, matching the monitor's live view).  Replaying a
+    complete feed reproduces every standing query's live
+    ``result_distances`` exactly — the acceptance check
+    ``examples/delta_tail.py`` and ``tests/api/test_wire.py`` run.
+    """
+    states: dict[str, dict[str, float | None]] = {}
+
+    def apply(delta: ResultDelta) -> None:
+        if delta.cause == "deregister":
+            states.pop(delta.query_id, None)
+            return
+        delta.apply_to(states.setdefault(delta.query_id, {}))
+
+    for record in records:
+        if isinstance(record, WatchRecord):
+            states.setdefault(record.query_id, {})
+        elif isinstance(record, SnapshotRecord):
+            states[record.query_id] = dict(record.members)
+        elif isinstance(record, ResultDelta):
+            apply(record)
+        elif isinstance(record, DeltaBatch):
+            for delta in record.deltas:
+                apply(delta)
+        # A bare QuerySpec record carries no query id: metadata only.
+    return states

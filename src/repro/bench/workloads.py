@@ -21,6 +21,7 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
 from repro.objects.generator import MovementStream, ObjectGenerator
@@ -281,10 +282,11 @@ class WorkloadFactory:
             k = p.default_k
         points = self.query_points(floors, n=n_irq + n_iknn)
         irq_ids = [
-            monitor.register_irq(q, query_range) for q in points[:n_irq]
+            monitor.register(RangeSpec(q, query_range))
+            for q in points[:n_irq]
         ]
         knn_ids = [
-            monitor.register_iknn(q, k) for q in points[n_irq:]
+            monitor.register(KNNSpec(q, k)) for q in points[n_irq:]
         ]
         return StreamScenario(index, monitor, stream, irq_ids, knn_ids)
 
@@ -321,11 +323,11 @@ class StreamScenario:
             for qid in self.irq_ids + self.knn_ids
         ]
         t0 = time.perf_counter()
-        for kind, q, value in specs:
-            if kind == "irq":
-                iRQ(q, float(value), self.index)
+        for spec in specs:
+            if isinstance(spec, RangeSpec):
+                iRQ(spec.q, spec.r, self.index)
             else:
-                ikNNQ(q, int(value), self.index)
+                ikNNQ(spec.q, spec.k, self.index)
         return time.perf_counter() - t0
 
 

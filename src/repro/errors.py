@@ -35,6 +35,11 @@ class QueryError(ReproError):
     building, ...)."""
 
 
+class WireError(ReproError):
+    """Malformed or unsupported wire-protocol data (bad JSON line,
+    unknown record type, unsupported wire version, non-finite float)."""
+
+
 class UnreachableError(QueryError):
     """The query point cannot reach the requested entity through any path
     in the doors graph (e.g. isolated partition or one-way dead end)."""

@@ -24,6 +24,14 @@ across monitor shards with a bound-based update router (per-floor
 bucketed reach tables; ``workers=N`` runs routed shard maintenance on
 a thread pool, bit-identical to serial), and :class:`MonitorServer`
 serves the delta stream to asyncio subscribers.
+
+All standing registration funnels through one spec-based
+``register(spec)`` path per surface (the ``register_irq`` /
+``register_iknn`` trios are deprecated shims); prefer the
+:mod:`repro.api` façade — :class:`repro.api.QueryService` with
+declarative :class:`repro.api.RangeSpec` / :class:`repro.api.KNNSpec` /
+:class:`repro.api.ProbRangeSpec` specs and the JSON-lines wire protocol
+(:mod:`repro.api.wire`) for out-of-process subscribers.
 """
 
 from repro.queries.stats import QueryStats

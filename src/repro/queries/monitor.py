@@ -70,8 +70,10 @@ from __future__ import annotations
 import itertools
 import math
 import threading
+import warnings
 from dataclasses import dataclass, field, fields
 
+from repro.api.specs import KNNSpec, RangeSpec, standing_spec
 from repro.distances.bounds import object_bounds
 from repro.distances.expected import expected_indoor_distance
 from repro.errors import QueryError
@@ -236,8 +238,8 @@ class QueryMonitor:
     Usage::
 
         monitor = QueryMonitor(index)
-        kiosk = monitor.register_irq(q_kiosk, r=60.0)
-        desk = monitor.register_iknn(q_desk, k=5)
+        kiosk = monitor.register(RangeSpec(q_kiosk, 60.0))
+        desk = monitor.register(KNNSpec(q_desk, 5))
         for batch in stream.batches(100, 50):
             for delta in monitor.apply_moves(batch):   # index + results
                 push_to_subscribers(delta)             # ...updated
@@ -283,29 +285,49 @@ class QueryMonitor:
     # registration
     # ------------------------------------------------------------------
 
+    def register(
+        self,
+        spec: RangeSpec | KNNSpec,
+        query_id: str | None = None,
+    ) -> str:
+        """Register a standing query from its declarative spec; returns
+        its id.  The one registration path: every surface (sharded
+        front-end, serving layer, :class:`repro.api.QueryService`)
+        funnels through here, so capability plumbing happens once.  The
+        initial result is emitted as a ``register`` delta (pending
+        until the next mutation / drain)."""
+        spec = standing_spec(spec)
+        query_id = self._claim_id(query_id, spec.kind)
+        if isinstance(spec, RangeSpec):
+            sq: _StandingIRQ | _StandingKNN = _StandingIRQ(
+                query_id, spec.q, spec.r
+            )
+        else:
+            sq = _StandingKNN(query_id, spec.q, spec.k)
+        self._register(sq)
+        return query_id
+
     def register_irq(
         self, q: Point, r: float, query_id: str | None = None
     ) -> str:
-        """Register a standing range query; returns its id.  The initial
-        result is emitted as a ``register`` delta (pending until the
-        next mutation / drain)."""
-        if r < 0:
-            raise QueryError(f"negative query range {r}")
-        query_id = self._claim_id(query_id, "irq")
-        sq = _StandingIRQ(query_id, q, r)
-        self._register(sq)
-        return query_id
+        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
+        warnings.warn(
+            "register_irq is deprecated; use register(RangeSpec(q, r))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(RangeSpec(q, r), query_id=query_id)
 
     def register_iknn(
         self, q: Point, k: int, query_id: str | None = None
     ) -> str:
-        """Register a standing k-nearest-neighbour query; returns its id."""
-        if k < 1:
-            raise QueryError(f"k must be >= 1, got {k}")
-        query_id = self._claim_id(query_id, "iknn")
-        sq = _StandingKNN(query_id, q, k)
-        self._register(sq)
-        return query_id
+        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
+        warnings.warn(
+            "register_iknn is deprecated; use register(KNNSpec(q, k))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(KNNSpec(q, k), query_id=query_id)
 
     def _register(self, sq: _StandingIRQ | _StandingKNN) -> None:
         # Under the ingest lock: a registration from the event-loop
@@ -376,14 +398,16 @@ class QueryMonitor:
     def query_ids(self) -> list[str]:
         return list(self._queries)
 
-    def query_spec(self, query_id: str) -> tuple[str, Point, float | int]:
-        """``("irq", q, r)`` or ``("iknn", q, k)`` for a standing query."""
+    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
+        """The declarative :class:`~repro.api.specs.QuerySpec` of a
+        standing query (a real spec object — serializable through
+        :mod:`repro.api.wire`, re-registrable as-is)."""
         sq = self._queries.get(query_id)
         if sq is None:
             raise QueryError(f"unknown standing query {query_id!r}")
         if isinstance(sq, _StandingIRQ):
-            return ("irq", sq.q, sq.r)
-        return ("iknn", sq.q, sq.k)
+            return RangeSpec(sq.q, sq.r)
+        return KNNSpec(sq.q, sq.k)
 
     def influence_radii(self) -> list[tuple[str, Point, float]]:
         """``(query_id, q, reach)`` per standing query: the indoor

@@ -27,10 +27,13 @@ way.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Awaitable, Callable
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.objects.generator import MovementStream
@@ -107,9 +110,13 @@ class Subscription:
 
     # -- server side ---------------------------------------------------
 
-    def _push(self, delta: ResultDelta) -> None:
+    def _push(self, delta: ResultDelta) -> bool:
+        """Enqueue a delta; returns whether an older delta was dropped
+        to make room (the server aggregates these into its own
+        ``deltas_dropped`` total)."""
         if self._closed:
-            return
+            return False
+        dropped = False
         if (
             self.maxlen is not None
             and self._queue.qsize() >= self.maxlen
@@ -118,7 +125,9 @@ class Subscription:
             # state, not a complete history it will never catch up on.
             self._queue.get_nowait()
             self.dropped += 1
+            dropped = True
         self._queue.put_nowait(delta)
+        return dropped
 
     def _close(self) -> None:
         if not self._closed:
@@ -128,11 +137,19 @@ class Subscription:
 
 @dataclass
 class ServeReport:
-    """Aggregate outcome of one :meth:`MonitorServer.serve` run."""
+    """Aggregate outcome of one :meth:`MonitorServer.serve` run.
+
+    ``deltas_dropped`` totals the queue overflows across every bounded
+    subscription during the run (each one also counts on its own
+    :attr:`Subscription.dropped`) — a nonzero value means some feed was
+    lossy and no longer replays exactly, which belongs in benchmark
+    tables and ops dashboards, not buried per-subscriber.
+    """
 
     batches: int = 0
     updates: int = 0
     deltas_published: int = 0
+    deltas_dropped: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -153,7 +170,7 @@ class MonitorServer:
     Usage::
 
         server = MonitorServer(ShardedMonitor(index, n_shards=4))
-        kiosk = server.register_irq(q, r=60.0)
+        kiosk = server.register(RangeSpec(q, 60.0))
         sub = server.subscribe(kiosk)           # primed with a snapshot
 
         async def consume():
@@ -172,7 +189,13 @@ class MonitorServer:
     #: default executor when the monitor runs parallel (``workers>1``).
     #: ``True``/``False`` force either behaviour.
     offload: bool | None = None
+    #: Called with every batch handed to :meth:`publish` (after fan-out)
+    #: — the tap :class:`repro.api.service.QueryService` uses to mirror
+    #: published deltas onto attached JSONL wire feeds.
+    on_publish: Callable[[DeltaBatch], None] | None = None
     deltas_published: int = 0
+    #: Total queue overflows across all bounded subscriptions.
+    deltas_dropped: int = 0
     _subs: dict[str, list[Subscription]] = field(default_factory=dict)
     _closed: bool = False
     # Restores the single-writer guarantee under offload: an inline
@@ -181,20 +204,47 @@ class MonitorServer:
     # lock keeps concurrent apply_* callers serialized, publishes
     # included, in acquisition order.
     _mutex: asyncio.Lock = field(default_factory=asyncio.Lock)
+    # Thread-level writer lock around the monitor mutation itself:
+    # offloaded ops run on executor threads, and the QueryService
+    # façade's *synchronous* mutation path takes this same lock, so a
+    # sync ingest can never interleave with an in-flight offloaded
+    # batch (see QueryService._publish).
+    _op_lock: threading.Lock = field(default_factory=threading.Lock)
 
     # ------------------------------------------------------------------
     # registration / subscription
     # ------------------------------------------------------------------
 
+    def register(
+        self,
+        spec: RangeSpec | KNNSpec,
+        query_id: str | None = None,
+    ) -> str:
+        """Register a standing query from its spec on the underlying
+        monitor; returns its id."""
+        return self.monitor.register(spec, query_id=query_id)
+
     def register_irq(
         self, q: Point, r: float, query_id: str | None = None
     ) -> str:
-        return self.monitor.register_irq(q, r, query_id=query_id)
+        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
+        warnings.warn(
+            "register_irq is deprecated; use register(RangeSpec(q, r))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(RangeSpec(q, r), query_id=query_id)
 
     def register_iknn(
         self, q: Point, k: int, query_id: str | None = None
     ) -> str:
-        return self.monitor.register_iknn(q, k, query_id=query_id)
+        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
+        warnings.warn(
+            "register_iknn is deprecated; use register(KNNSpec(q, k))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(KNNSpec(q, k), query_id=query_id)
 
     def deregister(self, query_id: str) -> None:
         """Deregister the query; its deregister delta (everything
@@ -259,15 +309,19 @@ class MonitorServer:
     def publish(self, batch: DeltaBatch) -> int:
         """Fan a delta batch into the matching subscription queues;
         returns the number of deltas published (counted once per delta,
-        not per subscriber)."""
+        not per subscriber; drops from bounded queues accumulate on
+        ``deltas_dropped``)."""
         published = 0
         for delta in batch:
             if delta.is_empty:
                 continue
             published += 1
             for sub in self._subs.get(delta.query_id, ()):
-                sub._push(delta)
+                if sub._push(delta):
+                    self.deltas_dropped += 1
         self.deltas_published += published
+        if self.on_publish is not None:
+            self.on_publish(batch)
         return published
 
     # ------------------------------------------------------------------
@@ -291,6 +345,11 @@ class MonitorServer:
     async def _mutate(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
         if self._closed:
             raise QueryError("server is closed")
+
+        def locked_op() -> DeltaBatch:
+            with self._op_lock:
+                return op()
+
         async with self._mutex:
             if self._offloads():
                 # A parallel sharded monitor grinds on its own thread
@@ -299,10 +358,10 @@ class MonitorServer:
                 # thread (asyncio queues are not thread-safe),
                 # preserving delta order.
                 batch = await asyncio.get_running_loop().run_in_executor(
-                    None, op
+                    None, locked_op
                 )
             else:
-                batch = op()
+                batch = locked_op()
             self.publish(batch)
         # Yield so subscribers drain between mutations.
         await asyncio.sleep(0)
@@ -333,6 +392,7 @@ class MonitorServer:
         """
         report = ServeReport()
         published_before = self.deltas_published
+        dropped_before = self.deltas_dropped
         self.publish(self.monitor.drain_pending_deltas())
         for batch_no in range(n_batches):
             moves = stream.next_moves(batch_size)
@@ -346,6 +406,8 @@ class MonitorServer:
                 if asyncio.iscoroutine(out):
                     await out
         # publish() is the single counting authority; the report covers
-        # everything this serve call published (hook mutations too).
+        # everything this serve call published (hook mutations too) and
+        # every delta a bounded subscription shed while it ran.
         report.deltas_published = self.deltas_published - published_before
+        report.deltas_dropped = self.deltas_dropped - dropped_before
         return report

@@ -58,10 +58,12 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.api.specs import KNNSpec, RangeSpec, standing_spec
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.geometry.rect import Box3, Rect
@@ -123,6 +125,23 @@ def _object_box(obj: UncertainObject, floor_height: float) -> Box3:
     """The object's instance bounding box at its floor elevation (the
     flattened :class:`Box3` the tree tier also measures distances on)."""
     return Box3.from_rect(obj.bounds(), obj.floor, floor_height).flattened()
+
+
+class _ClaimedIds:
+    """Membership view over the routed ids plus every shard's own
+    registry, for :func:`~repro.queries.monitor.claim_query_id` (which
+    only ever probes ``in``)."""
+
+    def __init__(
+        self, homes: dict[str, int], shards: list[QueryMonitor]
+    ) -> None:
+        self._homes = homes
+        self._shards = shards
+
+    def __contains__(self, query_id: str) -> bool:
+        if query_id in self._homes:
+            return True
+        return any(query_id in shard for shard in self._shards)
 
 
 @dataclass(frozen=True)
@@ -290,31 +309,59 @@ class ShardedMonitor:
         zone = 4 * q.floor + 2 * zy + zx
         return zone % len(self.shards)
 
+    def register(
+        self,
+        spec: RangeSpec | KNNSpec,
+        query_id: str | None = None,
+    ) -> str:
+        """Register a standing query from its spec on the shard its
+        query point hashes to; returns its id."""
+        spec = standing_spec(spec)
+        query_id = self._claim_id(query_id, spec.kind)
+        shard = self.shard_of(spec.q)
+        self.shards[shard].register(spec, query_id=query_id)
+        self._homes[query_id] = shard
+        return query_id
+
     def register_irq(
         self, q: Point, r: float, query_id: str | None = None
     ) -> str:
-        query_id = self._claim_id(query_id, "irq")
-        shard = self.shard_of(q)
-        self.shards[shard].register_irq(q, r, query_id=query_id)
-        self._homes[query_id] = shard
-        return query_id
+        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
+        warnings.warn(
+            "register_irq is deprecated; use register(RangeSpec(q, r))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(RangeSpec(q, r), query_id=query_id)
 
     def register_iknn(
         self, q: Point, k: int, query_id: str | None = None
     ) -> str:
-        query_id = self._claim_id(query_id, "iknn")
-        shard = self.shard_of(q)
-        self.shards[shard].register_iknn(q, k, query_id=query_id)
-        self._homes[query_id] = shard
-        return query_id
+        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
+        warnings.warn(
+            "register_iknn is deprecated; use register(KNNSpec(q, k))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.register(KNNSpec(q, k), query_id=query_id)
 
     def deregister(self, query_id: str) -> None:
         self._home(query_id).deregister(query_id)
         del self._homes[query_id]
 
     def _claim_id(self, query_id: str | None, kind: str) -> str:
+        # Claim against the routed ids *and* every shard's own
+        # registry: a query registered directly on a shard monitor
+        # (shards are reachable via `.shards`) must not be silently
+        # shadowed by a same-id registration routed to another shard —
+        # results() would merge the two under one id.  A membership
+        # view, not a materialized union: claims stay O(probe), not
+        # O(standing queries) per registration.
         return claim_query_id(
-            self._homes, query_id, kind, self._id_counter
+            _ClaimedIds(self._homes, self.shards),
+            query_id,
+            kind,
+            self._id_counter,
         )
 
     def _home(self, query_id: str) -> QueryMonitor:
@@ -338,7 +385,7 @@ class ShardedMonitor:
     def query_ids(self) -> list[str]:
         return list(self._homes)
 
-    def query_spec(self, query_id: str) -> tuple[str, Point, float | int]:
+    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
         return self._home(query_id).query_spec(query_id)
 
     def __len__(self) -> int:

@@ -1,0 +1,324 @@
+"""QueryService façade tests: run/watch/subscribe/ingest against the
+legacy entry points for all three spec kinds, the single id-claiming
+guard, ServiceConfig engine selection, and feed plumbing."""
+
+import asyncio
+
+import pytest
+
+from repro.api.service import QueryService, ServiceConfig
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
+from repro.errors import QueryError
+from repro.geometry import Circle, Point
+from repro.index import CompositeIndex
+from repro.objects import (
+    InstanceSet,
+    MovementStream,
+    ObjectGenerator,
+    ObjectPopulation,
+    UncertainObject,
+)
+from repro.objects.population import ObjectMove
+from repro.queries import (
+    QueryMonitor,
+    QuerySession,
+    ShardedMonitor,
+    iPRQ,
+    iRQ,
+    ikNNQ,
+    replay_deltas,
+)
+from repro.space.events import CloseDoor
+
+
+def _point_object(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return UncertainObject(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+def _point_move(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return ObjectMove(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+@pytest.fixture
+def five_rooms_index(five_rooms):
+    pop = ObjectPopulation(five_rooms)
+    pop.insert(_point_object("near", 4.0, 5.0))
+    pop.insert(_point_object("mid", 8.0, 5.0))
+    pop.insert(_point_object("far", 25.0, 5.0))
+    return CompositeIndex.build(five_rooms, pop)
+
+
+@pytest.fixture
+def mall_setup(small_mall):
+    gen = ObjectGenerator(small_mall, radius=3.0, n_instances=10, seed=77)
+    pop = gen.generate(40)
+    index = CompositeIndex.build(small_mall, pop)
+    return index, gen, pop
+
+
+Q1 = Point(5.0, 5.0, 0)
+Q3 = Point(25.0, 5.0, 0)
+
+
+class TestRun:
+    """run(spec) is bit-identical to the legacy one-shot entry points."""
+
+    def test_range_spec_matches_irq(self, mall_setup, small_mall):
+        index, _gen, _pop = mall_setup
+        service = QueryService(index)
+        for seed, r in ((1, 25.0), (2, 40.0), (3, 60.0)):
+            q = small_mall.random_point(seed=seed)
+            got = service.run(RangeSpec(q, r))
+            assert got.ids() == iRQ(q, r, index).ids()
+            # ...and bit-identical to the session path it wraps.
+            want = QuerySession(index).irq(q, r)
+            assert got.distances == want.distances
+
+    def test_knn_spec_matches_iknnq(self, mall_setup, small_mall):
+        index, _gen, _pop = mall_setup
+        service = QueryService(index)
+        for seed, k in ((1, 3), (2, 5), (4, 8)):
+            q = small_mall.random_point(seed=seed)
+            got = service.run(KNNSpec(q, k))
+            assert got.ids() == ikNNQ(q, k, index).ids()
+            want = QuerySession(index).iknnq(q, k)
+            assert got.distances == want.distances
+
+    def test_prob_range_spec_matches_iprq(self, mall_setup, small_mall):
+        index, _gen, _pop = mall_setup
+        service = QueryService(index)
+        q = small_mall.random_point(seed=5)
+        got = service.run(ProbRangeSpec(q, 30.0, 0.5))
+        want = iPRQ(q, 30.0, 0.5, index)
+        assert got.ids() == want.ids()
+        assert got.distances == want.distances
+
+    def test_run_shares_the_session_cache(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        service.run(RangeSpec(Q1, 10.0))
+        assert service.session.misses == 1
+        service.run(KNNSpec(Q1, 2))  # same point: cache hit
+        assert service.session.hits == 1
+
+    def test_unknown_spec_rejected(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        with pytest.raises(QueryError):
+            service.run(("irq", Q1, 10.0))
+
+
+class TestWatchAndIngest:
+    """watch + ingest maintain results bit-identical to a legacy
+    QueryMonitor driven with the same mutations."""
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_matches_legacy_monitor(self, mall_setup, small_mall,
+                                    n_shards):
+        index, gen, pop = mall_setup
+        # Twin world for the legacy monitor (streams mutate the index).
+        gen2 = ObjectGenerator(
+            small_mall, radius=3.0, n_instances=10, seed=77
+        )
+        pop2 = gen2.generate(40)
+        index2 = CompositeIndex.build(small_mall, pop2)
+        legacy = QueryMonitor(index2)
+
+        service = QueryService(index, ServiceConfig(n_shards=n_shards))
+        qa, qb = (small_mall.random_point(seed=s) for s in (11, 12))
+        a = service.watch(RangeSpec(qa, 30.0))
+        b = service.watch(KNNSpec(qb, 4))
+        la = legacy.register(RangeSpec(qa, 30.0))
+        lb = legacy.register(KNNSpec(qb, 4))
+
+        stream = MovementStream(small_mall, pop, gen, seed=5)
+        for _ in range(4):
+            moves = stream.next_moves(12)
+            service.ingest(moves)
+            legacy.apply_moves(moves)
+            assert service.result_distances(a) == \
+                legacy.result_distances(la)
+            assert service.result_distances(b) == \
+                legacy.result_distances(lb)
+
+        obj = gen.generate_one()
+        service.insert(obj)
+        legacy.apply_insert(obj)
+        victim = sorted(index.population.ids())[0]
+        service.delete(victim)
+        legacy.apply_delete(victim)
+        assert service.result_distances(a) == legacy.result_distances(la)
+        assert service.result_distances(b) == legacy.result_distances(lb)
+
+    def test_watch_rejects_one_shot_spec(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        with pytest.raises(QueryError):
+            service.watch(ProbRangeSpec(Q1, 10.0, 0.5))
+
+    def test_unwatch_and_introspection(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        a = service.watch(RangeSpec(Q1, 10.0), query_id="kiosk")
+        assert a == "kiosk" and a in service and len(service) == 1
+        assert service.query_ids() == ["kiosk"]
+        assert service.query_spec(a) == RangeSpec(Q1, 10.0)
+        assert service.result_ids(a) == {"near", "mid"}
+        assert service.results() == {"kiosk": {"near", "mid"}}
+        service.unwatch(a)
+        assert a not in service
+        with pytest.raises(QueryError):
+            service.result_ids(a)
+
+    def test_topology_event_resyncs(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        a = service.watch(RangeSpec(Q1, 6.0))
+        assert service.result_ids(a) == {"near", "mid"}
+        result = service.apply_event(CloseDoor("d12"))
+        assert result is not None
+        assert service.stats.topology_invalidations >= 1
+        # Results stay correct under the new topology.
+        assert service.result_ids(a) == iRQ(
+            Q1, 6.0, service.index
+        ).ids()
+
+
+class TestIdClaiming:
+    def test_duplicate_explicit_id_rejected(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        service.watch(RangeSpec(Q1, 10.0), query_id="kiosk")
+        with pytest.raises(QueryError):
+            service.watch(KNNSpec(Q3, 2), query_id="kiosk")
+
+    def test_generated_ids_skip_claimed(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        service.watch(RangeSpec(Q1, 10.0), query_id="irq-1")
+        auto = service.watch(RangeSpec(Q1, 12.0))
+        assert auto != "irq-1" and len(service) == 2
+
+    def test_cross_shard_collision_rejected(self, five_rooms_index):
+        """The satellite bugfix end to end: an id claimed directly on a
+        shard monitor cannot be re-claimed through the service."""
+        service = QueryService(five_rooms_index, ServiceConfig(n_shards=2))
+        assert isinstance(service.monitor, ShardedMonitor)
+        home = service.monitor.shard_of(Q3)
+        service.monitor.shards[home].register(
+            RangeSpec(Q3, 5.0), query_id="rogue"
+        )
+        with pytest.raises(QueryError):
+            service.watch(RangeSpec(Q1, 5.0), query_id="rogue")
+
+    def test_claim_validates_spec(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        with pytest.raises(QueryError):
+            service.claim_query_id("x", ProbRangeSpec(Q1, 5.0, 0.5))
+
+
+class TestServiceConfig:
+    def test_single_monitor_by_default(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        assert isinstance(service.monitor, QueryMonitor)
+        assert service.routing is None
+
+    def test_sharded_engine_selected(self, five_rooms_index):
+        config = ServiceConfig(
+            n_shards=3, workers=2, bucketed_router=False
+        )
+        with QueryService(five_rooms_index, config) as service:
+            assert isinstance(service.monitor, ShardedMonitor)
+            assert service.monitor.n_shards == 3
+            assert service.monitor.workers == 2
+            assert not service.monitor.bucketed_router
+            assert service.routing is not None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(QueryError):
+            ServiceConfig(n_shards=0)
+        with pytest.raises(QueryError):
+            ServiceConfig(workers=0)
+        with pytest.raises(QueryError):
+            ServiceConfig(maxlen=0)
+
+    def test_config_maxlen_is_subscription_default(
+        self, five_rooms_index
+    ):
+        service = QueryService(five_rooms_index, ServiceConfig(maxlen=2))
+        a = service.watch(RangeSpec(Q1, 10.0))
+        bounded = service.subscribe(a, snapshot=False)
+        unbounded = service.subscribe(a, snapshot=False, maxlen=None)
+        assert bounded.maxlen == 2
+        assert unbounded.maxlen is None
+        for i in range(6):
+            # In and out of range alternately: one delta per ingest.
+            x = 6.0 if i % 2 == 0 else 25.0
+            service.ingest([_point_move("far", x, 5.0)])
+        assert bounded.pending <= 2
+        assert unbounded.dropped == 0 and unbounded.pending == 6
+        assert service.deltas_dropped == bounded.dropped > 0
+
+    def test_closed_service_rejects_work(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        a = service.watch(RangeSpec(Q1, 10.0))
+        service.close()
+        with pytest.raises(QueryError):
+            service.ingest([_point_move("far", 6.0, 6.0)])
+        with pytest.raises(QueryError):
+            service.watch(RangeSpec(Q1, 5.0))
+        with pytest.raises(QueryError):
+            service.subscribe(a)
+
+
+class TestSubscribe:
+    def test_subscribe_by_spec_registers_and_primes(
+        self, five_rooms_index
+    ):
+        async def run():
+            service = QueryService(five_rooms_index)
+            sub = service.subscribe(RangeSpec(Q1, 10.0))
+            assert sub.query_id in service
+            delta = await sub.next_delta()
+            assert delta.cause == "snapshot"
+            assert set(delta.entered) == {"near", "mid"}
+
+        asyncio.run(run())
+
+    def test_subscription_replays_to_live_result(self, five_rooms_index):
+        async def run():
+            service = QueryService(five_rooms_index)
+            sub = service.subscribe(KNNSpec(Q1, 2))
+            qid = sub.query_id
+            service.ingest([_point_move("far", 6.0, 6.0)])
+            service.ingest([_point_move("far", 25.0, 5.0)])
+            service.delete("mid")
+            service.close()  # ends the stream so the fold terminates
+            seen = []
+            async for delta in sub:
+                seen.append(delta)
+            assert replay_deltas(seen) == service.result_distances(qid)
+
+        asyncio.run(run())
+
+    def test_serve_reports_drops(self, mall_setup, small_mall):
+        """ServeReport surfaces the dropped total (the satellite)."""
+        index, gen, pop = mall_setup
+        service = QueryService(index)
+        q = small_mall.random_point(seed=11)
+        # A kNN feed churns every batch (member moves re-refine stored
+        # distances), so a maxlen=1 queue must shed continuously.
+        sub = service.subscribe(
+            KNNSpec(q, 4), snapshot=False, maxlen=1
+        )
+        stream = MovementStream(small_mall, pop, gen, seed=5)
+
+        async def run():
+            return await service.serve(stream, n_batches=6, batch_size=15)
+
+        report = asyncio.run(run())
+        assert report.batches == 6
+        assert report.deltas_published > 0
+        # The never-drained maxlen=1 queue sheds all but the newest.
+        assert report.deltas_dropped == sub.dropped
+        assert sub.dropped > 0 and sub.pending == 1
+
+    def test_subscribe_unknown_id_rejected(self, five_rooms_index):
+        service = QueryService(five_rooms_index)
+        with pytest.raises(QueryError):
+            service.subscribe("nope")

@@ -1,0 +1,123 @@
+"""Unit tests for the declarative query specs: validation at
+construction, versioned dict round-trips, and the standing-spec gate."""
+
+import pytest
+
+from repro.api.specs import (
+    KNNSpec,
+    ProbRangeSpec,
+    QuerySpec,
+    RangeSpec,
+    SPEC_SCHEMA_VERSION,
+    spec_from_dict,
+    standing_spec,
+)
+from repro.errors import QueryError
+from repro.geometry import Point
+
+Q = Point(5.0, 7.5, 1)
+
+
+class TestValidation:
+    def test_range_spec_rejects_negative_radius(self):
+        with pytest.raises(QueryError):
+            RangeSpec(Q, -1.0)
+        with pytest.raises(QueryError):
+            RangeSpec(Q, float("nan"))
+
+    def test_knn_spec_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            KNNSpec(Q, 0)
+        with pytest.raises(QueryError):
+            KNNSpec(Q, 2.5)
+        assert KNNSpec(Q, 2.0).k == 2  # integral float is coerced
+
+    def test_prob_range_spec_rejects_bad_threshold(self):
+        with pytest.raises(QueryError):
+            ProbRangeSpec(Q, 10.0, 0.0)
+        with pytest.raises(QueryError):
+            ProbRangeSpec(Q, 10.0, 1.5)
+        with pytest.raises(QueryError):
+            ProbRangeSpec(Q, -1.0, 0.5)
+
+    def test_numeric_fields_canonicalised(self):
+        spec = RangeSpec(Q, 10)  # int radius
+        assert isinstance(spec.r, float) and spec.r == 10.0
+
+    def test_booleans_are_not_numbers(self):
+        # bool is an int subclass; a True radius/k is always a bug.
+        with pytest.raises(QueryError):
+            RangeSpec(Q, True)
+        with pytest.raises(QueryError):
+            KNNSpec(Q, True)
+
+    def test_specs_are_hashable_values(self):
+        assert RangeSpec(Q, 10) == RangeSpec(Q, 10.0)
+        assert len({KNNSpec(Q, 3), KNNSpec(Q, 3)}) == 1
+
+
+class TestDictRoundTrip:
+    SPECS = (
+        RangeSpec(Q, 12.5),
+        KNNSpec(Q, 4),
+        ProbRangeSpec(Q, 30.0, 0.75),
+    )
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.kind)
+    def test_round_trip(self, spec):
+        data = spec.to_dict()
+        assert data["v"] == SPEC_SCHEMA_VERSION
+        assert data["kind"] == spec.kind
+        rebuilt = spec_from_dict(data)
+        assert rebuilt == spec
+        assert type(rebuilt) is type(spec)
+        assert rebuilt.to_dict() == data
+        # The classmethod alias dispatches identically.
+        assert QuerySpec.from_dict(data) == spec
+
+    def test_int_coordinates_round_trip(self):
+        spec = RangeSpec(Point(5, 5, 0), 10)
+        rebuilt = spec_from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_unsupported_version_rejected(self):
+        data = RangeSpec(Q, 1.0).to_dict()
+        data["v"] = SPEC_SCHEMA_VERSION + 1
+        with pytest.raises(QueryError):
+            spec_from_dict(data)
+        data.pop("v")
+        with pytest.raises(QueryError):
+            spec_from_dict(data)
+
+    def test_unknown_kind_rejected(self):
+        data = RangeSpec(Q, 1.0).to_dict()
+        data["kind"] = "irq2"
+        with pytest.raises(QueryError):
+            spec_from_dict(data)
+
+    def test_malformed_inputs_rejected(self):
+        base = RangeSpec(Q, 1.0).to_dict()
+        with pytest.raises(QueryError):
+            spec_from_dict("irq")
+        with pytest.raises(QueryError):
+            spec_from_dict(dict(base, q=[1.0, 2.0]))  # 2-d point
+        with pytest.raises(QueryError):
+            spec_from_dict(dict(base, q=[1.0, 2.0, "up"]))
+        with pytest.raises(QueryError):
+            spec_from_dict(dict(base, r="wide"))
+
+
+class TestStandingGate:
+    def test_watchable_specs_pass(self):
+        spec = RangeSpec(Q, 5.0)
+        assert standing_spec(spec) is spec
+        assert standing_spec(KNNSpec(Q, 2)).k == 2
+
+    def test_one_shot_spec_rejected(self):
+        with pytest.raises(QueryError):
+            standing_spec(ProbRangeSpec(Q, 5.0, 0.5))
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(QueryError):
+            standing_spec(("irq", Q, 5.0))

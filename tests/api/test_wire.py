@@ -1,0 +1,226 @@
+"""The wire protocol's two contracts.
+
+* **Byte-identity** (property-tested): for every record type,
+  ``encode_record(decode_record(line)) == line`` byte for byte — the
+  canonical encoding admits exactly one serialization per value, so
+  feeds can be diffed, deduplicated and content-addressed.
+* **Replay fidelity**: a feed written by a live
+  :class:`~repro.api.service.QueryService` (moves, insert, delete,
+  topology event, late registration, deregistration) decodes and
+  replays into exactly the standing queries' live results.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import wire
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
+from repro.api.service import QueryService, ServiceConfig
+from repro.errors import WireError
+from repro.geometry import Circle, Point
+from repro.index import CompositeIndex
+from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
+from repro.objects.population import ObjectMove
+from repro.queries import DeltaBatch, ResultDelta
+from repro.queries.deltas import DELTA_CAUSES
+from repro.space.events import CloseDoor
+
+# ---------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------
+
+finite = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    width=64,
+    min_value=-1e9,
+    max_value=1e9,
+)
+non_negative = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=0.0, max_value=1e9
+)
+points = st.builds(
+    Point,
+    x=finite,
+    y=finite,
+    floor=st.integers(min_value=-3, max_value=40),
+)
+object_ids = st.text(
+    alphabet="abco123-_ .é√",  # ascii + a non-ascii spot check
+    min_size=1,
+    max_size=12,
+)
+distances = st.one_of(st.none(), non_negative)
+specs = st.one_of(
+    st.builds(RangeSpec, q=points, r=non_negative),
+    st.builds(KNNSpec, q=points, k=st.integers(1, 500)),
+    st.builds(
+        ProbRangeSpec,
+        q=points,
+        r=non_negative,
+        p_min=st.floats(min_value=0.01, max_value=1.0),
+    ),
+)
+deltas = st.builds(
+    ResultDelta,
+    query_id=object_ids,
+    cause=st.sampled_from(DELTA_CAUSES),
+    entered=st.dictionaries(object_ids, distances, max_size=5),
+    left=st.lists(object_ids, max_size=5).map(tuple),
+    distance_changed=st.dictionaries(object_ids, distances, max_size=5),
+)
+records = st.one_of(
+    specs,
+    deltas,
+    st.builds(
+        DeltaBatch, deltas=st.lists(deltas, max_size=4).map(tuple)
+    ),
+    st.builds(wire.WatchRecord, query_id=object_ids, spec=specs),
+    st.builds(
+        wire.SnapshotRecord,
+        query_id=object_ids,
+        members=st.dictionaries(object_ids, distances, max_size=6),
+    ),
+)
+
+
+class TestByteIdentity:
+    @given(record=records)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_encode_is_byte_identical(self, record):
+        line = wire.encode_record(record)
+        decoded = wire.decode_record(line)
+        assert wire.encode_record(decoded) == line
+
+    @given(record=st.one_of(deltas, specs))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_inverts_encode_as_values(self, record):
+        assert wire.decode_record(wire.encode_record(record)) == record
+
+
+class TestRejection:
+    def test_bad_json_rejected(self):
+        with pytest.raises(WireError):
+            wire.decode_record("{not json")
+        with pytest.raises(WireError):
+            wire.decode_record('"just a string"')
+
+    def test_unknown_version_and_type_rejected(self):
+        line = wire.encode_record(ResultDelta("q", "move", {"a": 1.0}))
+        with pytest.raises(WireError):
+            wire.decode_record(line.replace('"v":1', '"v":99'))
+        with pytest.raises(WireError):
+            wire.decode_record(
+                line.replace('"type":"delta"', '"type":"mystery"')
+            )
+
+    def test_non_finite_distance_refused(self):
+        with pytest.raises(WireError):
+            wire.encode_record(
+                ResultDelta("q", "move", {"a": float("inf")})
+            )
+
+    def test_boolean_distance_refused_on_decode(self):
+        """bool is an int subclass; a JSON `true` distance must fail
+        loudly, not decode as 1.0."""
+        line = wire.encode_record(ResultDelta("q", "move", {"a": 1.0}))
+        with pytest.raises(WireError):
+            wire.decode_record(line.replace('"a":1.0', '"a":true'))
+
+    def test_unknown_cause_refused_on_decode(self):
+        line = wire.encode_record(ResultDelta("q", "move", {"a": 1.0}))
+        with pytest.raises(WireError):
+            wire.decode_record(
+                line.replace('"cause":"move"', '"cause":"teleport"')
+            )
+
+    def test_unencodable_record_refused(self):
+        with pytest.raises(WireError):
+            wire.encode_record({"not": "a record"})
+
+
+# ---------------------------------------------------------------------
+# live replay fidelity
+# ---------------------------------------------------------------------
+
+
+def _point_object(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return UncertainObject(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+def _point_move(object_id: str, x: float, y: float, floor: int = 0):
+    p = Point(x, y, floor)
+    return ObjectMove(object_id, Circle(p, 0.0), InstanceSet.single(p))
+
+
+@pytest.fixture
+def five_rooms_index(five_rooms):
+    pop = ObjectPopulation(five_rooms)
+    pop.insert(_point_object("near", 4.0, 5.0))
+    pop.insert(_point_object("mid", 8.0, 5.0))
+    pop.insert(_point_object("far", 25.0, 5.0))
+    return CompositeIndex.build(five_rooms, pop)
+
+
+Q1 = Point(5.0, 5.0, 0)
+Q3 = Point(25.0, 5.0, 0)
+
+
+class TestFeedReplay:
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_replayed_feed_equals_live_results(
+        self, five_rooms_index, n_shards
+    ):
+        service = QueryService(
+            five_rooms_index, ServiceConfig(n_shards=n_shards)
+        )
+        a = service.watch(RangeSpec(Q1, 10.0))
+        fp = io.StringIO()
+        service.attach_feed(fp)  # header covers the pre-existing query
+        b = service.watch(KNNSpec(Q3, 2))  # late watch rides the feed
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        service.insert(_point_object("new", 24.0, 5.0))
+        service.ingest([_point_move("near", 21.0, 5.0)])
+        service.delete("mid")
+        service.apply_event(CloseDoor("d12"))
+        service.ingest([_point_move("far", 25.0, 5.0)])
+
+        states = wire.replay_feed(
+            wire.read_feed(fp.getvalue().splitlines())
+        )
+        live = {
+            qid: service.result_distances(qid)
+            for qid in service.query_ids()
+        }
+        assert states == live
+        assert set(states) == {a, b}
+
+        # Deregistration closes the query on the wire too.
+        service.unwatch(a)
+        states = wire.replay_feed(
+            wire.read_feed(fp.getvalue().splitlines())
+        )
+        assert set(states) == {b}
+        assert states[b] == service.result_distances(b)
+
+    def test_feed_lines_round_trip_byte_identically(
+        self, five_rooms_index
+    ):
+        service = QueryService(five_rooms_index)
+        fp = io.StringIO()
+        service.attach_feed(fp)
+        service.watch(RangeSpec(Q1, 10.0))
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        lines = fp.getvalue().splitlines()
+        assert lines  # watch + register + move records at least
+        for line in lines:
+            assert wire.encode_record(wire.decode_record(line)) == line
+
+    def test_blank_lines_skipped(self):
+        delta = ResultDelta("q", "move", {"a": 1.0})
+        text = "\n" + wire.encode_record(delta) + "\n\n"
+        assert list(wire.read_feed(text.splitlines())) == [delta]

@@ -139,7 +139,5 @@ class TestStreamScenarios:
         scenario = tiny_factory.stream_scenario(
             n_irq=1, n_iknn=1, query_range=0.0, k=1
         )
-        _, _, r = scenario.monitor.query_spec(scenario.irq_ids[0])
-        assert r == 0.0
-        _, _, k = scenario.monitor.query_spec(scenario.knn_ids[0])
-        assert k == 1
+        assert scenario.monitor.query_spec(scenario.irq_ids[0]).r == 0.0
+        assert scenario.monitor.query_spec(scenario.knn_ids[0]).k == 1

@@ -8,6 +8,7 @@ import math
 
 import pytest
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.baselines import NaiveEvaluator
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
@@ -40,14 +41,14 @@ def build_world(seed: int, n_objects: int):
 def register_random_queries(monitor, space, rng):
     """Two standing iRQs and two ikNNQs at random points/parameters."""
     irqs = [
-        (monitor.register_irq(q, r), q, r)
+        (monitor.register(RangeSpec(q, r)), q, r)
         for q, r in (
             (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
             (space.random_point(rng=rng), rng.uniform(15.0, 60.0)),
         )
     ]
     knns = [
-        (monitor.register_iknn(q, k), q, k)
+        (monitor.register(KNNSpec(q, k)), q, k)
         for q, k in (
             (space.random_point(rng=rng), rng.randint(2, 8)),
             (space.random_point(rng=rng), rng.randint(2, 8)),

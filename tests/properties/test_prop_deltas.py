@@ -21,6 +21,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.api.specs import KNNSpec, RangeSpec
 from monitor_world import (
     assert_equivalent,
     build_world,
@@ -105,9 +106,9 @@ class TestShardedEquivalence:
         rng = random.Random(seed ^ 0x54A2)
         irqs, knns = register_random_queries(monitor, space, rng)
         for qid, q, r in irqs:
-            sharded.register_irq(q, r, query_id=qid)
+            sharded.register(RangeSpec(q, r), query_id=qid)
         for qid, q, k in knns:
-            sharded.register_iknn(q, k, query_id=qid)
+            sharded.register(KNNSpec(q, k), query_id=qid)
         replay = _Replayer(sharded)
 
         # One stream drives both monitors: moves carry absolute

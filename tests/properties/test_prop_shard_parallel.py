@@ -20,6 +20,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.api.specs import KNNSpec, RangeSpec
 from monitor_world import (
     assert_equivalent,
     build_world,
@@ -66,11 +67,11 @@ def test_concurrent_ingest_replays_and_matches_serial(seed):
     rng = random.Random(seed ^ 0x9A7C)
     irqs, knns = register_random_queries(monitor, space, rng)
     for qid, q, r in irqs:
-        serial.register_irq(q, r, query_id=qid)
-        parallel.register_irq(q, r, query_id=qid)
+        serial.register(RangeSpec(q, r), query_id=qid)
+        parallel.register(RangeSpec(q, r), query_id=qid)
     for qid, q, k in knns:
-        serial.register_iknn(q, k, query_id=qid)
-        parallel.register_iknn(q, k, query_id=qid)
+        serial.register(KNNSpec(q, k), query_id=qid)
+        parallel.register(KNNSpec(q, k), query_id=qid)
     replay = _Replayer(parallel)
     serial.drain_pending_deltas()
 

@@ -21,6 +21,7 @@ from repro.objects import (
     ObjectPopulation,
     UncertainObject,
 )
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from repro.queries import QueryMonitor, QuerySession
 from repro.space.events import CloseDoor, OpenDoor
 
@@ -115,10 +116,29 @@ class TestRegistration:
 
     def test_query_spec_round_trip(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
-        assert monitor.query_spec(a) == ("irq", Q1, 10.0)
-        b = monitor.register_iknn(Q1, 2)
-        assert monitor.query_spec(b) == ("iknn", Q1, 2)
+        a = monitor.register(RangeSpec(Q1, 10.0))
+        assert monitor.query_spec(a) == RangeSpec(Q1, 10.0)
+        b = monitor.register(KNNSpec(Q1, 2))
+        assert monitor.query_spec(b) == KNNSpec(Q1, 2)
+        # A returned spec is re-registrable as-is (a real value object).
+        c = monitor.register(monitor.query_spec(a))
+        assert monitor.result_ids(c) == monitor.result_ids(a)
+
+    def test_register_rejects_one_shot_specs(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        with pytest.raises(QueryError):
+            monitor.register(ProbRangeSpec(Q1, 10.0, 0.5))
+        with pytest.raises(QueryError):
+            monitor.register("irq")  # not a spec at all
+
+    def test_deprecated_shims_still_register(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        with pytest.deprecated_call():
+            a = monitor.register_irq(Q1, 10.0)
+        with pytest.deprecated_call():
+            b = monitor.register_iknn(Q1, 2)
+        assert monitor.query_spec(a) == RangeSpec(Q1, 10.0)
+        assert monitor.query_spec(b) == KNNSpec(Q1, 2)
 
 
 class TestDeregistration:

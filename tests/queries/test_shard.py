@@ -12,6 +12,7 @@ from repro.index import CompositeIndex
 from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
 from repro.objects.population import ObjectMove
 from repro.geometry.rect import Box3
+from repro.api.specs import RangeSpec
 from repro.queries import QueryMonitor, QuerySession, ShardedMonitor
 from repro.queries.shard import ShardStats, _object_box
 from repro.space.events import CloseDoor
@@ -77,13 +78,33 @@ class TestRegistrationRouting:
         a = sharded.register_irq(Q_LEFT, 10.0, query_id="kiosk")
         assert a == "kiosk" and a in sharded and len(sharded) == 1
         assert sharded.query_ids() == ["kiosk"]
-        assert sharded.query_spec(a) == ("irq", Q_LEFT, 10.0)
+        assert sharded.query_spec(a) == RangeSpec(Q_LEFT, 10.0)
         assert sharded.result_ids(a) == {"near", "mid"}
         assert sharded.results() == {"kiosk": {"near", "mid"}}
         sharded.deregister(a)
         assert a not in sharded
         with pytest.raises(QueryError):
             sharded.result_ids(a)
+
+    def test_cross_shard_id_collision_rejected(self, five_rooms_index):
+        """Regression: an id held by a shard monitor directly (shards
+        are reachable via `.shards`) used to be silently shadowed by a
+        same-id registration routed to another shard — results() would
+        merge the two under one id.  All claiming now checks every
+        shard's registry."""
+        sharded = ShardedMonitor(five_rooms_index, n_shards=2)
+        home = sharded.shard_of(Q_RIGHT)
+        sharded.shards[home].register(
+            RangeSpec(Q_RIGHT, 5.0), query_id="kiosk"
+        )
+        with pytest.raises(QueryError):
+            sharded.register(RangeSpec(Q_LEFT, 5.0), query_id="kiosk")
+        # Auto-generated ids skip shard-held ids too.
+        sharded.shards[home].register(
+            RangeSpec(Q_RIGHT, 5.0), query_id="irq-1"
+        )
+        auto = sharded.register(RangeSpec(Q_LEFT, 5.0))
+        assert auto != "irq-1"
 
     def test_duplicate_and_unknown_ids_rejected(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)

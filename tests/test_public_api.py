@@ -1,9 +1,33 @@
 """API-contract tests: every documented public name must be importable
-from the top-level package, and the lazy loader must behave."""
+from the top-level package, the lazy loader must behave, and the
+`repro.api` surface must match its reviewed snapshot."""
 
 import pytest
 
 import repro
+import repro.api
+
+#: The reviewed public surface of `repro.api`.  A mismatch means the
+#: public API changed: update this snapshot *in the same PR* (and the
+#: "API" section of ROADMAP.md if the schema version moved).
+API_SURFACE_SNAPSHOT = [
+    "DeltaFeedWriter",
+    "KNNSpec",
+    "ProbRangeSpec",
+    "QueryService",
+    "QuerySpec",
+    "RangeSpec",
+    "SPEC_SCHEMA_VERSION",
+    "ServiceConfig",
+    "SnapshotRecord",
+    "WIRE_VERSION",
+    "WatchRecord",
+    "decode_record",
+    "encode_record",
+    "read_feed",
+    "replay_feed",
+    "spec_from_dict",
+]
 
 
 class TestPublicAPI:
@@ -27,6 +51,43 @@ class TestPublicAPI:
 
     def test_version(self):
         assert repro.__version__.count(".") == 2
+
+
+class TestApiSurface:
+    """`repro.api` is the schema-versioned public surface: its exports
+    are pinned by snapshot so additions/removals are deliberate."""
+
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == API_SURFACE_SNAPSHOT
+
+    def test_all_exports_resolve(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.api.not_an_export
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro.api)
+        for name in API_SURFACE_SNAPSHOT:
+            assert name in listing
+
+    def test_schema_versions_are_current(self):
+        assert repro.api.SPEC_SCHEMA_VERSION == 1
+        assert repro.api.WIRE_VERSION == 1
+
+    def test_api_names_reachable_from_top_level(self):
+        names = (
+            "QueryService",
+            "ServiceConfig",
+            "QuerySpec",
+            "RangeSpec",
+            "KNNSpec",
+            "ProbRangeSpec",
+        )
+        for name in names:
+            assert getattr(repro, name) is getattr(repro.api, name)
 
     def test_core_round_trip_through_top_level_names_only(self, tmp_path):
         """A downstream user can do everything via `import repro`."""
