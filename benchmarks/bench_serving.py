@@ -27,9 +27,14 @@ merge is deterministic), the bucketed router skips at least as often
 as the coarse one, and no variant evaluates more pairs than the single
 monitor.
 
+``--prob`` mixes standing probabilistic-threshold range queries
+(iPRQ, maintained by the pluggable ProbRangeMaintainer) into every
+monitor's workload; the nightly ``serving_prob`` table tracks that
+regime's throughput and delta volume.
+
 Also runnable standalone (CI smoke)::
 
-    python benchmarks/bench_serving.py --quick --workers 2
+    python benchmarks/bench_serving.py --quick --workers 2 --prob
 """
 
 import argparse
@@ -61,6 +66,13 @@ AUDIT_MAXLEN = 2
 #: small batches are what gives the router whole-shard skips to find.
 FULL = (50, 5, 6, 3, 4)
 QUICK = (4, 10, 4, 2, 4)
+
+#: Standing iPRQs mixed into the workload by the ``--prob`` variant
+#: (full / --quick), watched through the same register(spec) path.
+PROB_QUERIES = 3
+PROB_QUERIES_QUICK = 2
+#: Their appearance-probability threshold.
+PROB_P_MIN = 0.5
 
 #: Worker counts swept by the scaling run (1 == serial reference).
 WORKERS_GRID = (1, 2, 4)
@@ -118,6 +130,8 @@ class VariantResult:
     results_equal: bool
     #: Server-wide drop total (only the bounded audit feed can drop).
     deltas_dropped: int = 0
+    #: Routed mutations that reused a cached shard reach table.
+    reach_cache_hits: int = 0
     #: Per-batch delta tuples — the bit-identity evidence across
     #: variants (deterministic routing + deterministic merge).
     delta_history: tuple = field(repr=False, default=())
@@ -165,14 +179,19 @@ def run_serving(
     n_iknn: int,
     n_shards: int,
     variants: tuple[Variant, ...],
+    n_iprq: int = 0,
 ) -> ServingRun:
     # Independent but identical worlds (same seeds): the single
     # monitor's scenario also owns the stream that drives them all.
-    single = factory.stream_scenario(n_irq=n_irq, n_iknn=n_iknn)
+    single = factory.stream_scenario(
+        n_irq=n_irq, n_iknn=n_iknn, n_iprq=n_iprq, p_min=PROB_P_MIN
+    )
     scenarios = [
         factory.stream_scenario(
             n_irq=n_irq,
             n_iknn=n_iknn,
+            n_iprq=n_iprq,
+            p_min=PROB_P_MIN,
             n_shards=n_shards,
             workers=v.workers,
             bucketed_router=v.bucketed_router,
@@ -183,7 +202,7 @@ def run_serving(
     all_subs = []
     audit_subs = []
     for scenario in scenarios:
-        assert single.irq_ids == scenario.irq_ids
+        assert single.query_ids == scenario.query_ids
         server = MonitorServer(scenario.monitor)
         # Discard registration history directly on the monitor
         # (unpublished), then hold one snapshot-free subscription per
@@ -192,7 +211,7 @@ def run_serving(
         scenario.monitor.drain_pending_deltas()
         all_subs.append([
             server.subscribe(qid, snapshot=False)
-            for qid in scenario.irq_ids + scenario.knn_ids
+            for qid in scenario.query_ids
         ])
         # Plus one deliberately lossy feed on the first standing query:
         # never drained, so its drop-oldest losses surface in the
@@ -234,7 +253,7 @@ def run_serving(
         results_equal = all(
             single.monitor.result_distances(qid)
             == scenario.monitor.result_distances(qid)
-            for qid in single.irq_ids + single.knn_ids
+            for qid in single.query_ids
         )
         # The fan-out path is load-bearing: everything the server
         # published is sitting in (or was drained from) the primary
@@ -267,6 +286,7 @@ def run_serving(
                 pairs=scenario.monitor.stats.pairs_evaluated,
                 results_equal=results_equal,
                 deltas_dropped=server.deltas_dropped,
+                reach_cache_hits=routing.reach_cache_hits,
                 delta_history=tuple(histories[i]),
             )
         )
@@ -429,6 +449,53 @@ def test_serving_worker_scaling(full_run, save_table):
     _check(run)
 
 
+def test_serving_prob(save_table):
+    """The ``--prob`` variant's nightly table: standing iPRQ mixed
+    into the workload, watched/sharded/served through the same paths
+    and bit-identical across engines."""
+    from repro.bench.runner import ExperimentResult
+
+    factory = WorkloadFactory()
+    n_batches, batch_size, n_irq, n_iknn, n_shards = FULL
+    run = run_serving(
+        factory,
+        n_batches,
+        batch_size,
+        n_irq,
+        n_iknn,
+        n_shards,
+        (Variant("coarse", bucketed_router=False), Variant("sharded")),
+        n_iprq=PROB_QUERIES,
+    )
+    sharded = run.by_label("sharded")
+    prob_deltas = sum(
+        1
+        for deltas in sharded.delta_history
+        for d in deltas
+        if d.query_id.startswith("iprq-")
+    )
+    assert prob_deltas > 0, "standing iPRQs never changed"
+    result = ExperimentResult(
+        title=(
+            f"Serving — standing iPRQ mixed in "
+            f"(n_iprq={PROB_QUERIES}, p_min={PROB_P_MIN})"
+        ),
+        x_label="metric",
+        unit="",
+    )
+    result.x_values.append("run")
+    result.add("single_upd_per_s", run.single_updates_per_sec)
+    result.add("sharded_upd_per_s", run.updates_per_sec(sharded))
+    result.add("deltas_per_s", run.deltas_per_sec(sharded))
+    result.add("prob_deltas", prob_deltas)
+    result.add("skip_%", 100.0 * sharded.shard_skip_ratio)
+    result.add("reach_cache_hits", sharded.reach_cache_hits)
+    result.add("pairs_single", run.pairs_single)
+    result.add("pairs_sharded", sharded.pairs)
+    save_table("serving_prob", result)
+    _check(run)
+
+
 def test_serving_wire_transport(full_run, save_table):
     """The `--transport jsonl` column of the nightly profile: JSONL
     encode/decode throughput of the run's whole delta history, with
@@ -477,6 +544,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also measure the repro.api.wire delta transport: "
         "encode/decode deltas-per-second over the run's history",
     )
+    parser.add_argument(
+        "--prob",
+        action="store_true",
+        help="mix standing probabilistic-threshold range queries "
+        "(iPRQ) into the workload",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -506,8 +579,18 @@ def main(argv: list[str] | None = None) -> int:
     else:
         variants = FULL_VARIANTS
 
+    n_iprq = 0
+    if args.prob:
+        n_iprq = PROB_QUERIES_QUICK if args.quick else PROB_QUERIES
     run = run_serving(
-        factory, n_batches, batch_size, n_irq, n_iknn, n_shards, variants
+        factory,
+        n_batches,
+        batch_size,
+        n_irq,
+        n_iknn,
+        n_shards,
+        variants,
+        n_iprq=n_iprq,
     )
     print(f"updates absorbed        {run.updates}")
     print(f"single   updates/sec    {run.single_updates_per_sec:10.1f}")
@@ -536,6 +619,18 @@ def main(argv: list[str] | None = None) -> int:
         f"lossy audit dropped     {serial.deltas_dropped} "
         f"(one never-drained sub, maxlen={AUDIT_MAXLEN})"
     )
+    if n_iprq:
+        prob_deltas = sum(
+            1
+            for deltas in serial.delta_history
+            for d in deltas
+            if d.query_id.startswith("iprq-")
+        )
+        assert prob_deltas > 0, "standing iPRQs never changed"
+        print(
+            f"standing iPRQ           {n_iprq} queries "
+            f"(p_min={PROB_P_MIN}), {prob_deltas} deltas"
+        )
     if args.transport == "jsonl":
         wt = measure_wire(serial.delta_history)
         print(

@@ -29,6 +29,7 @@ from repro import (
     KNNSpec,
     MovementStream,
     ObjectGenerator,
+    ProbRangeSpec,
     QueryService,
     RangeSpec,
     ServiceConfig,
@@ -62,10 +63,15 @@ def produce(feed_path: Path) -> QueryService:
     )
     with feed_path.open("w") as fp:
         feed = service.attach_feed(fp)  # header: watch + snapshot
-        # A query registered *after* the feed attached rides along via
-        # its watch record + register delta.
+        # Queries registered *after* the feed attached ride along via
+        # their watch records + register deltas — the standing iPRQ
+        # (wire v2: probability-annotated deltas) included.
         service.watch(
             KNNSpec(space.random_point(seed=9), 6), query_id="security"
+        )
+        service.watch(
+            ProbRangeSpec(space.random_point(seed=21), 45.0, 0.7),
+            query_id="vip",
         )
         stream = MovementStream(space, visitors, generator, seed=31)
         for _ in range(8):

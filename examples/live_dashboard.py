@@ -1,16 +1,20 @@
 """Live dashboard: delta subscriptions through the QueryService façade.
 
-A mall operations desk watches two standing queries while visitors walk
-around: an information kiosk's "who is within 60 m" range query and a
-security desk's 8 nearest visitors.  Everything goes through one
-:class:`repro.QueryService`: declarative specs
-(:class:`repro.RangeSpec` / :class:`repro.KNNSpec`) instead of
-per-class registration calls, a :class:`repro.ServiceConfig` that picks
-the sharded engine (4 shards over one shared index) without touching
-dashboard code, and :meth:`subscribe` feeds that push every result
-**delta** — who entered, who left, whose distance changed — into the
-dashboard's queues, absorbing a corridor-door closure (a cleaning
-blockage) without missing a beat.
+A mall operations desk watches three standing queries while visitors
+walk around: an information kiosk's "who is within 60 m" range query,
+a security desk's 8 nearest visitors, and a VIP lounge's
+probabilistic-threshold watch ("at least 70% likely to be within
+40 m" — a standing iPRQ, maintained incrementally by the pluggable
+ProbRangeMaintainer through the very same ``watch(spec)`` path).
+Everything goes through one :class:`repro.QueryService`: declarative
+specs (:class:`repro.RangeSpec` / :class:`repro.KNNSpec` /
+:class:`repro.ProbRangeSpec`) instead of per-class registration calls,
+a :class:`repro.ServiceConfig` that picks the sharded engine (4 shards
+over one shared index) without touching dashboard code, and
+:meth:`subscribe` feeds that push every result **delta** — who
+entered, who left, whose distance (or appearance probability) changed
+— into the dashboard's queues, absorbing a corridor-door closure (a
+cleaning blockage) without missing a beat.
 
 Run with::
 
@@ -24,6 +28,7 @@ from repro import (
     KNNSpec,
     MovementStream,
     ObjectGenerator,
+    ProbRangeSpec,
     QueryService,
     RangeSpec,
     ServiceConfig,
@@ -68,32 +73,41 @@ async def main() -> None:
     service = QueryService(index, ServiceConfig(n_shards=4))
     kiosk_q = space.random_point(seed=4)
     desk_q = space.random_point(seed=9)
+    vip_q = space.random_point(seed=14)
     kiosk_spec = RangeSpec(kiosk_q, 60.0)
     desk_spec = KNNSpec(desk_q, 8)
+    vip_spec = ProbRangeSpec(vip_q, 40.0, 0.7)  # standing iPRQ
     kiosk = service.watch(kiosk_spec, query_id="kiosk")
     desk = service.watch(desk_spec, query_id="security")
+    vip = service.watch(vip_spec, query_id="vip")
     monitor = service.monitor  # introspection only (shards, routing)
     print(f"Standing queries: kiosk iRQ(60 m) at "
           f"({kiosk_q.x:.0f},{kiosk_q.y:.0f}) floor {kiosk_q.floor} "
           f"-> shard {monitor.shard_of(kiosk_q)}; "
           f"security 8-NN at ({desk_q.x:.0f},{desk_q.y:.0f}) "
-          f"floor {desk_q.floor} -> shard {monitor.shard_of(desk_q)}\n")
+          f"floor {desk_q.floor} -> shard {monitor.shard_of(desk_q)}; "
+          f"vip iPRQ(40 m, p>=0.7) at ({vip_q.x:.0f},{vip_q.y:.0f}) "
+          f"floor {vip_q.floor} -> shard {monitor.shard_of(vip_q)}\n")
 
     kiosk_sub = service.subscribe(kiosk)     # primed with a snapshot
     desk_sub = service.subscribe(desk)
+    vip_sub = service.subscribe(vip)
     replay_feed_sub = service.subscribe(kiosk)  # independent audit feed
     feed_log: list[str] = []
     watchers = [
         asyncio.ensure_future(watch("kiosk", kiosk_sub, feed_log)),
         asyncio.ensure_future(watch("security", desk_sub, feed_log)),
+        asyncio.ensure_future(watch("vip", vip_sub, feed_log)),
     ]
 
     stream = MovementStream(space, visitors, generator, seed=31)
     # A corridor door near the kiosk gets blocked mid-stream.
     blocked_door = sorted(space.doors)[len(space.doors) // 2]
 
-    print("tick | updates |  kiosk | security |  skip%  | shard-skip | note")
-    print("-----+---------+--------+----------+---------+------------+-----")
+    print("tick | updates |  kiosk | security | vip |  skip%  | "
+          "shard-skip | note")
+    print("-----+---------+--------+----------+-----+---------+"
+          "------------+-----")
 
     async def on_batch(tick0: int, batch) -> None:
         tick = tick0 + 1
@@ -109,6 +123,7 @@ async def main() -> None:
             f"{tick:4d} | {s.updates_seen:7d} | "
             f"{len(service.result_ids(kiosk)):6d} | "
             f"{len(service.result_ids(desk)):8d} | "
+            f"{len(service.result_ids(vip)):3d} | "
             f"{100 * s.skip_ratio:6.1f}% | "
             f"{100 * service.routing.skip_ratio:9.1f}% | {note}"
         )

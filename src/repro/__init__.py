@@ -77,6 +77,8 @@ _EXPORTS = {
     "QuerySession": "repro.queries",
     "QueryMonitor": "repro.queries",
     "MonitorStats": "repro.queries",
+    "StandingQuery": "repro.queries",
+    "register_maintainer": "repro.queries",
     "ResultDelta": "repro.queries",
     "DeltaBatch": "repro.queries",
     "replay_deltas": "repro.queries",
@@ -146,6 +148,8 @@ __all__ = [
     "QuerySession",
     "QueryMonitor",
     "MonitorStats",
+    "StandingQuery",
+    "register_maintainer",
     "ResultDelta",
     "DeltaBatch",
     "replay_deltas",

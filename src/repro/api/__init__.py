@@ -6,9 +6,11 @@ One declarative vocabulary (:class:`RangeSpec`, :class:`KNNSpec`,
 :class:`~repro.index.composite.CompositeIndex` and one
 :class:`~repro.queries.session.QuerySession`), and one versioned wire
 protocol (:mod:`repro.api.wire`, JSON lines) so subscribers can live
-out-of-process.  The legacy per-class entry points remain, but every
-standing registration now funnels through ``register(spec)`` — the
-``register_irq``/``register_iknn`` trios are deprecated shims.
+out-of-process.  The legacy one-shot entry points remain, but every
+standing registration funnels through ``register(spec)`` — one
+pluggable :class:`~repro.queries.maintainers.StandingQuery` maintainer
+per spec kind, iRQ/ikNNQ/iPRQ alike (the deprecated
+``register_irq``/``register_iknn`` shims were removed).
 
 Quickstart::
 

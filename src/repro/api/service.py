@@ -12,8 +12,10 @@ them:
 * :meth:`QueryService.run` — one-shot evaluation of any spec, with the
   subgraph phase served from the service's shared
   :class:`~repro.queries.session.QuerySession`;
-* :meth:`QueryService.watch` — standing registration (iRQ/ikNNQ),
-  incrementally maintained over :meth:`ingest` streams;
+* :meth:`QueryService.watch` — standing registration of any watchable
+  spec (iRQ, ikNNQ and the probabilistic-threshold iPRQ alike — one
+  :class:`~repro.queries.maintainers.StandingQuery` maintainer per
+  kind), incrementally maintained over :meth:`ingest` streams;
 * :meth:`QueryService.subscribe` — an async
   :class:`~repro.queries.serving.Subscription` pushing every result
   delta, snapshot-primed;
@@ -140,6 +142,7 @@ class QueryService:
             self.monitor = QueryMonitor(index, session=self.session)
         self.server = MonitorServer(self.monitor)
         self.server.on_publish = self._feed_batch
+        self.server.on_drop = self._feed_resync_snapshot
         self._feeds: list[DeltaFeedWriter] = []
         self._id_counter = itertools.count(1)
         self._closed = False
@@ -345,6 +348,24 @@ class QueryService:
         for feed in self._feeds:
             feed.batch(batch)
 
+    def _feed_resync_snapshot(self, query_id: str) -> None:
+        """Feed resumption after loss: when a bounded subscription shed
+        deltas during a publish, write the query's *current* result as
+        a mid-stream ``snapshot`` record into every attached feed.
+        ``replay_feed`` re-primes wholesale at a snapshot, so a feed
+        consumer that resumes from (or across) the loss point — a
+        rotated file, a tail that joined late — reconstructs the live
+        result exactly even on lossy runs."""
+        if not self._feeds:
+            return
+        if query_id not in self.monitor:
+            # Dropped during its own deregister publish: the feed
+            # already carries the closing deregister delta.
+            return
+        members = self.monitor.result_distances(query_id)
+        for feed in self._feeds:
+            feed.snapshot(query_id, members)
+
     # ------------------------------------------------------------------
     # result / introspection surface
     # ------------------------------------------------------------------
@@ -361,7 +382,7 @@ class QueryService:
     def query_ids(self) -> list[str]:
         return self.monitor.query_ids()
 
-    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
+    def query_spec(self, query_id: str) -> QuerySpec:
         return self.monitor.query_spec(query_id)
 
     def __len__(self) -> int:

@@ -86,8 +86,8 @@ class QuerySpec:
 
     Subclasses set ``kind`` (the wire discriminator, doubling as the
     standing-query id prefix) and ``watchable`` (whether the continuous
-    monitor can maintain the query incrementally — ``iprq`` is one-shot
-    only).
+    monitor has a registered maintainer for the kind — all three
+    built-in kinds do, see :mod:`repro.queries.maintainers`).
     """
 
     kind: ClassVar[str] = ""
@@ -167,14 +167,16 @@ class KNNSpec(QuerySpec):
 class ProbRangeSpec(QuerySpec):
     """Probabilistic-threshold range query: objects whose probability
     of lying within indoor distance ``r`` of ``q`` is at least
-    ``p_min`` (the iPRQ extension; one-shot only)."""
+    ``p_min`` (the iPRQ extension).  Watchable: the standing variant is
+    maintained incrementally by
+    :class:`~repro.queries.maintainers.ProbRangeMaintainer`."""
 
     q: Point
     r: float
     p_min: float
 
     kind: ClassVar[str] = "iprq"
-    watchable: ClassVar[bool] = False
+    watchable: ClassVar[bool] = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "r", _as_float(self.r, "query range"))
@@ -220,7 +222,7 @@ def spec_from_dict(data: Any) -> QuerySpec:
     return cls._from_dict(data)  # type: ignore[attr-defined]
 
 
-def standing_spec(spec: QuerySpec) -> RangeSpec | KNNSpec:
+def standing_spec(spec: QuerySpec) -> QuerySpec:
     """Validate that ``spec`` can be registered as a standing query;
     the single gate every ``register(spec)`` path shares."""
     if not isinstance(spec, QuerySpec):

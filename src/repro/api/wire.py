@@ -5,17 +5,21 @@ subsystem's currency so subscribers can live **out-of-process** — a
 positioning gateway writes the feed, a dashboard in another process (or
 machine) tails it.  One JSON object per line, five record types::
 
-    {"v":1,"type":"spec","spec":{"v":1,"kind":"irq","q":[x,y,f],"r":60.0}}
-    {"v":1,"type":"watch","query_id":"kiosk","spec":{...spec body...}}
-    {"v":1,"type":"snapshot","query_id":"kiosk","members":{"o1":4.25}}
-    {"v":1,"type":"delta","query_id":"kiosk","cause":"move",
-     "entered":{"o2":7.5},"left":["o3"],"changed":{}}
-    {"v":1,"type":"batch","deltas":[{...delta body...}, ...]}
+    {"v":2,"type":"spec","spec":{"v":1,"kind":"irq","q":[x,y,f],"r":60.0}}
+    {"v":2,"type":"watch","query_id":"kiosk","spec":{...spec body...}}
+    {"v":2,"type":"snapshot","query_id":"kiosk","members":{"o1":4.25}}
+    {"v":2,"type":"delta","query_id":"kiosk","cause":"move",
+     "entered":{"o2":7.5},"left":["o3"],"changed":{},"prob_changed":{}}
+    {"v":2,"type":"batch","deltas":[{...delta body...}, ...]}
 
 ``v`` is :data:`WIRE_VERSION`; nested spec bodies carry their own
-:data:`~repro.api.specs.SPEC_SCHEMA_VERSION`.  Unknown versions or
-record types raise :class:`~repro.errors.WireError` — a peer speaking a
-newer schema fails loudly instead of being half-read.
+:data:`~repro.api.specs.SPEC_SCHEMA_VERSION`.  **Version 2** added the
+``prob_changed`` delta field (standing iPRQ re-annotations — member
+qualifying probabilities that moved); the decoder still reads version
+1 lines, whose deltas simply carry no probability changes, so feeds
+written by a v1 producer replay unchanged.  Other unknown versions or
+record types raise :class:`~repro.errors.WireError` — a peer speaking
+a newer schema fails loudly instead of being half-read.
 
 Encoding is **canonical** (sorted keys, no whitespace, floats via
 ``repr``), which buys the contract the property tests enforce:
@@ -43,7 +47,12 @@ from repro.api.specs import QuerySpec, spec_from_dict
 from repro.queries.deltas import DeltaBatch, ResultDelta
 
 #: Version stamped into every wire record; bump on layout changes.
-WIRE_VERSION = 1
+#: v2 added the delta ``prob_changed`` field (standing iPRQ).
+WIRE_VERSION = 2
+
+#: Versions :func:`decode_record` accepts.  v1 lacks ``prob_changed``;
+#: decoding fills it in empty, so old feeds keep replaying.
+_READABLE_VERSIONS = (1, WIRE_VERSION)
 
 
 @dataclass(frozen=True)
@@ -108,6 +117,7 @@ def _delta_body(delta: ResultDelta) -> dict[str, Any]:
         "entered": _members_to_wire(delta.entered),
         "left": [str(oid) for oid in delta.left],
         "changed": _members_to_wire(delta.distance_changed),
+        "prob_changed": _members_to_wire(delta.probability_changed),
     }
 
 
@@ -127,6 +137,11 @@ def _delta_from_body(body: Any) -> ResultDelta:
             left=tuple(str(oid) for oid in left),
             distance_changed=_members_from_wire(
                 body.get("changed", {}), "delta 'changed'"
+            ),
+            # Absent from v1 records: an old feed carries no standing
+            # iPRQ re-annotations, so empty is exactly right.
+            probability_changed=_members_from_wire(
+                body.get("prob_changed", {}), "delta 'prob_changed'"
             ),
         )
     except KeyError as exc:
@@ -194,10 +209,10 @@ def decode_record(
     if not isinstance(data, dict):
         raise WireError(f"wire record must be an object, got {data!r}")
     version = data.get("v")
-    if version != WIRE_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise WireError(
             f"unsupported wire version {version!r} "
-            f"(this build reads version {WIRE_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     rtype = data.get("type")
     if rtype == "spec":

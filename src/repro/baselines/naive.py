@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import math
 
-from repro.distances.expected import expected_indoor_distance
+from repro.distances.expected import (
+    expected_indoor_distance,
+    instance_indoor_distances,
+)
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.objects.population import ObjectPopulation
@@ -82,3 +85,34 @@ class NaiveEvaluator:
         if len(ranked) < k:
             return math.inf
         return ranked[-1][1]
+
+    # ------------------------------------------------------------------
+
+    def qualifying_probability(
+        self, q: Point, obj: UncertainObject, r: float
+    ) -> float:
+        """Exact ``Pr(|q, s|_I <= r)`` for one object: the total mass
+        of instances whose indoor distance is within ``r``, from one
+        full Dijkstra (no bounds, no pruning)."""
+        self.graph.ensure_fresh()
+        dd = self.graph.dijkstra_from_point(q)
+        total = 0.0
+        for subregion in obj.subregions(self.space, self.grid):
+            dists = instance_indoor_distances(q, subregion, dd, self.space)
+            total += float(subregion.instances.probs[dists <= r].sum())
+        return total
+
+    def prob_range_query(
+        self, q: Point, r: float, p_min: float
+    ) -> set[str]:
+        """Oracle iPRQ: ids of objects with qualifying probability at
+        least ``p_min``."""
+        if r < 0:
+            raise QueryError(f"negative query range {r}")
+        if not 0.0 < p_min <= 1.0:
+            raise QueryError(f"p_min must be in (0, 1], got {p_min}")
+        return {
+            obj.object_id
+            for obj in self.population
+            if self.qualifying_probability(q, obj, r) >= p_min
+        }

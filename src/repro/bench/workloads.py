@@ -19,9 +19,9 @@ from __future__ import annotations
 import os
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.api.specs import KNNSpec, RangeSpec
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
 from repro.objects.generator import MovementStream, ObjectGenerator
@@ -227,6 +227,7 @@ class WorkloadFactory:
         self,
         n_irq: int = 4,
         n_iknn: int = 2,
+        n_iprq: int = 0,
         floors: int | None = None,
         n_objects: int | None = None,
         radius: float | None = None,
@@ -234,6 +235,7 @@ class WorkloadFactory:
         n_shards: int | None = None,
         query_range: float | None = None,
         k: int | None = None,
+        p_min: float = 0.5,
         workers: int = 1,
         bucketed_router: bool = True,
     ) -> "StreamScenario":
@@ -249,7 +251,10 @@ class WorkloadFactory:
         of a single :class:`QueryMonitor` (``bench_serving`` compares
         the two over identical streams); ``workers`` and
         ``bucketed_router`` pass through to it (parallel ingest /
-        router-tightening ablation).
+        router-tightening ablation).  ``n_iprq`` mixes standing
+        probabilistic-threshold range queries (iPRQ, threshold
+        ``p_min``, range = the profile's default range) into the
+        workload — the ``--prob`` serving variant.
         """
         p = self.profile
         space = self.space(floors)
@@ -280,15 +285,22 @@ class WorkloadFactory:
             query_range = p.default_range
         if k is None:
             k = p.default_k
-        points = self.query_points(floors, n=n_irq + n_iknn)
+        points = self.query_points(floors, n=n_irq + n_iknn + n_iprq)
         irq_ids = [
             monitor.register(RangeSpec(q, query_range))
             for q in points[:n_irq]
         ]
         knn_ids = [
-            monitor.register(KNNSpec(q, k)) for q in points[n_irq:]
+            monitor.register(KNNSpec(q, k))
+            for q in points[n_irq:n_irq + n_iknn]
         ]
-        return StreamScenario(index, monitor, stream, irq_ids, knn_ids)
+        iprq_ids = [
+            monitor.register(ProbRangeSpec(q, query_range, p_min))
+            for q in points[n_irq + n_iknn:]
+        ]
+        return StreamScenario(
+            index, monitor, stream, irq_ids, knn_ids, iprq_ids
+        )
 
 
 @dataclass
@@ -302,6 +314,12 @@ class StreamScenario:
     stream: MovementStream
     irq_ids: list[str]
     knn_ids: list[str]
+    iprq_ids: list[str] = field(default_factory=list)
+
+    @property
+    def query_ids(self) -> list[str]:
+        """Every standing query id, in registration order."""
+        return self.irq_ids + self.knn_ids + self.iprq_ids
 
     def absorb_batch(self, batch_size: int) -> float:
         """Generate and absorb one batch; returns absorb seconds (the
@@ -316,18 +334,20 @@ class StreamScenario:
         """Seconds to re-run every standing query from scratch — the
         per-batch cost a non-incremental monitor would pay."""
         from repro.queries.knn import ikNNQ
+        from repro.queries.prob_range import iPRQ
         from repro.queries.range_query import iRQ
 
         specs = [
-            self.monitor.query_spec(qid)
-            for qid in self.irq_ids + self.knn_ids
+            self.monitor.query_spec(qid) for qid in self.query_ids
         ]
         t0 = time.perf_counter()
         for spec in specs:
             if isinstance(spec, RangeSpec):
                 iRQ(spec.q, spec.r, self.index)
-            else:
+            elif isinstance(spec, KNNSpec):
                 ikNNQ(spec.q, spec.k, self.index)
+            else:
+                iPRQ(spec.q, spec.r, spec.p_min, self.index)
         return time.perf_counter() - t0
 
 

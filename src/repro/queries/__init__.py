@@ -17,19 +17,26 @@ paper's Figures 12-14.
 
 On top of the one-shot processors, :class:`QuerySession` reuses the
 subgraph computation across related queries, and :class:`QueryMonitor`
-keeps *standing* iRQ/ikNNQ queries incrementally maintained over streams
-of object position updates, emitting per-query :class:`ResultDelta`\\ s.
+keeps *standing* queries incrementally maintained over streams of
+object position updates, emitting per-query :class:`ResultDelta`\\ s.
+Per-query maintenance is pluggable: one
+:class:`~repro.queries.maintainers.StandingQuery` maintainer per kind
+(:class:`~repro.queries.maintainers.RangeMaintainer`,
+:class:`~repro.queries.maintainers.KNNMaintainer`,
+:class:`~repro.queries.maintainers.ProbRangeMaintainer` — standing
+iPRQ), registered in :mod:`repro.queries.maintainers`; a new watchable
+query kind is one maintainer class there.
 :class:`ShardedMonitor` partitions standing queries by floor/region
 across monitor shards with a bound-based update router (per-floor
-bucketed reach tables; ``workers=N`` runs routed shard maintenance on
-a thread pool, bit-identical to serial), and :class:`MonitorServer`
-serves the delta stream to asyncio subscribers.
+bucketed reach tables, cached between batches while no influence
+radius moves; ``workers=N`` runs routed shard maintenance on a thread
+pool, bit-identical to serial), and :class:`MonitorServer` serves the
+delta stream to asyncio subscribers.
 
 All standing registration funnels through one spec-based
-``register(spec)`` path per surface (the ``register_irq`` /
-``register_iknn`` trios are deprecated shims); prefer the
-:mod:`repro.api` façade — :class:`repro.api.QueryService` with
-declarative :class:`repro.api.RangeSpec` / :class:`repro.api.KNNSpec` /
+``register(spec)`` path per surface; prefer the :mod:`repro.api`
+façade — :class:`repro.api.QueryService` with declarative
+:class:`repro.api.RangeSpec` / :class:`repro.api.KNNSpec` /
 :class:`repro.api.ProbRangeSpec` specs and the JSON-lines wire protocol
 (:mod:`repro.api.wire`) for out-of-process subscribers.
 """
@@ -45,6 +52,13 @@ from repro.queries.deltas import (
     ResultDelta,
     diff_results,
     replay_deltas,
+)
+from repro.queries.maintainers import (
+    KNNMaintainer,
+    ProbRangeMaintainer,
+    RangeMaintainer,
+    StandingQuery,
+    register_maintainer,
 )
 from repro.queries.monitor import MonitorStats, QueryMonitor
 from repro.queries.shard import ShardedMonitor, ShardStats
@@ -64,6 +78,11 @@ __all__ = [
     "QuerySession",
     "QueryMonitor",
     "MonitorStats",
+    "StandingQuery",
+    "RangeMaintainer",
+    "KNNMaintainer",
+    "ProbRangeMaintainer",
+    "register_maintainer",
     "ResultDelta",
     "DeltaBatch",
     "diff_results",

@@ -7,9 +7,13 @@ path — :meth:`~repro.queries.monitor.QueryMonitor.apply_moves`,
 ``apply_insert``, ``apply_delete``, ``apply_event``, topology resyncs,
 even registration itself — emits one :class:`ResultDelta` per standing
 query whose result actually changed, bundled into a
-:class:`DeltaBatch`.  Downstream consumers (dashboards, the asyncio
-serving layer in :mod:`repro.queries.serving`) apply deltas instead of
-diffing whole result sets.
+:class:`DeltaBatch`.  Standing iRQ/ikNNQ deltas annotate members with
+distances; standing iPRQ deltas annotate them with qualifying
+probabilities (re-annotations of retained members travel in
+``probability_changed`` instead of ``distance_changed``).  Downstream
+consumers (dashboards, the asyncio serving layer in
+:mod:`repro.queries.serving`) apply deltas instead of diffing whole
+result sets.
 
 The contract is *replayability*: starting from the empty state at
 registration time and applying every emitted delta in order reproduces
@@ -44,12 +48,18 @@ DELTA_CAUSES = (
 class ResultDelta:
     """One standing query's result change from one mutation.
 
-    ``entered`` maps newly admitted member ids to their stored distance
-    (``None`` marks an iRQ member accepted by bounds alone), ``left``
-    lists the ids that dropped out, and ``distance_changed`` maps
-    retained members to their *new* stored distance where it differs
-    from the previous one.  The three parts are disjoint by
-    construction.
+    ``entered`` maps newly admitted member ids to their stored
+    annotation (``None`` marks a member accepted by bounds alone;
+    otherwise the exact expected distance, or — for a standing iPRQ —
+    the exact qualifying probability), ``left`` lists the ids that
+    dropped out, and ``distance_changed`` maps retained members to
+    their *new* stored distance where it differs from the previous one.
+    ``probability_changed`` is the iPRQ twin of ``distance_changed``:
+    retained members whose stored qualifying probability moved.  A
+    delta carries re-annotations in exactly one of the two ``changed``
+    fields (which one is the query kind's choice — see
+    :attr:`repro.queries.maintainers.StandingQuery.annotates`), and all
+    parts are disjoint by construction.
     """
 
     query_id: str
@@ -57,24 +67,33 @@ class ResultDelta:
     entered: dict[str, float | None] = field(default_factory=dict)
     left: tuple[str, ...] = ()
     distance_changed: dict[str, float | None] = field(default_factory=dict)
+    probability_changed: dict[str, float | None] = field(
+        default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         if self.cause not in DELTA_CAUSES:
             raise ValueError(f"unknown delta cause {self.cause!r}")
 
     def __bool__(self) -> bool:
-        return bool(self.entered or self.left or self.distance_changed)
+        return bool(
+            self.entered
+            or self.left
+            or self.distance_changed
+            or self.probability_changed
+        )
 
     @property
     def is_empty(self) -> bool:
         return not self
 
     def apply_to(self, state: dict[str, float | None]) -> None:
-        """Fold this delta into ``state`` (member id -> distance)."""
+        """Fold this delta into ``state`` (member id -> annotation)."""
         for oid in self.left:
             state.pop(oid, None)
         state.update(self.entered)
         state.update(self.distance_changed)
+        state.update(self.probability_changed)
 
     def summary(self) -> str:
         """Compact human-readable rendering (dashboards, logs)."""
@@ -85,6 +104,8 @@ class ResultDelta:
             parts.append("-" + ",".join(sorted(self.left)))
         if self.distance_changed:
             parts.append("~" + ",".join(sorted(self.distance_changed)))
+        if self.probability_changed:
+            parts.append("%" + ",".join(sorted(self.probability_changed)))
         body = " ".join(parts) if parts else "(no change)"
         return f"{self.query_id}[{self.cause}] {body}"
 
@@ -94,18 +115,28 @@ def diff_results(
     cause: str,
     before: dict[str, float | None],
     after: dict[str, float | None],
+    probabilities: bool = False,
 ) -> ResultDelta | None:
-    """The delta taking ``before`` to ``after``; ``None`` when equal."""
+    """The delta taking ``before`` to ``after``; ``None`` when equal.
+
+    ``probabilities`` selects which field re-annotations of retained
+    members land in: ``distance_changed`` (the default) or, for a
+    standing iPRQ whose stored annotations are qualifying
+    probabilities, ``probability_changed``."""
     entered = {oid: d for oid, d in after.items() if oid not in before}
     left = tuple(sorted(oid for oid in before if oid not in after))
-    distance_changed = {
+    changed = {
         oid: d
         for oid, d in after.items()
         if oid in before and before[oid] != d
     }
-    if not entered and not left and not distance_changed:
+    if not entered and not left and not changed:
         return None
-    return ResultDelta(query_id, cause, entered, left, distance_changed)
+    if probabilities:
+        return ResultDelta(
+            query_id, cause, entered, left, probability_changed=changed
+        )
+    return ResultDelta(query_id, cause, entered, left, changed)
 
 
 def replay_deltas(

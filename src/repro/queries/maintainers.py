@@ -1,0 +1,499 @@
+"""Pluggable standing-query maintainers.
+
+A *maintainer* owns the incremental maintenance of one standing query's
+result over streamed object updates.  :class:`~repro.queries.monitor.
+QueryMonitor` used to hard-code two standing-query kinds and branch on
+``isinstance`` throughout its update paths; every new watchable query
+kind meant touching the monitor core, the shard router, the delta
+model, the wire protocol and the service façade by hand.  The monitor
+now dispatches every per-query decision through the
+:class:`StandingQuery` protocol defined here, so adding a query kind is
+one maintainer class in this file (plus a ``@register_maintainer``
+line) — the monitor, sharded router, serving layer and
+:class:`repro.api.QueryService` pick it up through the same
+``register(spec)`` path with no further plumbing.
+
+The protocol
+------------
+
+A maintainer is constructed from ``(query_id, spec, host)`` where
+``host`` is the owning monitor — the narrow surface a maintainer may
+use is ``host.index`` / ``host.session`` / ``host.stats`` and
+``host.touch(self)`` (record the pre-mutation result before the first
+write in a mutation scope, so the monitor can diff it into a
+:class:`~repro.queries.deltas.ResultDelta`).  It must implement:
+
+* :meth:`~StandingQuery.influence_radius` — the indoor distance beyond
+  which an object provably cannot change the result *right now*; the
+  shard router turns these into conservative skip decisions (the
+  router measures against the object's instance bounding box, so the
+  object's own uncertainty extent is accounted on the object side);
+* :meth:`~StandingQuery.on_update` — absorb one moved/inserted object
+  (the monitor already counted the pair in ``stats.pairs_evaluated``);
+* :meth:`~StandingQuery.on_delete` — absorb one deleted object (ditto);
+* :meth:`~StandingQuery.recompute` — full re-execution (registration,
+  bound-violation fallbacks, topology resyncs);
+* :meth:`~StandingQuery.snapshot` — the current result as a ``member id
+  -> annotation`` mapping (``None`` marks a member accepted by bounds
+  alone; otherwise the exact expected distance, or for ``iprq`` the
+  exact qualifying probability).
+
+Two class attributes steer the surrounding machinery:
+
+* ``annotates`` — ``"distance"`` or ``"probability"``: which
+  :class:`~repro.queries.deltas.ResultDelta` field re-annotations of
+  retained members land in (``distance_changed`` vs
+  ``probability_changed``);
+* ``dynamic_reach`` — whether :meth:`influence_radius` can change when
+  the result changes (an ikNNQ's ``tau`` moves with its members; an
+  iRQ's ``r`` never does).  The monitor bumps its ``reach_epoch`` only
+  on dynamic-reach result changes, which is what lets the sharded
+  router cache its reach tables between batches.
+
+The three built-in maintainers
+------------------------------
+
+:class:`RangeMaintainer` and :class:`KNNMaintainer` are the standing
+iRQ/ikNNQ logic extracted *bit-identically* from the pre-refactor
+monitor (the existing equivalence property tests run unmodified, stats
+counting included).  :class:`ProbRangeMaintainer` is new: incremental
+maintenance of the probabilistic-threshold range query (standing iPRQ)
+— per update, the subregion probability bounds of
+:func:`repro.queries.prob_range.probability_bounds` decide membership
+whenever the qualifying probability provably stays on one side of
+``p_min``, and only an update whose probability can *cross* ``p_min``
+pays one exact :func:`~repro.queries.prob_range.qualifying_probability`
+refinement.  Its influence radius is the query range ``r``: an object
+whose instance box is Euclidean-farther than ``r`` has qualifying
+probability exactly zero (indoor distance dominates Euclidean), so it
+can neither hold membership nor acquire it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, ClassVar
+
+from repro.api.specs import KNNSpec, ProbRangeSpec, QuerySpec, RangeSpec
+from repro.distances.bounds import object_bounds
+from repro.distances.expected import expected_indoor_distance
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.objects.uncertain import UncertainObject
+from repro.queries.engine import filtering_phase
+from repro.queries.knn import ikNNQ
+from repro.queries.prob_range import (
+    probability_bounds,
+    qualifying_probability,
+)
+from repro.queries.range_query import iRQ
+from repro.space.doors_graph import DoorDistances
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queries.monitor import QueryMonitor
+
+#: Distinguishes "not a member" from a stored ``None`` annotation (a
+#: member accepted by bounds alone) in result-dict lookups.
+_MISSING = object()
+
+#: Spec type -> maintainer class; fed by :func:`register_maintainer`.
+_MAINTAINERS: dict[type[QuerySpec], type["StandingQuery"]] = {}
+
+
+def register_maintainer(
+    spec_cls: type[QuerySpec],
+) -> Callable[[type["StandingQuery"]], type["StandingQuery"]]:
+    """Class decorator binding a maintainer to the spec kind it
+    maintains — the single registration point a new standing-query
+    kind needs besides the maintainer class itself.
+
+    The spec's ``watchable`` flag is what the wire-level gate
+    (:func:`repro.api.specs.standing_spec`) checks before this
+    registry is ever consulted; a maintainer for an unwatchable spec
+    would be unreachable, so the mismatch fails loudly here at import
+    time instead of silently at registration time."""
+
+    def bind(cls: type["StandingQuery"]) -> type["StandingQuery"]:
+        if not spec_cls.watchable:
+            raise QueryError(
+                f"{spec_cls.__name__} declares watchable=False; set "
+                "watchable=True on the spec before registering a "
+                "maintainer for it"
+            )
+        _MAINTAINERS[spec_cls] = cls
+        return cls
+
+    return bind
+
+
+def maintainer_for(
+    spec: QuerySpec, query_id: str, host: "QueryMonitor"
+) -> "StandingQuery":
+    """Instantiate the maintainer registered for ``spec``'s type."""
+    cls = _MAINTAINERS.get(type(spec))
+    if cls is None:
+        raise QueryError(
+            f"no standing-query maintainer registered for "
+            f"{type(spec).__name__}"
+        )
+    return cls(query_id, spec, host)
+
+
+class StandingQuery:
+    """Base class / protocol of one registered standing query.
+
+    Subclasses implement the per-kind maintenance (see the module
+    docstring for the contract); the base class carries the common
+    state and the shared exact-distance helper.
+    """
+
+    #: Which delta field re-annotations land in (see module docstring).
+    annotates: ClassVar[str] = "distance"
+    #: Whether influence_radius() can move when the result changes.
+    dynamic_reach: ClassVar[bool] = False
+
+    def __init__(
+        self, query_id: str, spec: QuerySpec, host: "QueryMonitor"
+    ) -> None:
+        self.query_id = query_id
+        self.host = host
+        self._spec = spec
+        self.result: dict[str, Any] = {}
+
+    @property
+    def q(self) -> Point:
+        return self._spec.q  # type: ignore[attr-defined]
+
+    def spec(self) -> QuerySpec:
+        """The declarative spec this maintainer was registered from (a
+        real value object — serializable through :mod:`repro.api.wire`,
+        re-registrable as-is)."""
+        return self._spec
+
+    def snapshot(self) -> dict[str, float | None]:
+        """The current result: member id -> per-member annotation."""
+        return dict(self.result)
+
+    # -- the per-kind contract -----------------------------------------
+
+    def influence_radius(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_update(
+        self, obj: UncertainObject
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def recompute(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_delete(self, object_id: str) -> None:
+        """Absorb one deletion.  A non-member is free for every kind;
+        a member hands off to the kind-specific :meth:`_delete_member`."""
+        if object_id not in self.result:
+            self.host.stats.pairs_skipped += 1
+            return
+        self._delete_member(object_id)
+
+    def _delete_member(
+        self, object_id: str
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+
+    def _exact(self, obj: UncertainObject, dd: DoorDistances) -> float:
+        host = self.host
+        return expected_indoor_distance(
+            self.q, obj, dd, host.index.space, host.index.population.grid
+        ).value
+
+
+@register_maintainer(RangeSpec)
+class RangeMaintainer(StandingQuery):
+    """Standing iRQ: ``result`` maps member id -> exact distance, or
+    ``None`` for members accepted purely by bounds."""
+
+    def __init__(
+        self, query_id: str, spec: RangeSpec, host: "QueryMonitor"
+    ) -> None:
+        super().__init__(query_id, spec, host)
+        self.r = spec.r
+
+    def influence_radius(self) -> float:
+        """Only objects within this (indoor) distance of ``q`` can
+        change the result: the query radius itself."""
+        return self.r
+
+    def on_update(self, obj: UncertainObject) -> None:
+        """Membership of the moved object is re-decided in isolation —
+        the cached full search makes the interval machinery of Table III
+        sufficient, so no other pair is ever touched."""
+        host = self.host
+        dd = host.session.door_distances(self.q)
+        interval = object_bounds(
+            self.q, obj, dd, host.index.space, host.index.population.grid
+        )
+        oid = obj.object_id
+        if interval.entirely_within(self.r):
+            # A moved member's stored exact distance is stale either
+            # way, so the bounds-accepted marker always overwrites it.
+            if self.result.get(oid, _MISSING) is not None:
+                host.touch(self)
+                self.result[oid] = None
+            host.stats.pairs_skipped += 1
+        elif interval.entirely_beyond(self.r):
+            if oid in self.result:
+                host.touch(self)
+                del self.result[oid]
+            host.stats.pairs_skipped += 1
+        else:
+            d = self._exact(obj, dd)
+            host.stats.pairs_refined += 1
+            if d <= self.r:
+                if self.result.get(oid, _MISSING) != d:
+                    host.touch(self)
+                    self.result[oid] = d
+            elif oid in self.result:
+                host.touch(self)
+                del self.result[oid]
+
+    def _delete_member(self, object_id: str) -> None:
+        """An iRQ just drops the deleted member."""
+        self.host.touch(self)
+        del self.result[object_id]
+        self.host.stats.pairs_skipped += 1
+
+    def recompute(self) -> None:
+        host = self.host
+        host.touch(self)  # the whole result is about to be replaced
+        dd = host.session.door_distances(self.q)
+        res = iRQ(self.q, self.r, host.index, precomputed_dd=dd)
+        self.result = dict(res.distances)
+
+
+@register_maintainer(KNNSpec)
+class KNNMaintainer(StandingQuery):
+    """Standing ikNNQ: ``result`` maps member id -> exact distance
+    (always refined, so the k-th distance threshold is available).
+
+    Soundness of the incremental maintenance rests on one invariant:
+    *at every consistent state, each non-member's expected distance is
+    at least the current k-th member distance* ``tau``.  A member whose
+    refreshed distance stays ``<= tau`` keeps the invariant (``tau``
+    can only shrink); an outsider entering with ``d < tau`` evicts the
+    worst member, whose distance equals the old ``tau`` and therefore
+    still satisfies the invariant from the outside.  Every transition
+    that could break the invariant triggers the full fallback instead.
+    When the reachable population drops below ``k`` the result simply
+    shrinks and ``tau`` becomes infinite — every later update is a
+    potential entry.
+    """
+
+    #: ``tau`` moves with the members, so the shard router's cached
+    #: reach tables must be rebuilt whenever this result changes.
+    dynamic_reach: ClassVar[bool] = True
+
+    def __init__(
+        self, query_id: str, spec: KNNSpec, host: "QueryMonitor"
+    ) -> None:
+        super().__init__(query_id, spec, host)
+        self.k = spec.k
+
+    def kth_distance(self) -> float:
+        """The maintenance threshold ``tau``: the worst member distance
+        when the result is full, else infinity (any reachable object
+        could still enter)."""
+        if len(self.result) < self.k:
+            return math.inf
+        return max(self.result.values())
+
+    def influence_radius(self) -> float:
+        """Only objects within the current ``tau`` can change the
+        result (members always are; an unfull result reaches forever)."""
+        return self.kth_distance()
+
+    def on_update(self, obj: UncertainObject) -> None:
+        host = self.host
+        dd = host.session.door_distances(self.q)
+        oid = obj.object_id
+        tau = self.kth_distance()
+        if oid in self.result:
+            # A member moved: its stored distance is stale, refine it.
+            d = self._exact(obj, dd)
+            if math.isfinite(d) and d <= tau:
+                if self.result[oid] != d:  # invariant holds; tau shrinks
+                    host.touch(self)
+                    self.result[oid] = d
+                host.stats.pairs_refined += 1
+            else:
+                # The member drifted past the threshold (or became
+                # unreachable): an outsider may now beat it.  The pair
+                # escalated (not also refined — the pair counters
+                # partition pairs_evaluated) and one query-level
+                # re-execution was paid.
+                host.stats.pairs_recomputed += 1
+                host.stats.full_recomputes += 1
+                self.recompute()
+            return
+        if len(self.result) >= self.k:
+            interval = object_bounds(
+                self.q, obj, dd, host.index.space,
+                host.index.population.grid,
+            )
+            if interval.lower > tau:
+                # Certainly no closer than the current k-th member.
+                host.stats.pairs_skipped += 1
+                return
+        d = self._exact(obj, dd)
+        host.stats.pairs_refined += 1
+        if not math.isfinite(d):
+            return
+        if len(self.result) < self.k:
+            host.touch(self)
+            self.result[oid] = d
+        elif d < tau:
+            host.touch(self)
+            worst = max(self.result, key=self.result.__getitem__)
+            del self.result[worst]
+            self.result[oid] = d
+
+    def _delete_member(self, object_id: str) -> None:
+        """An ikNNQ that loses a member must refill the vacated slot
+        from scratch (the refill may come back with fewer than ``k``
+        members when the surviving population runs short)."""
+        self.host.stats.pairs_recomputed += 1
+        self.host.stats.full_recomputes += 1
+        self.recompute()
+
+    def recompute(self) -> None:
+        host = self.host
+        host.touch(self)
+        dd = host.session.door_distances(self.q)
+        res = ikNNQ(self.q, self.k, host.index, precomputed_dd=dd)
+        distances: dict[str, float] = {}
+        for obj in res.objects:
+            d = res.distances[obj.object_id]
+            if d is None:  # accepted by bounds: refine for the tau
+                d = self._exact(obj, dd)
+            if math.isfinite(d):
+                # An unreachable "member" would poison tau (= max of
+                # the stored distances) forever; with fewer than k
+                # reachable objects the result legitimately shrinks.
+                distances[obj.object_id] = d
+        self.result = distances
+
+
+@register_maintainer(ProbRangeSpec)
+class ProbRangeMaintainer(StandingQuery):
+    """Standing iPRQ: ``result`` maps member id -> exact qualifying
+    probability, or ``None`` for members accepted purely by the
+    subregion probability bounds.
+
+    Maintenance mirrors the standing iRQ shape — one moved object is
+    re-decided in isolation against the session-cached full search —
+    with the probability bounds of
+    :func:`~repro.queries.prob_range.probability_bounds` in place of
+    the Table III distance interval: a subregion whose ``tmax`` stays
+    within ``r`` contributes all of its mass to the lower bound, one
+    whose ``tmin`` exceeds ``r`` contributes nothing to the upper
+    bound, and only when ``p_min`` falls strictly between the two (the
+    probability could *cross* the threshold) is one exact
+    :func:`~repro.queries.prob_range.qualifying_probability` refinement
+    paid.  Registration, fallback-free by construction, and topology
+    resyncs run :meth:`recompute`, which applies the *same*
+    bounds-then-refine decision per object — so the incremental and
+    from-scratch paths agree on membership and annotation alike.
+    """
+
+    annotates: ClassVar[str] = "probability"
+
+    def __init__(
+        self, query_id: str, spec: ProbRangeSpec, host: "QueryMonitor"
+    ) -> None:
+        super().__init__(query_id, spec, host)
+        self.r = spec.r
+        self.p_min = spec.p_min
+
+    def influence_radius(self) -> float:
+        """The query range ``r`` is a conservative reach: an object
+        whose instance box lies Euclidean-beyond ``r`` has every
+        instance at indoor distance > ``r`` (indoor never undercuts
+        Euclidean), hence qualifying probability exactly 0 — it cannot
+        enter, and a member (probability >= ``p_min`` > 0) always has
+        an instance within ``r``, so it cannot be missed when leaving.
+        The object's own uncertainty extent is carried by the instance
+        bounding box the router measures against."""
+        return self.r
+
+    def on_update(self, obj: UncertainObject) -> None:
+        host = self.host
+        dd = host.session.door_distances(self.q)
+        lo, hi = probability_bounds(
+            host.index, self.q, obj, dd, self.r
+        )
+        oid = obj.object_id
+        if lo >= self.p_min:
+            # Provably still (or newly) qualifying: the stored exact
+            # probability is stale after a move, so the bounds-accepted
+            # marker always overwrites it.
+            if self.result.get(oid, _MISSING) is not None:
+                host.touch(self)
+                self.result[oid] = None
+            host.stats.pairs_skipped += 1
+        elif hi < self.p_min:
+            if oid in self.result:
+                host.touch(self)
+                del self.result[oid]
+            host.stats.pairs_skipped += 1
+        else:
+            # The probability can cross p_min: one exact refinement.
+            prob = qualifying_probability(
+                host.index, self.q, obj, dd, self.r
+            )
+            host.stats.pairs_refined += 1
+            if prob >= self.p_min:
+                if self.result.get(oid, _MISSING) != prob:
+                    host.touch(self)
+                    self.result[oid] = prob
+            elif oid in self.result:
+                host.touch(self)
+                del self.result[oid]
+
+    def _delete_member(self, object_id: str) -> None:
+        """Like the iRQ: a departed member just drops out."""
+        self.host.touch(self)
+        del self.result[object_id]
+        self.host.stats.pairs_skipped += 1
+
+    def recompute(self) -> None:
+        """Full re-execution against the session-cached full search,
+        applying the identical bounds-then-refine decision per object
+        that :meth:`on_update` applies per pair (one convention for
+        both paths keeps re-annotation deltas quiet).
+
+        The filtering phase prunes the candidate set first: an object
+        whose skeleton min-distance exceeds ``r`` (no false negatives,
+        Lemma 6) has every instance beyond ``r`` and therefore
+        qualifying probability exactly 0 — membership and annotations
+        are identical to a full-population scan, at candidate cost."""
+        host = self.host
+        host.touch(self)
+        dd = host.session.door_distances(self.q)
+        filtered, _ = filtering_phase(host.index, self.q, self.r, True)
+        result: dict[str, float | None] = {}
+        for obj in filtered.objects:
+            lo, hi = probability_bounds(
+                host.index, self.q, obj, dd, self.r
+            )
+            if lo >= self.p_min:
+                result[obj.object_id] = None
+            elif hi < self.p_min:
+                continue
+            else:
+                prob = qualifying_probability(
+                    host.index, self.q, obj, dd, self.r
+                )
+                if prob >= self.p_min:
+                    result[obj.object_id] = prob
+        self.result = result

@@ -3,9 +3,18 @@
 The paper evaluates one-shot queries, but its setting is *moving*
 objects: positions change continuously while the composite index absorbs
 updates cheaply (Section III-C).  A :class:`QueryMonitor` closes the
-loop: it keeps standing iRQ and ikNNQ queries registered and maintains
-each result set **incrementally** as the population streams position
-updates through :meth:`repro.index.composite.CompositeIndex.update_objects`.
+loop: it keeps standing queries registered and maintains each result
+set **incrementally** as the population streams position updates
+through :meth:`repro.index.composite.CompositeIndex.update_objects`.
+
+Per-query maintenance is *pluggable*: the monitor holds one
+:class:`~repro.queries.maintainers.StandingQuery` maintainer per
+registered query and dispatches every per-kind decision — update
+absorption, deletions, full re-execution, influence radius, result
+snapshots — through that protocol.  The built-in maintainers cover the
+paper's standing iRQ/ikNNQ plus the probabilistic-threshold range
+query (standing iPRQ); adding a query kind is one maintainer class in
+:mod:`repro.queries.maintainers`, nothing here changes.
 
 The delta/shard contract
 ------------------------
@@ -14,22 +23,26 @@ The monitor's public mutation API speaks *deltas*, not result sets:
 ``apply_moves``, ``apply_insert``, ``apply_delete`` and ``apply_event``
 each return a :class:`~repro.queries.deltas.DeltaBatch` holding one
 :class:`~repro.queries.deltas.ResultDelta` — ``(entered, left,
-distance_changed)`` — per standing query whose result changed, so
-downstream consumers never diff result sets themselves.  Registration
-and deregistration emit deltas too, and a topology resync triggered
-*outside* a mutation (an external ``topology_version`` bump noticed on
-result access) parks its deltas until the next mutation or an explicit
-:meth:`drain_pending_deltas`.  Replaying every delta for one query from
-the empty state reproduces its current result exactly — the property
-``tests/properties/test_prop_deltas.py`` enforces.
+distance_changed / probability_changed)`` — per standing query whose
+result changed, so downstream consumers never diff result sets
+themselves.  Registration and deregistration emit deltas too, and a
+topology resync triggered *outside* a mutation (an external
+``topology_version`` bump noticed on result access) parks its deltas
+until the next mutation or an explicit :meth:`drain_pending_deltas`.
+Replaying every delta for one query from the empty state reproduces
+its current result exactly — the property
+``tests/properties/test_prop_monitor.py`` (and friends) enforce.
 
 Two maintenance entry points exist per mutation: the ``apply_*``
 methods own the index (they mutate it, then maintain results), while
 the ``ingest_*`` methods maintain results only — they are the hooks the
 sharded front-end (:class:`~repro.queries.shard.ShardedMonitor`) uses
 to fan one shared index mutation into many per-shard monitors, and
-:meth:`influence_radii` exposes the per-query reach (iRQ radius /
+:meth:`influence_radii` exposes the per-query reach (iRQ/iPRQ radius /
 current ikNNQ threshold) its router prunes shards with.
+:attr:`reach_epoch` counts the moments that reach *may* have moved
+(registration churn, or a result change of a maintainer whose reach is
+dynamic), so the router can cache its reach tables between batches.
 
 The incremental argument reuses the paper's own machinery:
 
@@ -39,25 +52,14 @@ The incremental argument reuses the paper's own machinery:
   *topology* changes, no matter how objects move (and evicted when the
   last standing query at that point deregisters);
 * when one object moves, only the (object, query) pairs are touched:
-  the Table III distance interval of the moved object is recomputed
-  against the cached search, and usually *decides* membership outright
-  (``upper <= r`` / ``lower > r`` for iRQ; ``lower > kth`` for ikNNQ);
-* only an undecided pair pays one exact expected-distance refinement,
-  and only an ikNNQ whose k-th-distance bound is violated (a member
-  drifting past the current threshold, or a member deletion) falls back
-  to full re-execution — the counters in :class:`MonitorStats` prove how
-  rarely that happens.
-
-Soundness of the ikNNQ maintenance rests on one invariant: *at every
-consistent state, each non-member's expected distance is at least the
-current k-th member distance* ``tau``.  A member whose refreshed
-distance stays ``<= tau`` keeps the invariant (``tau`` can only
-shrink); an outsider entering with ``d < tau`` evicts the worst member,
-whose distance equals the old ``tau`` and therefore still satisfies the
-invariant from the outside.  Every transition that could break the
-invariant triggers the full fallback instead.  When the reachable
-population drops below ``k`` the result simply shrinks and ``tau``
-becomes infinite — every later update is a potential entry.
+  the maintainer re-decides the moved object against the cached search
+  using the paper's interval machinery (Table III for distances, the
+  subregion mass bounds for probabilities), and usually *decides*
+  membership outright;
+* only an undecided pair pays one exact refinement, and only a bound
+  violation (an ikNNQ member drifting past the current threshold, or a
+  member deletion) falls back to full re-execution — the counters in
+  :class:`MonitorStats` prove how rarely that happens.
 
 Topology events (door closures, splits, merges) invalidate every cached
 search — the monitor detects the space's ``topology_version`` bump,
@@ -68,29 +70,19 @@ maintenance.
 from __future__ import annotations
 
 import itertools
-import math
 import threading
-import warnings
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
-from repro.api.specs import KNNSpec, RangeSpec, standing_spec
-from repro.distances.bounds import object_bounds
-from repro.distances.expected import expected_indoor_distance
+from repro.api.specs import QuerySpec, standing_spec
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
 from repro.objects.population import ObjectMove
 from repro.objects.uncertain import UncertainObject
 from repro.queries.deltas import DeltaBatch, ResultDelta, diff_results
-from repro.queries.knn import ikNNQ
-from repro.queries.range_query import iRQ
+from repro.queries.maintainers import StandingQuery, maintainer_for
 from repro.queries.session import QuerySession
-from repro.space.doors_graph import DoorDistances
 from repro.space.events import TopologyEvent
-
-#: Distinguishes "not a member" from a stored ``None`` distance (an iRQ
-#: member accepted by bounds alone) in result-dict lookups.
-_MISSING = object()
 
 
 def claim_query_id(
@@ -120,10 +112,12 @@ class MonitorStats:
     pair cost:
 
     * ``pairs_skipped`` — decided without any exact distance work:
-      either by the safe Table III interval alone, or trivially (a
-      deletion touching a non-member, or an iRQ member simply dropped);
-    * ``pairs_refined`` — needed one exact expected-distance evaluation
-      against the cached full search;
+      either by the safe interval bounds alone, or trivially (a
+      deletion touching a non-member, or an iRQ/iPRQ member simply
+      dropped);
+    * ``pairs_refined`` — needed one exact refinement (an expected
+      distance, or an iPRQ qualifying probability) against the cached
+      full search;
     * ``pairs_recomputed`` — violated a safe bound and escalated to full
       re-execution of the standing query (a pair that refined first and
       then escalated counts only here).
@@ -192,54 +186,15 @@ class MonitorStats:
         )
 
 
-@dataclass
-class _StandingIRQ:
-    """A registered iRQ: ``result`` maps member id -> exact distance,
-    or ``None`` for members accepted purely by bounds."""
-
-    query_id: str
-    q: Point
-    r: float
-    result: dict[str, float | None] = field(default_factory=dict)
-
-    def influence_radius(self) -> float:
-        """Only objects within this (indoor) distance of ``q`` can
-        change the result: the query radius itself."""
-        return self.r
-
-
-@dataclass
-class _StandingKNN:
-    """A registered ikNNQ: ``result`` maps member id -> exact distance
-    (always refined, so the k-th distance threshold is available)."""
-
-    query_id: str
-    q: Point
-    k: int
-    result: dict[str, float] = field(default_factory=dict)
-
-    def kth_distance(self) -> float:
-        """The maintenance threshold ``tau``: the worst member distance
-        when the result is full, else infinity (any reachable object
-        could still enter)."""
-        if len(self.result) < self.k:
-            return math.inf
-        return max(self.result.values())
-
-    def influence_radius(self) -> float:
-        """Only objects within the current ``tau`` can change the
-        result (members always are; an unfull result reaches forever)."""
-        return self.kth_distance()
-
-
 class QueryMonitor:
-    """Standing iRQ/ikNNQ queries maintained over streaming updates.
+    """Standing queries maintained over streaming updates.
 
     Usage::
 
         monitor = QueryMonitor(index)
         kiosk = monitor.register(RangeSpec(q_kiosk, 60.0))
         desk = monitor.register(KNNSpec(q_desk, 5))
+        vip = monitor.register(ProbRangeSpec(q_door, 30.0, 0.8))
         for batch in stream.batches(100, 50):
             for delta in monitor.apply_moves(batch):   # index + results
                 push_to_subscribers(delta)             # ...updated
@@ -267,10 +222,15 @@ class QueryMonitor:
         self.index = index
         self.session = session or QuerySession(index)
         self.stats = MonitorStats()
-        self._queries: dict[str, _StandingIRQ | _StandingKNN] = {}
+        self._queries: dict[str, StandingQuery] = {}
         self._id_counter = itertools.count(1)
         self._topology_version = index.space.topology_version
         self._pending: list[ResultDelta] = []
+        #: Bumped whenever the per-query influence radii *may* have
+        #: changed: registration churn, or an emitted delta for a
+        #: dynamic-reach maintainer (an ikNNQ whose ``tau`` moved).
+        #: The sharded router caches its reach tables against this.
+        self.reach_epoch = 0
         # Serialises the maintenance-only ingest hooks: the parallel
         # sharded front-end runs different shards' hooks on pool
         # threads, and this lock is what makes one *shard* safe even if
@@ -287,49 +247,23 @@ class QueryMonitor:
 
     def register(
         self,
-        spec: RangeSpec | KNNSpec,
+        spec: QuerySpec,
         query_id: str | None = None,
     ) -> str:
         """Register a standing query from its declarative spec; returns
         its id.  The one registration path: every surface (sharded
         front-end, serving layer, :class:`repro.api.QueryService`)
-        funnels through here, so capability plumbing happens once.  The
-        initial result is emitted as a ``register`` delta (pending
-        until the next mutation / drain)."""
+        funnels through here, and the maintainer registry in
+        :mod:`repro.queries.maintainers` supplies the per-kind
+        maintenance — so a new watchable query kind needs no change
+        here.  The initial result is emitted as a ``register`` delta
+        (pending until the next mutation / drain)."""
         spec = standing_spec(spec)
         query_id = self._claim_id(query_id, spec.kind)
-        if isinstance(spec, RangeSpec):
-            sq: _StandingIRQ | _StandingKNN = _StandingIRQ(
-                query_id, spec.q, spec.r
-            )
-        else:
-            sq = _StandingKNN(query_id, spec.q, spec.k)
-        self._register(sq)
+        self._register(maintainer_for(spec, query_id, self))
         return query_id
 
-    def register_irq(
-        self, q: Point, r: float, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
-        warnings.warn(
-            "register_irq is deprecated; use register(RangeSpec(q, r))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(RangeSpec(q, r), query_id=query_id)
-
-    def register_iknn(
-        self, q: Point, k: int, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
-        warnings.warn(
-            "register_iknn is deprecated; use register(KNNSpec(q, k))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(KNNSpec(q, k), query_id=query_id)
-
-    def _register(self, sq: _StandingIRQ | _StandingKNN) -> None:
+    def _register(self, sq: StandingQuery) -> None:
         # Under the ingest lock: a registration from the event-loop
         # thread must not mutate _queries/_pending while an offloaded
         # parallel batch iterates them on a pool thread.
@@ -339,12 +273,13 @@ class QueryMonitor:
             # (query point outside every partition, say) must not leave
             # a broken standing query — or its session pin — behind.
             try:
-                self._recompute(sq)  # touches sq with its pre-result ({})
+                sq.recompute()  # touches sq with its pre-result ({})
             except Exception:
                 self._before.pop(sq.query_id, None)
                 raise
             self._queries[sq.query_id] = sq
             self.session.pin(sq.q)
+            self.reach_epoch += 1
             self._pending.extend(self._collect("register"))
 
     def deregister(self, query_id: str) -> None:
@@ -362,6 +297,7 @@ class QueryMonitor:
             if sq is None:
                 raise QueryError(f"unknown standing query {query_id!r}")
             self._before.pop(query_id, None)
+            self.reach_epoch += 1
             if sq.result:
                 self._push_pending(
                     ResultDelta(
@@ -386,9 +322,11 @@ class QueryMonitor:
         return set(self._standing(query_id).result)
 
     def result_distances(self, query_id: str) -> dict[str, float | None]:
-        """Member id -> exact expected distance (``None`` marks an iRQ
-        member accepted by bounds alone)."""
-        return dict(self._standing(query_id).result)
+        """Member id -> per-member annotation: the exact expected
+        distance (or, for a standing iPRQ, the exact qualifying
+        probability), with ``None`` marking a member accepted by bounds
+        alone."""
+        return self._standing(query_id).snapshot()
 
     def results(self) -> dict[str, set[str]]:
         """Every standing query's current result ids."""
@@ -398,22 +336,20 @@ class QueryMonitor:
     def query_ids(self) -> list[str]:
         return list(self._queries)
 
-    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
+    def query_spec(self, query_id: str) -> QuerySpec:
         """The declarative :class:`~repro.api.specs.QuerySpec` of a
         standing query (a real spec object — serializable through
         :mod:`repro.api.wire`, re-registrable as-is)."""
         sq = self._queries.get(query_id)
         if sq is None:
             raise QueryError(f"unknown standing query {query_id!r}")
-        if isinstance(sq, _StandingIRQ):
-            return RangeSpec(sq.q, sq.r)
-        return KNNSpec(sq.q, sq.k)
+        return sq.spec()
 
     def influence_radii(self) -> list[tuple[str, Point, float]]:
         """``(query_id, q, reach)`` per standing query: the indoor
         distance beyond which an object provably cannot change the
-        result right now (iRQ radius / current ikNNQ ``tau``).  The
-        shard router turns these into conservative skip decisions."""
+        result right now (iRQ/iPRQ radius / current ikNNQ ``tau``).
+        The shard router turns these into conservative skip decisions."""
         with self._ingest_lock:
             self._ensure_topology_current()
             return [
@@ -443,7 +379,7 @@ class QueryMonitor:
     def __contains__(self, query_id: str) -> bool:
         return query_id in self._queries
 
-    def _standing(self, query_id: str) -> _StandingIRQ | _StandingKNN:
+    def _standing(self, query_id: str) -> StandingQuery:
         self._ensure_topology_current()
         try:
             return self._queries[query_id]
@@ -472,11 +408,10 @@ class QueryMonitor:
         return self.ingest_insert(obj)
 
     def apply_delete(self, object_id: str) -> DeltaBatch:
-        """An object disappears.  An iRQ just drops it; an ikNNQ that
-        loses a member must refill the vacated slot from scratch (the
-        refill may come back with fewer than ``k`` members when the
-        surviving population runs short).  The removed object rides
-        along as ``batch.deleted``."""
+        """An object disappears; each maintainer absorbs the departure
+        its own way (an iRQ/iPRQ drops the member, an ikNNQ refills the
+        vacated slot from scratch).  The removed object rides along as
+        ``batch.deleted``."""
         self._ensure_topology_current()
         obj = self.index.delete_object(object_id)
         return self.ingest_delete(object_id, deleted=obj)
@@ -526,17 +461,7 @@ class QueryMonitor:
             self.stats.updates_seen += 1
             for sq in self._queries.values():
                 self.stats.pairs_evaluated += 1
-                if object_id not in sq.result:
-                    self.stats.pairs_skipped += 1
-                    continue
-                if isinstance(sq, _StandingKNN):
-                    self.stats.pairs_recomputed += 1
-                    self.stats.full_recomputes += 1
-                    self._recompute(sq)
-                else:
-                    self._touch(sq)
-                    del sq.result[object_id]
-                    self.stats.pairs_skipped += 1
+                sq.on_delete(object_id)
             return DeltaBatch(
                 deltas=self._drain_pending() + self._collect("delete"),
                 deleted=deleted,
@@ -554,27 +479,39 @@ class QueryMonitor:
     # delta bookkeeping
     # ------------------------------------------------------------------
 
-    def _touch(self, sq: _StandingIRQ | _StandingKNN) -> None:
+    def touch(self, sq: StandingQuery) -> None:
         """Record ``sq``'s pre-mutation result (first write wins; later
-        touches in the same scope are free).  Every code path that
-        writes ``sq.result`` calls this first, so _collect() diffs only
-        the queries that actually changed."""
+        touches in the same scope are free).  Every maintainer code
+        path that writes ``sq.result`` calls this first, so _collect()
+        diffs only the queries that actually changed."""
         self._before.setdefault(sq.query_id, dict(sq.result))
 
     def _collect(self, cause: str) -> tuple[ResultDelta, ...]:
         """Close the current mutation scope: diff every touched query
-        against its recorded pre-state."""
+        against its recorded pre-state.  A result change of a
+        dynamic-reach maintainer bumps :attr:`reach_epoch` (its
+        influence radius may have moved with the result)."""
         if not self._before:
             return ()
         out = []
+        reach_moved = False
         for qid, before in self._before.items():
             sq = self._queries.get(qid)
             if sq is None:  # deregistered while touched
                 continue
-            delta = diff_results(qid, cause, before, sq.result)
+            delta = diff_results(
+                qid,
+                cause,
+                before,
+                sq.result,
+                probabilities=sq.annotates == "probability",
+            )
             if delta is not None:
                 out.append(delta)
+                reach_moved = reach_moved or sq.dynamic_reach
         self._before.clear()
+        if reach_moved:
+            self.reach_epoch += 1
         self.stats.deltas_emitted += len(out)
         return tuple(out)
 
@@ -588,7 +525,7 @@ class QueryMonitor:
         return drained
 
     # ------------------------------------------------------------------
-    # incremental maintenance
+    # incremental maintenance (protocol dispatch)
     # ------------------------------------------------------------------
 
     def _ensure_topology_current(self) -> None:
@@ -598,7 +535,7 @@ class QueryMonitor:
         self._topology_version = version
         self.stats.topology_invalidations += 1
         for sq in self._queries.values():
-            self._recompute(sq)  # touches each query pre-resync
+            sq.recompute()  # touches each query pre-resync
             self.stats.event_recomputes += 1
         self._pending.extend(self._collect("topology"))
 
@@ -606,113 +543,4 @@ class QueryMonitor:
         self.stats.updates_seen += 1
         for sq in self._queries.values():
             self.stats.pairs_evaluated += 1
-            if isinstance(sq, _StandingIRQ):
-                self._update_irq(sq, obj)
-            else:
-                self._update_knn(sq, obj)
-
-    def _update_irq(self, sq: _StandingIRQ, obj: UncertainObject) -> None:
-        """Membership of the moved object is re-decided in isolation —
-        the cached full search makes the interval machinery of Table III
-        sufficient, so no other pair is ever touched."""
-        dd = self.session.door_distances(sq.q)
-        interval = object_bounds(
-            sq.q, obj, dd, self.index.space, self.index.population.grid
-        )
-        oid = obj.object_id
-        if interval.entirely_within(sq.r):
-            # A moved member's stored exact distance is stale either
-            # way, so the bounds-accepted marker always overwrites it.
-            if sq.result.get(oid, _MISSING) is not None:
-                self._touch(sq)
-                sq.result[oid] = None
-            self.stats.pairs_skipped += 1
-        elif interval.entirely_beyond(sq.r):
-            if oid in sq.result:
-                self._touch(sq)
-                del sq.result[oid]
-            self.stats.pairs_skipped += 1
-        else:
-            d = self._exact(sq.q, obj, dd)
-            self.stats.pairs_refined += 1
-            if d <= sq.r:
-                if sq.result.get(oid, _MISSING) != d:
-                    self._touch(sq)
-                    sq.result[oid] = d
-            elif oid in sq.result:
-                self._touch(sq)
-                del sq.result[oid]
-
-    def _update_knn(self, sq: _StandingKNN, obj: UncertainObject) -> None:
-        dd = self.session.door_distances(sq.q)
-        oid = obj.object_id
-        tau = sq.kth_distance()
-        if oid in sq.result:
-            # A member moved: its stored distance is stale, refine it.
-            d = self._exact(sq.q, obj, dd)
-            if math.isfinite(d) and d <= tau:
-                if sq.result[oid] != d:  # invariant holds; tau shrinks
-                    self._touch(sq)
-                    sq.result[oid] = d
-                self.stats.pairs_refined += 1
-            else:
-                # The member drifted past the threshold (or became
-                # unreachable): an outsider may now beat it.  The pair
-                # escalated (not also refined — the pair counters
-                # partition pairs_evaluated) and one query-level
-                # re-execution was paid.
-                self.stats.pairs_recomputed += 1
-                self.stats.full_recomputes += 1
-                self._recompute(sq)
-            return
-        if len(sq.result) >= sq.k:
-            interval = object_bounds(
-                sq.q, obj, dd, self.index.space, self.index.population.grid
-            )
-            if interval.lower > tau:
-                # Certainly no closer than the current k-th member.
-                self.stats.pairs_skipped += 1
-                return
-        d = self._exact(sq.q, obj, dd)
-        self.stats.pairs_refined += 1
-        if not math.isfinite(d):
-            return
-        if len(sq.result) < sq.k:
-            self._touch(sq)
-            sq.result[oid] = d
-        elif d < tau:
-            self._touch(sq)
-            worst = max(sq.result, key=sq.result.__getitem__)
-            del sq.result[worst]
-            sq.result[oid] = d
-
-    # ------------------------------------------------------------------
-    # full re-execution (registration, fallbacks, topology resync)
-    # ------------------------------------------------------------------
-
-    def _recompute(self, sq: _StandingIRQ | _StandingKNN) -> None:
-        self._touch(sq)  # the whole result is about to be replaced
-        dd = self.session.door_distances(sq.q)
-        if isinstance(sq, _StandingIRQ):
-            res = iRQ(sq.q, sq.r, self.index, precomputed_dd=dd)
-            sq.result = dict(res.distances)
-        else:
-            res = ikNNQ(sq.q, sq.k, self.index, precomputed_dd=dd)
-            distances: dict[str, float] = {}
-            for obj in res.objects:
-                d = res.distances[obj.object_id]
-                if d is None:  # accepted by bounds: refine for the tau
-                    d = self._exact(sq.q, obj, dd)
-                if math.isfinite(d):
-                    # An unreachable "member" would poison tau (= max of
-                    # the stored distances) forever; with fewer than k
-                    # reachable objects the result legitimately shrinks.
-                    distances[obj.object_id] = d
-            sq.result = distances
-
-    def _exact(
-        self, q: Point, obj: UncertainObject, dd: DoorDistances
-    ) -> float:
-        return expected_indoor_distance(
-            q, obj, dd, self.index.space, self.index.population.grid
-        ).value
+            sq.on_update(obj)

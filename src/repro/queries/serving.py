@@ -29,13 +29,11 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Awaitable, Callable
 
-from repro.api.specs import KNNSpec, RangeSpec
+from repro.api.specs import QuerySpec
 from repro.errors import QueryError
-from repro.geometry.point import Point
 from repro.objects.generator import MovementStream
 from repro.objects.population import ObjectMove
 from repro.objects.uncertain import UncertainObject
@@ -193,6 +191,12 @@ class MonitorServer:
     #: — the tap :class:`repro.api.service.QueryService` uses to mirror
     #: published deltas onto attached JSONL wire feeds.
     on_publish: Callable[[DeltaBatch], None] | None = None
+    #: Called once per standing query that lost at least one delta to a
+    #: bounded subscription's drop-oldest policy during a publish
+    #: (after ``on_publish``) — the hook the service layer uses to
+    #: emit a mid-stream snapshot record into attached wire feeds, so
+    #: a feed consumer re-primes exactly at the loss point.
+    on_drop: Callable[[str], None] | None = None
     deltas_published: int = 0
     #: Total queue overflows across all bounded subscriptions.
     deltas_dropped: int = 0
@@ -217,34 +221,12 @@ class MonitorServer:
 
     def register(
         self,
-        spec: RangeSpec | KNNSpec,
+        spec: QuerySpec,
         query_id: str | None = None,
     ) -> str:
         """Register a standing query from its spec on the underlying
         monitor; returns its id."""
         return self.monitor.register(spec, query_id=query_id)
-
-    def register_irq(
-        self, q: Point, r: float, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
-        warnings.warn(
-            "register_irq is deprecated; use register(RangeSpec(q, r))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(RangeSpec(q, r), query_id=query_id)
-
-    def register_iknn(
-        self, q: Point, k: int, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
-        warnings.warn(
-            "register_iknn is deprecated; use register(KNNSpec(q, k))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(KNNSpec(q, k), query_id=query_id)
 
     def deregister(self, query_id: str) -> None:
         """Deregister the query; its deregister delta (everything
@@ -310,8 +292,10 @@ class MonitorServer:
         """Fan a delta batch into the matching subscription queues;
         returns the number of deltas published (counted once per delta,
         not per subscriber; drops from bounded queues accumulate on
-        ``deltas_dropped``)."""
+        ``deltas_dropped``, and each query that lost a delta triggers
+        ``on_drop`` once, after the batch reached ``on_publish``)."""
         published = 0
+        dropped_queries: dict[str, None] = {}
         for delta in batch:
             if delta.is_empty:
                 continue
@@ -319,9 +303,13 @@ class MonitorServer:
             for sub in self._subs.get(delta.query_id, ()):
                 if sub._push(delta):
                     self.deltas_dropped += 1
+                    dropped_queries.setdefault(delta.query_id)
         self.deltas_published += published
         if self.on_publish is not None:
             self.on_publish(batch)
+        if self.on_drop is not None:
+            for query_id in dropped_queries:
+                self.on_drop(query_id)
         return published
 
     # ------------------------------------------------------------------

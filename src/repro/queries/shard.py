@@ -13,13 +13,18 @@ mutation only to the shards it can possibly affect.
 The router's skip test is the same conservative geometry Table III's
 intervals are built from: a 3-D Euclidean distance never exceeds an
 indoor (walking) distance, so an object whose old **and** new instance
-boxes are Euclidean-farther than a query's influence radius (iRQ ``r``
-/ current ikNNQ ``tau``, see
+boxes are Euclidean-farther than a query's influence radius (iRQ/iPRQ
+``r`` / current ikNNQ ``tau``, see
 :meth:`~repro.queries.monitor.QueryMonitor.influence_radii`) from that
 query provably cannot enter, leave, or re-rank its result — both old
 and new positions matter, because leaving is as much a result change as
 entering.  An unfull ikNNQ makes its shard unskippable (``tau`` is
-infinite — any reachable object could enter).
+infinite — any reachable object could enter).  Reach tables are cached
+per shard and rebuilt only when a shard's
+:attr:`~repro.queries.monitor.QueryMonitor.reach_epoch` (or the
+topology) moved since the last build — batches that change no ikNNQ
+``tau`` and register nothing route on the cached table
+(:attr:`ShardStats.reach_cache_hits`).
 
 The reach summary the router tests against is **two-level**:
 
@@ -58,12 +63,11 @@ from __future__ import annotations
 
 import itertools
 import math
-import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.api.specs import KNNSpec, RangeSpec, standing_spec
+from repro.api.specs import QuerySpec, standing_spec
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.geometry.rect import Box3, Rect
@@ -103,7 +107,11 @@ class ShardStats:
     buckets are *responsible* for: the coarse shard box admitted the
     update and only the bucketed reach table proved it irrelevant —
     the direct measure of what router tightening buys over the single
-    bbox + max-radius summary.
+    bbox + max-radius summary.  ``reach_cache_hits`` counts routed
+    mutations that reused a shard's cached reach table instead of
+    rebuilding it (no influence radius in the shard changed since the
+    table was built — see
+    :attr:`repro.queries.monitor.QueryMonitor.reach_epoch`).
     """
 
     batches_routed: int = 0
@@ -111,6 +119,7 @@ class ShardStats:
     shards_skipped: int = 0
     updates_filtered: int = 0
     bucket_skips: int = 0
+    reach_cache_hits: int = 0
 
     @property
     def skip_ratio(self) -> float:
@@ -261,6 +270,11 @@ class ShardedMonitor:
         self.workers = workers
         self.bucketed_router = bucketed_router
         self.routing = ShardStats()
+        # Per-shard reach-table cache: (reach_epoch, topology_version,
+        # reach) as of the last build; reused while neither moved.
+        self._reach_cache: list[
+            tuple[int, int, _ShardReach | None] | None
+        ] = [None] * n_shards
         self._homes: dict[str, int] = {}
         self._id_counter = itertools.count(1)
         self._updates_seen = 0
@@ -311,7 +325,7 @@ class ShardedMonitor:
 
     def register(
         self,
-        spec: RangeSpec | KNNSpec,
+        spec: QuerySpec,
         query_id: str | None = None,
     ) -> str:
         """Register a standing query from its spec on the shard its
@@ -322,28 +336,6 @@ class ShardedMonitor:
         self.shards[shard].register(spec, query_id=query_id)
         self._homes[query_id] = shard
         return query_id
-
-    def register_irq(
-        self, q: Point, r: float, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(RangeSpec(q, r))``."""
-        warnings.warn(
-            "register_irq is deprecated; use register(RangeSpec(q, r))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(RangeSpec(q, r), query_id=query_id)
-
-    def register_iknn(
-        self, q: Point, k: int, query_id: str | None = None
-    ) -> str:
-        """Deprecated shim: use ``register(KNNSpec(q, k))``."""
-        warnings.warn(
-            "register_iknn is deprecated; use register(KNNSpec(q, k))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.register(KNNSpec(q, k), query_id=query_id)
 
     def deregister(self, query_id: str) -> None:
         self._home(query_id).deregister(query_id)
@@ -385,7 +377,7 @@ class ShardedMonitor:
     def query_ids(self) -> list[str]:
         return list(self._homes)
 
-    def query_spec(self, query_id: str) -> RangeSpec | KNNSpec:
+    def query_spec(self, query_id: str) -> QuerySpec:
         return self._home(query_id).query_spec(query_id)
 
     def __len__(self) -> int:
@@ -444,8 +436,8 @@ class ShardedMonitor:
         self._updates_seen += len(moved)
         self.routing.batches_routed += 1
         tasks: list[Callable[[], DeltaBatch]] = []
-        for shard in self.shards:
-            reach = self._reach_of(shard)
+        for idx, shard in enumerate(self.shards):
+            reach = self._reach_of(idx)
             if reach is None:
                 # No standing queries: nothing to route, but a parked
                 # delta (the last query's deregister) still flows.
@@ -484,8 +476,8 @@ class ShardedMonitor:
         self.routing.batches_routed += 1
         box = _object_box(obj, fh)
         tasks: list[Callable[[], DeltaBatch]] = []
-        for shard in self.shards:
-            reach = self._reach_of(shard)
+        for idx, shard in enumerate(self.shards):
+            reach = self._reach_of(idx)
             if reach is None:
                 tasks.append(shard.drain_pending_deltas)
                 continue
@@ -508,8 +500,8 @@ class ShardedMonitor:
         self.routing.batches_routed += 1
         head = DeltaBatch(deleted=deleted)
         tasks: list[Callable[[], DeltaBatch]] = []
-        for shard in self.shards:
-            reach = self._reach_of(shard)
+        for idx, shard in enumerate(self.shards):
+            reach = self._reach_of(idx)
             if reach is None:
                 tasks.append(shard.drain_pending_deltas)
                 continue
@@ -584,10 +576,45 @@ class ShardedMonitor:
 
     # ------------------------------------------------------------------
 
-    def _reach_of(self, shard: QueryMonitor) -> _ShardReach | None:
+    def _reach_of(self, shard_idx: int) -> _ShardReach | None:
         """The shard's current influence summary (``None`` when it has
-        no standing queries).  Recomputed per routed mutation — ikNNQ
-        thresholds move with every update, and the summary is a cheap
+        no standing queries), served from the per-shard cache whenever
+        no influence radius in the shard changed since the table was
+        built.
+
+        The cache key is the shard monitor's
+        :attr:`~repro.queries.monitor.QueryMonitor.reach_epoch` (bumped
+        on registration churn and on any result change of a
+        dynamic-reach query — an ikNNQ whose ``tau`` moved) plus the
+        space's ``topology_version`` (a resync the shard has not
+        processed yet must rebuild, never reuse a pre-topology ``tau``).
+        iRQ/iPRQ radii and query positions are immutable, so an
+        unchanged epoch proves the whole table unchanged.  Hits are
+        counted in :attr:`ShardStats.reach_cache_hits`.
+        """
+        shard = self.shards[shard_idx]
+        topology = self.index.space.topology_version
+        cached = self._reach_cache[shard_idx]
+        if (
+            cached is not None
+            and cached[0] == shard.reach_epoch
+            and cached[1] == topology
+            and shard._topology_version == topology
+        ):
+            self.routing.reach_cache_hits += 1
+            return cached[2]
+        reach = self._build_reach(shard)
+        # Read the keys *after* the build: influence_radii_by_floor may
+        # itself have resynced the shard (epoch/version moved mid-build).
+        self._reach_cache[shard_idx] = (
+            shard.reach_epoch,
+            self.index.space.topology_version,
+            reach,
+        )
+        return reach
+
+    def _build_reach(self, shard: QueryMonitor) -> _ShardReach | None:
+        """Build one shard's influence summary from scratch: a cheap
         O(queries-in-shard) pass of pure arithmetic."""
         by_floor = shard.influence_radii_by_floor()
         if not by_floor:

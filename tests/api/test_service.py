@@ -150,10 +150,24 @@ class TestWatchAndIngest:
         assert service.result_distances(a) == legacy.result_distances(la)
         assert service.result_distances(b) == legacy.result_distances(lb)
 
-    def test_watch_rejects_one_shot_spec(self, five_rooms_index):
+    def test_watch_prob_range_spec(self, five_rooms_index, five_rooms):
+        """Standing iPRQ end to end through the façade: watch, ingest,
+        delete — membership tracks the one-shot iPRQ after every
+        mutation and the feed replays to the live result."""
+        from repro.baselines import NaiveEvaluator
+        from repro.queries import iPRQ
+
         service = QueryService(five_rooms_index)
-        with pytest.raises(QueryError):
-            service.watch(ProbRangeSpec(Q1, 10.0, 0.5))
+        c = service.watch(ProbRangeSpec(Q1, 10.0, 0.5))
+        assert service.query_spec(c) == ProbRangeSpec(Q1, 10.0, 0.5)
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        assert service.result_ids(c) == iPRQ(
+            Q1, 10.0, 0.5, five_rooms_index
+        ).ids()
+        service.delete("mid")
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert service.result_ids(c) == \
+            oracle.prob_range_query(Q1, 10.0, 0.5)
 
     def test_unwatch_and_introspection(self, five_rooms_index):
         service = QueryService(five_rooms_index)
@@ -209,7 +223,11 @@ class TestIdClaiming:
     def test_claim_validates_spec(self, five_rooms_index):
         service = QueryService(five_rooms_index)
         with pytest.raises(QueryError):
-            service.claim_query_id("x", ProbRangeSpec(Q1, 5.0, 0.5))
+            service.claim_query_id("x", ("irq", Q1, 5.0))
+        # A watchable iPRQ spec claims its own kind prefix.
+        assert service.claim_query_id(
+            None, ProbRangeSpec(Q1, 5.0, 0.5)
+        ).startswith("iprq-")
 
 
 class TestServiceConfig:

@@ -113,10 +113,16 @@ class TestStandingGate:
         spec = RangeSpec(Q, 5.0)
         assert standing_spec(spec) is spec
         assert standing_spec(KNNSpec(Q, 2)).k == 2
+        # iPRQ is watchable since the maintainer layer landed.
+        prob = ProbRangeSpec(Q, 5.0, 0.5)
+        assert standing_spec(prob) is prob
 
-    def test_one_shot_spec_rejected(self):
+    def test_unwatchable_spec_rejected(self):
+        class OneShotSpec(RangeSpec):
+            watchable = False
+
         with pytest.raises(QueryError):
-            standing_spec(ProbRangeSpec(Q, 5.0, 0.5))
+            standing_spec(OneShotSpec(Q, 5.0))
 
     def test_non_spec_rejected(self):
         with pytest.raises(QueryError):

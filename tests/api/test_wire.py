@@ -71,6 +71,11 @@ deltas = st.builds(
     entered=st.dictionaries(object_ids, distances, max_size=5),
     left=st.lists(object_ids, max_size=5).map(tuple),
     distance_changed=st.dictionaries(object_ids, distances, max_size=5),
+    probability_changed=st.dictionaries(
+        object_ids,
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0)),
+        max_size=5,
+    ),
 )
 records = st.one_of(
     specs,
@@ -110,8 +115,9 @@ class TestRejection:
 
     def test_unknown_version_and_type_rejected(self):
         line = wire.encode_record(ResultDelta("q", "move", {"a": 1.0}))
+        assert '"v":2' in line  # the current wire version
         with pytest.raises(WireError):
-            wire.decode_record(line.replace('"v":1', '"v":99'))
+            wire.decode_record(line.replace('"v":2', '"v":99'))
         with pytest.raises(WireError):
             wire.decode_record(
                 line.replace('"type":"delta"', '"type":"mystery"')
@@ -140,6 +146,88 @@ class TestRejection:
     def test_unencodable_record_refused(self):
         with pytest.raises(WireError):
             wire.encode_record({"not": "a record"})
+
+
+class TestV1Compatibility:
+    """WIRE_VERSION is 2 (the ``prob_changed`` delta field); the
+    decoder must keep reading version-1 feeds unchanged."""
+
+    def _as_v1(self, line: str) -> str:
+        """Strip a freshly encoded v2 line down to its v1 form."""
+        import json
+
+        data = json.loads(line)
+        data["v"] = 1
+
+        def strip(body):
+            assert body.pop("prob_changed") == {}
+            return body
+
+        if data["type"] == "delta":
+            strip(data)
+        elif data["type"] == "batch":
+            data["deltas"] = [strip(b) for b in data["deltas"]]
+        return json.dumps(
+            data, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    @given(record=records)
+    @settings(max_examples=100, deadline=None)
+    def test_v1_records_decode(self, record):
+        from hypothesis import assume
+
+        # Only records without probability annotations ever existed in
+        # v1 feeds.
+        if isinstance(record, ResultDelta):
+            assume(not record.probability_changed)
+        elif isinstance(record, DeltaBatch):
+            assume(
+                all(not d.probability_changed for d in record.deltas)
+            )
+        line = wire.encode_record(record)
+        assert wire.decode_record(self._as_v1(line)) == \
+            wire.decode_record(line)
+
+    def test_v1_delta_decodes_with_empty_probabilities(self):
+        line = (
+            '{"cause":"move","changed":{"o2":3.5},"entered":{"o1":1.0},'
+            '"left":["o3"],"query_id":"kiosk","type":"delta","v":1}'
+        )
+        delta = wire.decode_record(line)
+        assert delta == ResultDelta(
+            "kiosk", "move", {"o1": 1.0}, ("o3",), {"o2": 3.5}
+        )
+        assert delta.probability_changed == {}
+        # Re-encoding yields the v2 form of the same value.
+        v2 = wire.encode_record(delta)
+        assert '"v":2' in v2 and '"prob_changed":{}' in v2
+        assert wire.decode_record(v2) == delta
+
+    def test_v1_feed_replays_like_v2(self):
+        service_deltas = [
+            ResultDelta("q", "register", {"a": 1.0, "b": 2.0}),
+            ResultDelta("q", "move", {"c": 3.0}, ("a",), {"b": 1.5}),
+            ResultDelta("q", "delete", {}, ("c",)),
+        ]
+        v2_lines = [wire.encode_record(d) for d in service_deltas]
+        v1_lines = [self._as_v1(line) for line in v2_lines]
+        want = wire.replay_feed(wire.read_feed(v2_lines))
+        assert wire.replay_feed(wire.read_feed(v1_lines)) == want
+        assert want == {"q": {"b": 1.5}}
+
+    def test_v2_probability_delta_round_trips(self):
+        delta = ResultDelta(
+            "vip", "move", {"o1": None}, ("o2",),
+            probability_changed={"o3": 0.75},
+        )
+        line = wire.encode_record(delta)
+        assert '"prob_changed":{"o3":0.75}' in line
+        decoded = wire.decode_record(line)
+        assert decoded == delta
+        assert wire.encode_record(decoded) == line
+        state = {"o2": 0.9, "o3": 0.5}
+        decoded.apply_to(state)
+        assert state == {"o1": None, "o3": 0.75}
 
 
 # ---------------------------------------------------------------------
@@ -224,3 +312,79 @@ class TestFeedReplay:
         delta = ResultDelta("q", "move", {"a": 1.0})
         text = "\n" + wire.encode_record(delta) + "\n\n"
         assert list(wire.read_feed(text.splitlines())) == [delta]
+
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_standing_iprq_rides_the_feed(self, five_rooms_index,
+                                          n_shards):
+        """A watched ProbRangeSpec flows through the v2 wire end to
+        end: watch header, probability-annotated deltas, exact replay."""
+        service = QueryService(
+            five_rooms_index, ServiceConfig(n_shards=n_shards)
+        )
+        fp = io.StringIO()
+        service.attach_feed(fp)
+        c = service.watch(ProbRangeSpec(Q1, 10.0, 0.5))
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        service.insert(_point_object("new", 24.0, 5.0))
+        service.delete("mid")
+        service.ingest([_point_move("far", 25.0, 5.0)])
+        records = list(wire.read_feed(fp.getvalue().splitlines()))
+        watches = [
+            r for r in records if isinstance(r, wire.WatchRecord)
+        ]
+        assert any(
+            w.query_id == c and w.spec == ProbRangeSpec(Q1, 10.0, 0.5)
+            for w in watches
+        )
+        states = wire.replay_feed(records)
+        assert states[c] == service.result_distances(c)
+
+    def test_lossy_subscription_writes_midstream_snapshot(
+        self, five_rooms_index
+    ):
+        """Feed resumption after loss: a bounded subscription shedding
+        deltas makes the server emit the query's current result as a
+        snapshot record into every attached feed — so a consumer
+        resuming at (or joining after) the loss point replays exactly."""
+        service = QueryService(five_rooms_index)
+        a = service.watch(RangeSpec(Q1, 10.0))
+        fp = io.StringIO()
+        service.attach_feed(fp)
+        sub = service.subscribe(a, snapshot=False, maxlen=1)
+        service.ingest([_point_move("far", 6.0, 6.0)])   # queue fills
+        service.ingest([_point_move("far", 25.0, 5.0)])  # drops oldest
+        service.ingest([_point_move("far", 6.5, 6.0)])   # drops again
+        assert sub.dropped == 2
+        records = list(wire.read_feed(fp.getvalue().splitlines()))
+        snapshots = [
+            (i, r)
+            for i, r in enumerate(records)
+            if isinstance(r, wire.SnapshotRecord) and r.query_id == a
+        ]
+        # The attach-time header snapshot plus one per lossy publish.
+        assert len(snapshots) == 3
+        last_index, last_snapshot = snapshots[-1]
+        assert last_snapshot.members == service.result_distances(a)
+        # A consumer that resumes from the latest snapshot alone — no
+        # earlier history — still reconstructs the live result...
+        resumed = wire.replay_feed(records[last_index:])
+        assert resumed[a] == service.result_distances(a)
+        # ...and a full replay remains exact, snapshots included.
+        assert wire.replay_feed(records)[a] == \
+            service.result_distances(a)
+
+    def test_lossless_runs_write_no_extra_snapshots(
+        self, five_rooms_index
+    ):
+        service = QueryService(five_rooms_index)
+        a = service.watch(RangeSpec(Q1, 10.0))
+        fp = io.StringIO()
+        service.attach_feed(fp)
+        service.subscribe(a, snapshot=False)  # unbounded: never drops
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        service.ingest([_point_move("far", 25.0, 5.0)])
+        records = list(wire.read_feed(fp.getvalue().splitlines()))
+        snapshots = [
+            r for r in records if isinstance(r, wire.SnapshotRecord)
+        ]
+        assert len(snapshots) == 1  # the attach-time header only

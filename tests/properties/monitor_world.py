@@ -8,7 +8,7 @@ import math
 
 import pytest
 
-from repro.api.specs import KNNSpec, RangeSpec
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from repro.baselines import NaiveEvaluator
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
@@ -55,6 +55,34 @@ def register_random_queries(monitor, space, rng):
         )
     ]
     return irqs, knns
+
+
+def register_random_prob_queries(monitor, space, rng):
+    """Two standing iPRQs at random points/ranges/thresholds."""
+    return [
+        (monitor.register(ProbRangeSpec(q, r, p)), q, r, p)
+        for q, r, p in (
+            (
+                space.random_point(rng=rng),
+                rng.uniform(10.0, 45.0),
+                rng.uniform(0.25, 0.75),
+            ),
+            (
+                space.random_point(rng=rng),
+                rng.uniform(10.0, 45.0),
+                rng.uniform(0.25, 0.75),
+            ),
+        )
+    ]
+
+
+def assert_prob_equivalent(monitor, space, pop, probs):
+    """Each standing iPRQ's maintained membership equals the oracle's
+    from-scratch probabilistic-threshold evaluation."""
+    oracle = NaiveEvaluator(space, pop)
+    for qid, q, r, p_min in probs:
+        assert monitor.result_ids(qid) == \
+            oracle.prob_range_query(q, r, p_min)
 
 
 def assert_equivalent(monitor, space, pop, index, irqs, knns):

@@ -24,7 +24,9 @@ from hypothesis import strategies as st
 from repro.api.specs import KNNSpec, RangeSpec
 from monitor_world import (
     assert_equivalent,
+    assert_prob_equivalent,
     build_world,
+    register_random_prob_queries,
     register_random_queries,
 )
 from repro.objects import MovementStream
@@ -62,6 +64,7 @@ class TestDeltaReplay:
         monitor = QueryMonitor(index)
         rng = random.Random(seed ^ 0xD31A)
         irqs, knns = register_random_queries(monitor, space, rng)
+        probs = register_random_prob_queries(monitor, space, rng)
         replay = _Replayer(monitor)
         replay.assert_matches()
         stream = MovementStream(space, pop, gen, seed=seed + 1)
@@ -76,6 +79,7 @@ class TestDeltaReplay:
                 )
             replay.assert_matches()
             assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_prob_equivalent(monitor, space, pop, probs)
 
     def test_replay_deltas_helper_folds_in_order(self):
         """replay_deltas is the documented one-call fold."""

@@ -3,8 +3,9 @@ execution.
 
 After every batch of random position updates, each standing query's
 maintained result must equal a from-scratch evaluation over the mutated
-population — iRQ by exact set equality, ikNNQ tie-aware (same size,
-every member within the oracle's k-th distance, exact distances agree).
+population — iRQ and iPRQ by exact set equality, ikNNQ tie-aware (same
+size, every member within the oracle's k-th distance, exact distances
+agree).
 Scenarios are fully randomized: the floorplan itself, the standing
 query parameters, the movement stream, and (in the heavy tier-2
 variant) interleaved topology events and inserts/deletes.  The shared
@@ -18,7 +19,9 @@ from hypothesis import strategies as st
 
 from monitor_world import (
     assert_equivalent,
+    assert_prob_equivalent,
     build_world,
+    register_random_prob_queries,
     register_random_queries,
 )
 from repro.objects import MovementStream
@@ -38,10 +41,12 @@ class TestMonitorEquivalence:
         monitor = QueryMonitor(index)
         rng = random.Random(seed)
         irqs, knns = register_random_queries(monitor, space, rng)
+        probs = register_random_prob_queries(monitor, space, rng)
         stream = MovementStream(space, pop, gen, seed=seed + 1)
         for batch in stream.batches(3, 8):
             monitor.apply_moves(batch)
             assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_prob_equivalent(monitor, space, pop, probs)
         # The equivalence must not have been bought by recomputing
         # everything: bounds decided at least one pair.
         assert monitor.stats.recompute_ratio < 1.0
@@ -64,6 +69,7 @@ class TestMonitorEquivalenceHeavy:
         monitor = QueryMonitor(index)
         rng = random.Random(seed ^ 0xBEEF)
         irqs, knns = register_random_queries(monitor, space, rng)
+        probs = register_random_prob_queries(monitor, space, rng)
         stream = MovementStream(space, pop, gen, seed=seed + 1)
         closed: list[str] = []
         for i, batch in enumerate(stream.batches(6, 12)):
@@ -82,4 +88,5 @@ class TestMonitorEquivalenceHeavy:
             elif action < 0.7 and len(pop) > 20:
                 monitor.apply_delete(rng.choice(sorted(pop.ids())))
             assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_prob_equivalent(monitor, space, pop, probs)
         assert monitor.stats.recompute_ratio < 1.0

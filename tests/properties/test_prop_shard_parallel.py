@@ -20,10 +20,12 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.api.specs import KNNSpec, RangeSpec
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from monitor_world import (
     assert_equivalent,
+    assert_prob_equivalent,
     build_world,
+    register_random_prob_queries,
     register_random_queries,
 )
 from repro.objects import MovementStream
@@ -66,12 +68,16 @@ def test_concurrent_ingest_replays_and_matches_serial(seed):
     parallel = ShardedMonitor(index3, n_shards=4, workers=3)
     rng = random.Random(seed ^ 0x9A7C)
     irqs, knns = register_random_queries(monitor, space, rng)
+    probs = register_random_prob_queries(monitor, space, rng)
     for qid, q, r in irqs:
         serial.register(RangeSpec(q, r), query_id=qid)
         parallel.register(RangeSpec(q, r), query_id=qid)
     for qid, q, k in knns:
         serial.register(KNNSpec(q, k), query_id=qid)
         parallel.register(KNNSpec(q, k), query_id=qid)
+    for qid, q, r, p_min in probs:
+        serial.register(ProbRangeSpec(q, r, p_min), query_id=qid)
+        parallel.register(ProbRangeSpec(q, r, p_min), query_id=qid)
     replay = _Replayer(parallel)
     serial.drain_pending_deltas()
 
@@ -98,13 +104,17 @@ def test_concurrent_ingest_replays_and_matches_serial(seed):
                 want = serial.apply_delete(victim)
                 got = replay.absorb(parallel.apply_delete(victim))
                 assert got.deltas == want.deltas
-            for qid, _q, _p in irqs + knns:
+            for qid in [t[0] for t in irqs + knns + probs]:
                 assert parallel.result_distances(qid) == \
                     monitor.result_distances(qid)
             replay.assert_matches()
             assert_equivalent(monitor, space, pop, index, irqs, knns)
+            assert_prob_equivalent(monitor, space, pop, probs)
         assert parallel.routing == serial.routing
         assert parallel.stats.pairs_evaluated <= \
             monitor.stats.pairs_evaluated
+        # The reach-table cache must have found reuse (iRQ/iPRQ radii
+        # never move; only ikNNQ tau changes force rebuilds).
+        assert parallel.routing.reach_cache_hits > 0
     finally:
         parallel.close()

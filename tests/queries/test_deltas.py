@@ -4,6 +4,7 @@ repro.queries.deltas and the monitor's per-mutation emission paths
 
 import pytest
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.geometry import Circle, Point
 from repro.index import CompositeIndex
 from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
@@ -116,7 +117,7 @@ class TestDeltaBatch:
 class TestMonitorEmission:
     def test_register_parks_initial_delta(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         batch = monitor.drain_pending_deltas()
         (delta,) = batch.for_query(a)
         assert delta.cause == "register"
@@ -126,7 +127,7 @@ class TestMonitorEmission:
 
     def test_moves_emit_entered_and_left(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_moves([_point_move("far", 6.0, 6.0)])
         (delta,) = batch.for_query(a)
@@ -139,14 +140,14 @@ class TestMonitorEmission:
 
     def test_unaffected_query_emits_no_delta(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 3.0)
+        monitor.register(RangeSpec(Q1, 3.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_moves([_point_move("far", 26.0, 6.0)])
         assert not batch  # far stays far: no delta at all
 
     def test_member_move_emits_distance_change(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         monitor.drain_pending_deltas()
         batch = monitor.apply_moves([_point_move("near", 4.5, 5.0)])
         (delta,) = batch.for_query(b)
@@ -155,7 +156,7 @@ class TestMonitorEmission:
 
     def test_insert_and_delete_emit(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_insert(_point_object("new", 5.0, 4.0))
         (delta,) = batch.for_query(a)
@@ -167,7 +168,7 @@ class TestMonitorEmission:
 
     def test_event_emits_topology_deltas(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 40.0)
+        a = monitor.register(RangeSpec(Q1, 40.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_event(CloseDoor("d3"))
         (delta,) = batch.for_query(a)
@@ -178,7 +179,7 @@ class TestMonitorEmission:
     def test_external_bump_parks_topology_delta(self, five_rooms_index,
                                                 five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 40.0)
+        a = monitor.register(RangeSpec(Q1, 40.0))
         monitor.drain_pending_deltas()
         five_rooms.remove_door("d3")
         five_rooms.topology_version += 1
@@ -189,7 +190,7 @@ class TestMonitorEmission:
 
     def test_deregister_emits_everything_left(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.drain_pending_deltas()
         monitor.deregister(a)
         batch = monitor.drain_pending_deltas()
@@ -199,6 +200,6 @@ class TestMonitorEmission:
 
     def test_deltas_emitted_counted(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 10.0)
+        monitor.register(RangeSpec(Q1, 10.0))
         monitor.apply_moves([_point_move("far", 6.0, 6.0)])
         assert monitor.stats.deltas_emitted == 2  # register + move

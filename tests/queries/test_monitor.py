@@ -38,6 +38,21 @@ def _point_move(object_id: str, x: float, y: float, floor: int = 0):
     return ObjectMove(object_id, Circle(p, 0.0), InstanceSet.single(p))
 
 
+def _two_spot(object_id: str, a, b, as_move: bool = False):
+    """A half/half two-instance object at planar spots ``a`` and ``b``
+    (floor 0): its qualifying probability takes the values 0, 0.5 or 1,
+    so iPRQ bounds and refinement paths are all reachable."""
+    import numpy as np
+
+    xy = np.array([list(a), list(b)], dtype=float)
+    center = Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0, 0)
+    region = Circle(center, math.dist(a, b) / 2.0 + 0.1)
+    instances = InstanceSet.uniform(xy, 0)
+    if as_move:
+        return ObjectMove(object_id, region, instances)
+    return UncertainObject(object_id, region, instances)
+
+
 @pytest.fixture
 def five_rooms_index(five_rooms):
     """Three deterministic point objects in the five_rooms plan."""
@@ -62,8 +77,8 @@ Q1 = Point(5.0, 5.0, 0)  # inside r1
 class TestRegistration:
     def test_register_returns_distinct_ids(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
-        b = monitor.register_iknn(Q1, 2)
+        a = monitor.register(RangeSpec(Q1, 10.0))
+        b = monitor.register(KNNSpec(Q1, 2))
         assert a != b
         assert set(monitor.query_ids()) == {a, b}
         assert len(monitor) == 2 and a in monitor
@@ -72,30 +87,33 @@ class TestRegistration:
                                                 five_rooms):
         monitor = QueryMonitor(five_rooms_index)
         oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         assert monitor.result_ids(a) == oracle.range_query(Q1, 10.0)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         assert monitor.result_ids(b) == {"near", "mid"}
 
     def test_explicit_id_and_duplicate_rejected(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        assert monitor.register_irq(Q1, 5.0, query_id="kiosk") == "kiosk"
+        assert (
+            monitor.register(RangeSpec(Q1, 5.0), query_id="kiosk")
+            == "kiosk"
+        )
         with pytest.raises(QueryError):
-            monitor.register_iknn(Q1, 2, query_id="kiosk")
+            monitor.register(KNNSpec(Q1, 2), query_id="kiosk")
 
     def test_generated_ids_skip_claimed_ones(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 5.0, query_id="irq-1")
-        auto = monitor.register_irq(Q1, 10.0)  # must not collide
+        monitor.register(RangeSpec(Q1, 5.0), query_id="irq-1")
+        auto = monitor.register(RangeSpec(Q1, 10.0))  # must not collide
         assert auto != "irq-1"
         assert len(monitor) == 2
 
     def test_invalid_parameters_rejected(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
         with pytest.raises(QueryError):
-            monitor.register_irq(Q1, -1.0)
+            monitor.register(RangeSpec(Q1, -1.0))
         with pytest.raises(QueryError):
-            monitor.register_iknn(Q1, 0)
+            monitor.register(KNNSpec(Q1, 0))
 
     def test_failed_registration_leaves_no_trace(self, five_rooms_index):
         """Regression: a query point outside every partition raises on
@@ -104,13 +122,13 @@ class TestRegistration:
         monitor = QueryMonitor(five_rooms_index)
         outside = Point(-500.0, -500.0, 0)
         with pytest.raises(QueryError):
-            monitor.register_irq(outside, 10.0)
+            monitor.register(RangeSpec(outside, 10.0))
         with pytest.raises(QueryError):
-            monitor.register_iknn(outside, 2)
+            monitor.register(KNNSpec(outside, 2))
         assert len(monitor) == 0
         assert not monitor.drain_pending_deltas()
         assert monitor.session.cache_size == 0  # nothing cached or pinned
-        a = monitor.register_irq(Q1, 10.0)  # the monitor still works
+        a = monitor.register(RangeSpec(Q1, 10.0))  # the monitor still works
         monitor.apply_moves([_point_move("far", 6.0, 6.0)])
         assert monitor.result_ids(a) == {"near", "mid", "far"}
 
@@ -124,27 +142,33 @@ class TestRegistration:
         c = monitor.register(monitor.query_spec(a))
         assert monitor.result_ids(c) == monitor.result_ids(a)
 
-    def test_register_rejects_one_shot_specs(self, five_rooms_index):
+    def test_register_rejects_non_specs(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        with pytest.raises(QueryError):
-            monitor.register(ProbRangeSpec(Q1, 10.0, 0.5))
         with pytest.raises(QueryError):
             monitor.register("irq")  # not a spec at all
+        with pytest.raises(AttributeError):
+            monitor.register_irq  # the deprecated shims are gone
 
-    def test_deprecated_shims_still_register(self, five_rooms_index):
+    def test_prob_range_spec_registers(self, five_rooms_index,
+                                       five_rooms):
+        """Standing iPRQ through the same register(spec) path: the
+        initial result matches the one-shot iPRQ and the oracle."""
+        from repro.queries import iPRQ
+
         monitor = QueryMonitor(five_rooms_index)
-        with pytest.deprecated_call():
-            a = monitor.register_irq(Q1, 10.0)
-        with pytest.deprecated_call():
-            b = monitor.register_iknn(Q1, 2)
-        assert monitor.query_spec(a) == RangeSpec(Q1, 10.0)
-        assert monitor.query_spec(b) == KNNSpec(Q1, 2)
+        c = monitor.register(ProbRangeSpec(Q1, 10.0, 0.5))
+        assert monitor.query_spec(c) == ProbRangeSpec(Q1, 10.0, 0.5)
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert monitor.result_ids(c) == \
+            oracle.prob_range_query(Q1, 10.0, 0.5)
+        assert monitor.result_ids(c) == \
+            iPRQ(Q1, 10.0, 0.5, five_rooms_index).ids()
 
 
 class TestDeregistration:
     def test_deregister_removes(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.deregister(a)
         assert a not in monitor
         with pytest.raises(QueryError):
@@ -157,7 +181,7 @@ class TestDeregistration:
 
     def test_deregistered_query_costs_nothing(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.deregister(a)
         monitor.apply_moves([_point_move("far", 26.0, 6.0)])
         assert monitor.stats.pairs_evaluated == 0
@@ -166,7 +190,7 @@ class TestDeregistration:
 class TestIncrementalIRQ:
     def test_move_in_and_out_of_range(self, five_rooms_index, five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         assert monitor.result_ids(a) == {"near", "mid"}
         # "far" walks into r1, well within range.
         monitor.apply_moves([_point_move("far", 6.0, 6.0)])
@@ -181,7 +205,7 @@ class TestIncrementalIRQ:
         from repro.errors import IndexError_
 
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         before = monitor.result_ids(a)
         with pytest.raises(IndexError_):
             monitor.apply_moves([
@@ -200,7 +224,7 @@ class TestIncrementalIRQ:
         from repro.errors import IndexError_
 
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         before = monitor.result_ids(a)
         with pytest.raises(IndexError_):
             monitor.apply_moves([
@@ -214,7 +238,7 @@ class TestIncrementalIRQ:
 
     def test_unaffected_updates_are_skipped(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 3.0)
+        monitor.register(RangeSpec(Q1, 3.0))
         # A far object shuffling around r3 is decided by bounds alone.
         monitor.apply_moves([_point_move("far", 24.0, 4.0)])
         monitor.apply_moves([_point_move("far", 26.0, 6.0)])
@@ -222,11 +246,106 @@ class TestIncrementalIRQ:
         assert monitor.stats.pairs_refined == 0
 
 
+class TestIncrementalProbRange:
+    """Standing iPRQ: the ProbRangeMaintainer keeps the probabilistic-
+    threshold result maintained through the same monitor paths as
+    iRQ/ikNNQ — bounds decide most pairs, refinement only when the
+    probability can cross p_min, deltas annotate with probabilities."""
+
+    def test_point_objects_move_in_and_out(self, five_rooms_index,
+                                           five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 10.0, 0.5))
+        assert monitor.result_ids(c) == {"near", "mid"}
+        monitor.apply_moves([_point_move("far", 6.0, 6.0)])
+        assert monitor.result_ids(c) == {"near", "mid", "far"}
+        monitor.apply_moves([_point_move("far", 25.0, 5.0)])
+        assert monitor.result_ids(c) == {"near", "mid"}
+        # Point objects are always decided by bounds: no refinement,
+        # and pure movement never needs a full re-execution.
+        assert monitor.stats.pairs_refined == 0
+        assert monitor.stats.full_recomputes == 0
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert monitor.result_ids(c) == \
+            oracle.prob_range_query(Q1, 10.0, 0.5)
+
+    def test_split_object_refines_and_annotates(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 2.5, 0.4))
+        assert monitor.result_distances(c) == {"near": None}
+        # Half the mass at distance 1 (within r), half at distance 4:
+        # bounds leave [0, 1] straddling p_min, so one exact
+        # refinement decides membership with probability 0.5.
+        monitor.drain_pending_deltas()
+        batch = monitor.apply_insert(
+            _two_spot("split", (4.0, 5.0), (9.0, 5.0))
+        )
+        assert monitor.stats.pairs_refined == 1
+        assert monitor.result_distances(c) == {
+            "near": None, "split": 0.5,
+        }
+        (delta,) = batch.for_query(c)
+        assert delta.entered == {"split": 0.5}
+        # Both instances walk within r: bounds accept outright, and the
+        # re-annotation travels in probability_changed, not
+        # distance_changed.
+        batch = monitor.apply_moves([
+            _two_spot("split", (4.0, 5.0), (6.0, 5.0), as_move=True)
+        ])
+        assert monitor.result_distances(c) == {
+            "near": None, "split": None,
+        }
+        (delta,) = batch.for_query(c)
+        assert delta.probability_changed == {"split": None}
+        assert delta.distance_changed == {}
+        # ...and clean out to the far room: certain non-member.
+        batch = monitor.apply_moves([
+            _two_spot("split", (24.0, 5.0), (26.0, 5.0), as_move=True)
+        ])
+        (delta,) = batch.for_query(c)
+        assert delta.left == ("split",)
+        assert monitor.result_ids(c) == {"near"}
+
+    def test_probability_below_threshold_stays_out(self,
+                                                   five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 2.5, 0.6))
+        monitor.apply_insert(_two_spot("split", (4.0, 5.0), (9.0, 5.0)))
+        # Qualifying probability 0.5 < 0.6: refined, then excluded.
+        assert monitor.result_ids(c) == {"near"}
+        assert monitor.stats.pairs_refined == 1
+
+    def test_delete_member_just_drops(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 10.0, 0.5))
+        monitor.apply_delete("near")
+        assert monitor.result_ids(c) == {"mid"}
+        assert monitor.stats.full_recomputes == 0
+
+    def test_topology_event_resyncs(self, five_rooms_index, five_rooms):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 40.0, 0.5))
+        assert "far" in monitor.result_ids(c)
+        monitor.apply_event(CloseDoor("d3"))  # r3 sealed
+        assert "far" not in monitor.result_ids(c)
+        oracle = NaiveEvaluator(five_rooms, five_rooms_index.population)
+        assert monitor.result_ids(c) == \
+            oracle.prob_range_query(Q1, 40.0, 0.5)
+        monitor.apply_event(OpenDoor("d3"))
+        assert "far" in monitor.result_ids(c)
+
+    def test_influence_radius_is_query_range(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        c = monitor.register(ProbRangeSpec(Q1, 7.5, 0.5))
+        (entry,) = monitor.influence_radii()
+        assert entry == (c, Q1, 7.5)
+
+
 class TestKNNFallback:
     def test_member_drift_triggers_fallback(self, five_rooms_index,
                                             five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         assert monitor.result_ids(b) == {"near", "mid"}
         assert monitor.stats.full_recomputes == 0
         # The nearest member walks to the far room: its new distance
@@ -240,7 +359,7 @@ class TestKNNFallback:
 
     def test_member_jitter_stays_incremental(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         # A member moving slightly (still within the threshold) is
         # refined in place, no fallback.
         monitor.apply_moves([_point_move("near", 4.5, 5.0)])
@@ -250,7 +369,7 @@ class TestKNNFallback:
 
     def test_outsider_entry_is_incremental(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         # "far" walks right next to q: it must enter, evicting "mid" —
         # incrementally, without re-execution.
         monitor.apply_moves([_point_move("far", 5.0, 6.0)])
@@ -259,7 +378,7 @@ class TestKNNFallback:
 
     def test_far_outsider_is_skipped_by_bounds(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_iknn(Q1, 2)
+        monitor.register(KNNSpec(Q1, 2))
         monitor.apply_moves([_point_move("far", 26.0, 3.0)])
         assert monitor.stats.pairs_skipped == 1
         assert monitor.stats.pairs_refined == 0
@@ -268,28 +387,28 @@ class TestKNNFallback:
 class TestInsertDelete:
     def test_insert_enters_results(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
-        b = monitor.register_iknn(Q1, 2)
+        a = monitor.register(RangeSpec(Q1, 10.0))
+        b = monitor.register(KNNSpec(Q1, 2))
         monitor.apply_insert(_point_object("new", 5.0, 4.0))
         assert "new" in monitor.result_ids(a)
         assert "new" in monitor.result_ids(b)
 
     def test_delete_member_refills_knn(self, five_rooms_index, five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         monitor.apply_delete("near")
         assert monitor.stats.full_recomputes == 1
         assert monitor.result_ids(b) == {"mid", "far"}
 
     def test_delete_outsider_is_free(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_iknn(Q1, 2)
+        monitor.register(KNNSpec(Q1, 2))
         monitor.apply_delete("far")
         assert monitor.stats.full_recomputes == 0
 
     def test_delete_drops_from_irq(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.apply_delete("near")
         assert "near" not in monitor.result_ids(a)
         assert monitor.stats.full_recomputes == 0
@@ -299,7 +418,7 @@ class TestTopologyEvents:
     def test_event_invalidates_session_cache(self, five_rooms_index,
                                              five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 40.0)
+        a = monitor.register(RangeSpec(Q1, 40.0))
         assert monitor.session.misses == 1
         assert monitor.session._cached_version == five_rooms.topology_version
         monitor.apply_event(CloseDoor("d3"))
@@ -315,7 +434,7 @@ class TestTopologyEvents:
 
     def test_reopen_restores_results(self, five_rooms_index, five_rooms):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 40.0)
+        a = monitor.register(RangeSpec(Q1, 40.0))
         before = monitor.result_ids(a)
         monitor.apply_event(CloseDoor("d3"))
         monitor.apply_event(OpenDoor("d3"))
@@ -327,7 +446,7 @@ class TestTopologyEvents:
         """Even a mutation not routed through apply_event resyncs on the
         next access (the session would otherwise serve stale searches)."""
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 40.0)
+        a = monitor.register(RangeSpec(Q1, 40.0))
         five_rooms.topology_version += 1
         monitor.result_ids(a)  # any access notices the bump
         assert monitor.stats.topology_invalidations == 1
@@ -335,7 +454,7 @@ class TestTopologyEvents:
 
     def test_events_do_not_count_as_bound_fallbacks(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 40.0)
+        monitor.register(RangeSpec(Q1, 40.0))
         monitor.apply_event(CloseDoor("d3"))
         assert monitor.stats.full_recomputes == 0
         assert monitor.stats.event_recomputes == 1
@@ -362,8 +481,8 @@ class TestDeregisterEvictsSessionCache:
 
     def test_cache_shrinks_on_deregister(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
-        b = monitor.register_irq(Point(25.0, 5.0, 0), 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
+        b = monitor.register(RangeSpec(Point(25.0, 5.0, 0), 10.0))
         assert monitor.session.cache_size == 2
         monitor.deregister(a)
         assert monitor.session.cache_size == 1
@@ -372,8 +491,8 @@ class TestDeregisterEvictsSessionCache:
 
     def test_shared_point_keeps_cache_until_last(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
-        b = monitor.register_iknn(Q1, 2)  # same point, shared search
+        a = monitor.register(RangeSpec(Q1, 10.0))
+        b = monitor.register(KNNSpec(Q1, 2))  # same point, shared search
         assert monitor.session.cache_size == 1
         monitor.deregister(a)
         assert monitor.session.cache_size == 1  # b still needs it
@@ -386,8 +505,8 @@ class TestDeregisterEvictsSessionCache:
         session = QuerySession(five_rooms_index)
         m1 = QueryMonitor(five_rooms_index, session=session)
         m2 = QueryMonitor(five_rooms_index, session=session)
-        a = m1.register_irq(Q1, 10.0)
-        b = m2.register_irq(Q1, 20.0)  # same point, other monitor
+        a = m1.register(RangeSpec(Q1, 10.0))
+        b = m2.register(RangeSpec(Q1, 20.0))  # same point, other monitor
         assert session.cache_size == 1
         m1.deregister(a)
         assert session.cache_size == 1  # m2 still pins the point
@@ -400,7 +519,7 @@ class TestDeregisterEvictsSessionCache:
 
     def test_evict_respects_pins(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q1, 10.0)
+        monitor.register(RangeSpec(Q1, 10.0))
         assert not monitor.session.evict(Q1)  # pinned: refused
         assert monitor.session.cache_size == 1
 
@@ -417,8 +536,8 @@ class TestDeregisterEvictsSessionCache:
         monitor = QueryMonitor(five_rooms_index)
         rng = __import__("random").Random(3)
         for _ in range(12):
-            qid = monitor.register_irq(
-                five_rooms.random_point(rng=rng), 10.0
+            qid = monitor.register(
+                RangeSpec(five_rooms.random_point(rng=rng), 10.0)
             )
             monitor.deregister(qid)
         assert monitor.session.cache_size == 0
@@ -430,7 +549,7 @@ class TestBelowK:
 
     def test_delete_below_k_shrinks_then_refills(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 3)  # exactly the population size
+        b = monitor.register(KNNSpec(Q1, 3))  # exactly the population size
         assert monitor.result_ids(b) == {"near", "mid", "far"}
         monitor.apply_delete("far")
         assert monitor.result_ids(b) == {"near", "mid"}
@@ -445,7 +564,7 @@ class TestBelowK:
         from repro.space.events import CloseDoor
 
         monitor = QueryMonitor(five_rooms_index)
-        b = monitor.register_iknn(Q1, 3)
+        b = monitor.register(KNNSpec(Q1, 3))
         # r3 loses its only door: "far" becomes unreachable and must
         # drop out (not linger with an infinite stored distance).
         monitor.apply_event(CloseDoor("d3"))
@@ -467,7 +586,7 @@ class TestBelowK:
 
         monitor = QueryMonitor(five_rooms_index)
         monitor.apply_event(CloseDoor("d3"))  # r3 sealed, "far" gone
-        b = monitor.register_iknn(Q1, 2)
+        b = monitor.register(KNNSpec(Q1, 2))
         assert monitor.result_ids(b) == {"near", "mid"}
         # A member walks into the hallway-adjacent room r2 — fine — and
         # then the sealed room cannot be entered, so instead send it to
@@ -486,7 +605,7 @@ class TestDuplicateMovesInBatch:
 
     def test_last_write_wins_no_net_change(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_moves([
             _point_move("far", 6.0, 6.0),    # would enter...
@@ -499,7 +618,7 @@ class TestDuplicateMovesInBatch:
 
     def test_last_write_wins_enters_once(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        a = monitor.register_irq(Q1, 10.0)
+        a = monitor.register(RangeSpec(Q1, 10.0))
         monitor.drain_pending_deltas()
         batch = monitor.apply_moves([
             _point_move("far", 25.0, 8.0),   # stale observation
@@ -518,8 +637,8 @@ class TestStreamedEquivalence:
         index, gen, pop = mall_setup
         monitor = QueryMonitor(index)
         q = small_mall.random_point(seed=8)
-        a = monitor.register_irq(q, 45.0)
-        b = monitor.register_iknn(q, 6)
+        a = monitor.register(RangeSpec(q, 45.0))
+        b = monitor.register(KNNSpec(q, 6))
         stream = MovementStream(small_mall, pop, gen, seed=13)
         for batch in stream.batches(4, 10):
             monitor.apply_moves(batch)

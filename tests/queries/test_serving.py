@@ -5,6 +5,7 @@ import asyncio
 
 import pytest
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.errors import QueryError
 from repro.geometry import Circle, Point
 from repro.index import CompositeIndex
@@ -53,7 +54,7 @@ class TestSubscriptions:
     def test_snapshot_primes_feed(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a)
             delta = await sub.next_delta()
             assert delta.cause == "snapshot"
@@ -70,8 +71,8 @@ class TestSubscriptions:
     def test_mutations_fan_out_to_subscribers(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
-            b = server.register_iknn(Q1, 2)
+            a = server.register(RangeSpec(Q1, 10.0))
+            b = server.register(KNNSpec(Q1, 2))
             sub_a = server.subscribe(a, snapshot=False)
             sub_b = server.subscribe(b, snapshot=False)
             await server.apply_moves([_point_move("far", 6.0, 6.0)])
@@ -86,7 +87,7 @@ class TestSubscriptions:
     def test_replaying_feed_reconstructs_result(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a)  # snapshot makes replay complete
             await server.apply_moves([_point_move("far", 6.0, 6.0)])
             await server.apply_insert(_point_object("new", 5.0, 4.0))
@@ -102,7 +103,7 @@ class TestSubscriptions:
     def test_pending_excludes_close_sentinel(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a)  # snapshot queued
             assert sub.pending == 1
             server.close()
@@ -117,7 +118,7 @@ class TestSubscriptions:
     def test_unsubscribe_ends_iteration(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a, snapshot=False)
             server.unsubscribe(sub)
             assert await sub.next_delta() is None
@@ -131,7 +132,7 @@ class TestSubscriptions:
     ):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a, snapshot=False)
             server.deregister(a)
             delta = await sub.next_delta()
@@ -144,7 +145,7 @@ class TestSubscriptions:
     def test_closed_server_rejects_mutations(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             server.close()
             with pytest.raises(QueryError):
                 await server.apply_moves([])
@@ -152,6 +153,52 @@ class TestSubscriptions:
             # (nothing can ever publish or close it): refuse it instead.
             with pytest.raises(QueryError):
                 server.subscribe(a)
+
+        asyncio.run(run())
+
+
+class TestProbRangeServing:
+    """Standing iPRQ through the serving layer: same subscribe/publish
+    plumbing, probability-annotated deltas."""
+
+    def test_prob_range_feed_replays(self, five_rooms_index):
+        from repro.api.specs import ProbRangeSpec
+
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            c = server.register(ProbRangeSpec(Q1, 10.0, 0.5))
+            sub = server.subscribe(c)  # snapshot-primed
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            await server.apply_insert(_point_object("new", 5.0, 4.0))
+            await server.apply_delete("mid")
+            await server.apply_event(CloseDoor("d12"))
+            server.close()
+            deltas = [d async for d in sub]
+            assert replay_deltas(deltas) == \
+                server.monitor.result_distances(c)
+
+        asyncio.run(run())
+
+
+class TestDropHook:
+    """on_drop fires once per query that lost deltas in a publish —
+    the feed-resumption trigger the service layer builds on."""
+
+    def test_fires_once_per_lossy_query(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register(RangeSpec(Q1, 10.0))
+            dropped: list[str] = []
+            server.on_drop = dropped.append
+            # Two bounded never-drained subscriptions on one query:
+            # both shed in the same publish, the hook still fires once.
+            server.subscribe(a, snapshot=False, maxlen=1)
+            server.subscribe(a, snapshot=False, maxlen=1)
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            assert dropped == []  # queues just filled, nothing shed yet
+            await server.apply_moves([_point_move("far", 25.0, 5.0)])
+            assert dropped == [a]
+            assert server.deltas_dropped == 2
 
         asyncio.run(run())
 
@@ -205,7 +252,7 @@ class TestBackpressure:
     def test_slow_subscriber_keeps_newest_state(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            a = server.register_irq(Q1, 10.0)
+            a = server.register(RangeSpec(Q1, 10.0))
             sub = server.subscribe(a, snapshot=False, maxlen=1)
             await server.apply_moves([_point_move("far", 6.0, 6.0)])
             await server.apply_moves([_point_move("far", 25.0, 5.0)])
@@ -235,7 +282,7 @@ class TestParallelOffload:
                 five_rooms_index, n_shards=2, workers=2
             ) as monitor:
                 server = MonitorServer(monitor)
-                a = server.register_irq(Q1, 10.0)
+                a = server.register(RangeSpec(Q1, 10.0))
                 sub = server.subscribe(a)
                 await server.apply_moves([_point_move("far", 6.0, 6.0)])
                 await server.apply_delete("mid")
@@ -254,8 +301,8 @@ class TestServeLoop:
         index = CompositeIndex.build(small_mall, pop)
         server = MonitorServer(ShardedMonitor(index, n_shards=2))
         q = small_mall.random_point(seed=8)
-        a = server.register_irq(q, 45.0)
-        b = server.register_iknn(q, 4)
+        a = server.register(RangeSpec(q, 45.0))
+        b = server.register(KNNSpec(q, 4))
         stream = MovementStream(small_mall, pop, gen, seed=13)
 
         async def run():
@@ -287,7 +334,7 @@ class TestServeLoop:
         async) with the served stream."""
         gen = ObjectGenerator(five_rooms, radius=1.0, n_instances=4, seed=2)
         server = MonitorServer(QueryMonitor(five_rooms_index))
-        a = server.register_irq(Q1, 40.0)
+        a = server.register(RangeSpec(Q1, 40.0))
         stream = MovementStream(
             five_rooms, five_rooms_index.population, gen, seed=5
         )
@@ -312,7 +359,7 @@ class TestServeLoop:
         is flushed at subscribe time, not replayed into the new feed."""
         gen = ObjectGenerator(five_rooms, radius=1.0, n_instances=4, seed=2)
         server = MonitorServer(QueryMonitor(five_rooms_index))
-        a = server.register_irq(Q1, 10.0)
+        a = server.register(RangeSpec(Q1, 10.0))
         sub = server.subscribe(a, snapshot=False)
         stream = MovementStream(
             five_rooms, five_rooms_index.population, gen, seed=5
@@ -329,7 +376,7 @@ class TestServeLoop:
     def test_serve_counts_filtered_duplicates_once(self, five_rooms_index):
         async def run():
             server = MonitorServer(QueryMonitor(five_rooms_index))
-            server.register_irq(Q1, 10.0)
+            server.register(RangeSpec(Q1, 10.0))
             batch = await server.apply_moves([
                 _point_move("far", 6.0, 6.0),
                 _point_move("far", 25.0, 5.0),

@@ -12,7 +12,7 @@ from repro.index import CompositeIndex
 from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
 from repro.objects.population import ObjectMove
 from repro.geometry.rect import Box3
-from repro.api.specs import RangeSpec
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.queries import QueryMonitor, QuerySession, ShardedMonitor
 from repro.queries.shard import ShardStats, _object_box
 from repro.space.events import CloseDoor
@@ -62,20 +62,20 @@ class TestGeometryHelpers:
 class TestRegistrationRouting:
     def test_colocated_queries_share_a_shard(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=4)
-        a = sharded.register_irq(Q_LEFT, 5.0)
-        b = sharded.register_iknn(Q_LEFT, 2)
+        a = sharded.register(RangeSpec(Q_LEFT, 5.0))
+        b = sharded.register(KNNSpec(Q_LEFT, 2))
         assert sharded._homes[a] == sharded._homes[b]
         assert sharded.shard_of(Q_LEFT) == sharded._homes[a]
 
     def test_spatially_separate_queries_split(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 5.0)
-        b = sharded.register_irq(Q_RIGHT, 5.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 5.0))
+        b = sharded.register(RangeSpec(Q_RIGHT, 5.0))
         assert sharded._homes[a] != sharded._homes[b]
 
     def test_query_surface_mirrors_monitor(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 10.0, query_id="kiosk")
+        a = sharded.register(RangeSpec(Q_LEFT, 10.0), query_id="kiosk")
         assert a == "kiosk" and a in sharded and len(sharded) == 1
         assert sharded.query_ids() == ["kiosk"]
         assert sharded.query_spec(a) == RangeSpec(Q_LEFT, 10.0)
@@ -108,9 +108,9 @@ class TestRegistrationRouting:
 
     def test_duplicate_and_unknown_ids_rejected(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        sharded.register_irq(Q_LEFT, 5.0, query_id="kiosk")
+        sharded.register(RangeSpec(Q_LEFT, 5.0), query_id="kiosk")
         with pytest.raises(QueryError):
-            sharded.register_iknn(Q_RIGHT, 2, query_id="kiosk")
+            sharded.register(KNNSpec(Q_RIGHT, 2), query_id="kiosk")
         with pytest.raises(QueryError):
             sharded.deregister("nope")
         with pytest.raises(QueryError):
@@ -120,16 +120,16 @@ class TestRegistrationRouting:
         session = QuerySession(five_rooms_index)
         sharded = ShardedMonitor(five_rooms_index, n_shards=4,
                                  session=session)
-        sharded.register_irq(Q_LEFT, 5.0)
-        sharded.register_iknn(Q_LEFT, 2)
+        sharded.register(RangeSpec(Q_LEFT, 5.0))
+        sharded.register(KNNSpec(Q_LEFT, 2))
         assert session.misses == 1 and session.hits >= 1
 
 
 class TestRouter:
     def test_irrelevant_update_skips_the_far_shard(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 4.0)
-        b = sharded.register_irq(Q_RIGHT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 4.0))
+        b = sharded.register(RangeSpec(Q_RIGHT, 4.0))
         # "near" shuffles within r1: provably outside Q_RIGHT's reach.
         sharded.apply_moves([_point_move("near", 4.5, 5.0)])
         assert sharded.routing.shard_visits == 1
@@ -145,23 +145,23 @@ class TestRouter:
         """Both old and new position matter: an object moving *out* of a
         shard's reach must still be routed there (it has to leave)."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 10.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 10.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.apply_moves([_point_move("near", 25.0, 8.0)])
         assert "near" not in sharded.result_ids(a)
 
     def test_unfull_knn_makes_shard_unskippable(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
         # k=5 > population: tau is infinite, every update is relevant.
-        sharded.register_iknn(Q_RIGHT, 5)
-        sharded.register_irq(Q_LEFT, 4.0)
+        sharded.register(KNNSpec(Q_RIGHT, 5))
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
         sharded.apply_moves([_point_move("near", 4.5, 5.0)])
         assert sharded.routing.shards_skipped == 0
 
     def test_insert_and_delete_route_and_skip(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 4.0)
-        b = sharded.register_irq(Q_RIGHT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 4.0))
+        b = sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.apply_insert(_point_object("new", 24.0, 5.0))
         assert sharded.routing.shards_skipped == 1  # left shard skipped
         assert "new" in sharded.result_ids(b)
@@ -172,8 +172,8 @@ class TestRouter:
 
     def test_update_filtering_counts(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        sharded.register_irq(Q_LEFT, 4.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         # One move near each query: both shards visited, and each shard
         # filtered the other zone's update out.
         sharded.apply_moves([
@@ -187,7 +187,7 @@ class TestRouter:
 
     def test_duplicate_moves_in_batch_last_write_wins(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 10.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 10.0))
         batch = sharded.apply_moves([
             _point_move("far", 6.0, 6.0),
             _point_move("far", 25.0, 5.0),  # last write wins
@@ -206,8 +206,8 @@ class TestBucketRouter:
         # One shard holding two small-reach queries at opposite ends:
         # the coarse box spans the gap between them, the buckets don't.
         sharded = ShardedMonitor(five_rooms_index, n_shards=1)
-        a = sharded.register_irq(Q_LEFT, 4.0)
-        b = sharded.register_irq(Q_RIGHT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 4.0))
+        b = sharded.register(RangeSpec(Q_RIGHT, 4.0))
         # Park "mid" in the dead middle first (old box is near Q_LEFT,
         # so this batch still routes).
         sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
@@ -227,8 +227,8 @@ class TestBucketRouter:
         sharded = ShardedMonitor(
             five_rooms_index, n_shards=1, bucketed_router=False
         )
-        sharded.register_irq(Q_LEFT, 4.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
         sharded.apply_moves([_point_move("mid", 15.5, 5.0)])
         assert sharded.routing.shards_skipped == 0
@@ -236,8 +236,8 @@ class TestBucketRouter:
 
     def test_insert_in_gap_is_bucket_skipped(self, five_rooms_index):
         sharded = ShardedMonitor(five_rooms_index, n_shards=1)
-        sharded.register_irq(Q_LEFT, 4.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.apply_insert(_point_object("gap", 15.0, 5.0))
         assert sharded.routing.shards_skipped == 1
         assert sharded.routing.bucket_skips == 1
@@ -245,21 +245,130 @@ class TestBucketRouter:
     def test_unfull_knn_still_unskippable(self, five_rooms_index):
         """An infinite reach short-circuits before any bucket logic."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=1)
-        sharded.register_iknn(Q_LEFT, 5)  # k > population: tau = inf
-        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.register(KNNSpec(Q_LEFT, 5))  # k > population: tau = inf
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.apply_moves([_point_move("mid", 15.0, 5.0)])
         assert sharded.routing.shards_skipped == 0
 
     def test_per_floor_radii_grouping(self, five_rooms_index):
         monitor = QueryMonitor(five_rooms_index)
-        monitor.register_irq(Q_LEFT, 4.0, query_id="a")
-        monitor.register_irq(Q_RIGHT, 6.0, query_id="b")
+        monitor.register(RangeSpec(Q_LEFT, 4.0), query_id="a")
+        monitor.register(RangeSpec(Q_RIGHT, 6.0), query_id="b")
         by_floor = monitor.influence_radii_by_floor()
         assert set(by_floor) == {0}
         assert {(qid, r) for qid, _q, r in by_floor[0]} == {
             ("a", 4.0),
             ("b", 6.0),
         }
+
+
+class TestReachCache:
+    """Reach tables are cached per shard and rebuilt only when a
+    shard's reach_epoch (registration churn, an ikNNQ tau move) or the
+    topology changed — ShardStats.reach_cache_hits counts the reuse."""
+
+    def test_static_reaches_hit_cache(self, five_rooms_index):
+        sharded = ShardedMonitor(five_rooms_index, n_shards=2)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])  # builds
+        assert sharded.routing.reach_cache_hits == 0
+        sharded.apply_moves([_point_move("near", 4.0, 5.0)])
+        assert sharded.routing.reach_cache_hits == 2
+        sharded.apply_insert(_point_object("new", 24.0, 5.0))
+        assert sharded.routing.reach_cache_hits == 4
+
+    def test_iprq_reach_is_static_too(self, five_rooms_index):
+        from repro.api.specs import ProbRangeSpec
+
+        sharded = ShardedMonitor(five_rooms_index, n_shards=1)
+        sharded.register(ProbRangeSpec(Q_LEFT, 4.0, 0.5))
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])  # builds
+        sharded.apply_moves([_point_move("near", 4.0, 5.0)])
+        assert sharded.routing.reach_cache_hits == 1
+        # The cached reach still routes soundly: a far-room jiggle is
+        # skipped outright.
+        sharded.apply_moves([_point_move("far", 24.5, 5.0)])
+        assert sharded.routing.reach_cache_hits == 2
+        assert sharded.routing.shards_skipped == 1
+
+    def test_knn_result_change_rebuilds(self, five_rooms_index):
+        sharded = ShardedMonitor(five_rooms_index, n_shards=2)
+        sharded.register(KNNSpec(Q_LEFT, 2))  # near + mid; tau finite
+        other = 1 - sharded.shard_of(Q_LEFT)  # the empty shard
+        assert 0 <= other < 2
+        sharded.apply_moves([_point_move("far", 24.5, 5.0)])  # builds
+        sharded.apply_moves([_point_move("far", 25.0, 5.0)])
+        assert sharded.routing.reach_cache_hits == 2
+        # A member move re-refines its stored distance: the emitted
+        # delta bumps the shard's reach_epoch (tau may have moved), but
+        # only *after* this batch routed on the old table...
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])
+        assert sharded.routing.reach_cache_hits == 4
+        # ...so the next mutation rebuilds the kNN shard's table and
+        # reuses only the empty shard's.
+        sharded.apply_moves([_point_move("far", 24.5, 5.0)])
+        assert sharded.routing.reach_cache_hits == 5
+
+    def test_registration_invalidates(self, five_rooms_index):
+        sharded = ShardedMonitor(five_rooms_index, n_shards=1)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])  # builds
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
+        # New standing query: the reach table must be rebuilt (the old
+        # one would blind the router to the new query's reach).
+        sharded.apply_moves([_point_move("far", 24.5, 5.0)])
+        assert sharded.routing.reach_cache_hits == 0
+        assert sharded.routing.shard_visits >= 2  # far shard now runs
+
+    def test_topology_event_invalidates(self, five_rooms_index):
+        sharded = ShardedMonitor(five_rooms_index, n_shards=2)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])  # builds
+        sharded.apply_event(CloseDoor("d12"))
+        hits_before = sharded.routing.reach_cache_hits
+        sharded.apply_moves([_point_move("near", 4.0, 5.0)])
+        # Post-event tables are rebuilt, not served stale.
+        assert sharded.routing.reach_cache_hits == hits_before
+        sharded.apply_moves([_point_move("near", 4.5, 5.0)])
+        assert sharded.routing.reach_cache_hits == hits_before + 2
+
+    def test_routing_decisions_match_uncached(self, five_rooms_index,
+                                              five_rooms):
+        """Caching only removes rebuild work, never changes a routing
+        decision: a twin driven with per-batch rebuilds (cache defeated
+        by clearing) takes identical skip/filter decisions."""
+        def fresh_index():
+            pop = ObjectPopulation(five_rooms)
+            pop.insert(_point_object("near", 4.0, 5.0))
+            pop.insert(_point_object("mid", 8.0, 5.0))
+            pop.insert(_point_object("far", 25.0, 5.0))
+            return CompositeIndex.build(five_rooms, pop)
+
+        cached = ShardedMonitor(fresh_index(), n_shards=2)
+        uncached = ShardedMonitor(fresh_index(), n_shards=2)
+        for m in (cached, uncached):
+            m.register(RangeSpec(Q_LEFT, 4.0), query_id="a")
+            m.register(KNNSpec(Q_RIGHT, 2), query_id="b")
+        moves = [
+            [_point_move("near", 4.5, 5.0)],
+            [_point_move("far", 24.5, 5.0)],
+            [_point_move("mid", 15.0, 5.0)],
+            [_point_move("mid", 8.0, 5.0)],
+        ]
+        for batch in moves:
+            want = uncached.apply_moves(batch)
+            uncached._reach_cache = [None] * uncached.n_shards
+            got = cached.apply_moves(batch)
+            assert got.deltas == want.deltas
+        assert cached.results() == uncached.results()
+        s_c, s_u = cached.routing, uncached.routing
+        assert (s_c.shard_visits, s_c.shards_skipped,
+                s_c.updates_filtered, s_c.bucket_skips) == \
+            (s_u.shard_visits, s_u.shards_skipped,
+             s_u.updates_filtered, s_u.bucket_skips)
+        assert s_c.reach_cache_hits > 0
 
 
 class TestParallelExecution:
@@ -291,8 +400,8 @@ class TestParallelExecution:
         serial = ShardedMonitor(fresh_index(), n_shards=2)
         parallel = ShardedMonitor(fresh_index(), n_shards=2, workers=3)
         for monitor in (serial, parallel):
-            monitor.register_irq(Q_LEFT, 10.0, query_id="left")
-            monitor.register_iknn(Q_RIGHT, 2, query_id="right")
+            monitor.register(RangeSpec(Q_LEFT, 10.0), query_id="left")
+            monitor.register(KNNSpec(Q_RIGHT, 2), query_id="right")
         serial_batches = self._sequence(serial)
         parallel_batches = self._sequence(parallel)
         for got, want in zip(parallel_batches, serial_batches):
@@ -315,7 +424,7 @@ class TestParallelExecution:
         with ShardedMonitor(
             five_rooms_index, n_shards=2, workers=2
         ) as sharded:
-            a = sharded.register_irq(Q_LEFT, 10.0)
+            a = sharded.register(RangeSpec(Q_LEFT, 10.0))
             sharded.apply_moves([_point_move("far", 6.0, 6.0)])
         sharded.close()  # second close is a no-op
         # The pool is gone but the monitor still works (serially).
@@ -326,8 +435,8 @@ class TestParallelExecution:
 class TestEventsAndStats:
     def test_event_resyncs_every_shard(self, five_rooms_index, five_rooms):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 40.0)
-        b = sharded.register_irq(Q_RIGHT, 40.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 40.0))
+        b = sharded.register(RangeSpec(Q_RIGHT, 40.0))
         sharded.drain_pending_deltas()
         batch = sharded.apply_event(CloseDoor("d3"))
         assert batch.event_result is not None
@@ -341,7 +450,7 @@ class TestEventsAndStats:
     def test_idle_tick_is_not_a_routing_decision(self, five_rooms_index):
         """An empty move batch must not inflate the skip statistics."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 4.0))
         sharded.drain_pending_deltas()
         sharded.deregister(a)  # park a delta to prove it still flows
         batch = sharded.apply_moves([])
@@ -353,8 +462,8 @@ class TestEventsAndStats:
         """Every shard observes the same topology bump; the aggregate
         must report it once, like a single monitor would."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        sharded.register_irq(Q_LEFT, 40.0)
-        sharded.register_irq(Q_RIGHT, 40.0)
+        sharded.register(RangeSpec(Q_LEFT, 40.0))
+        sharded.register(RangeSpec(Q_RIGHT, 40.0))
         sharded.apply_event(CloseDoor("d3"))
         assert sharded.stats.topology_invalidations == 1
         assert sharded.stats.event_recomputes == 2  # one per query
@@ -363,8 +472,8 @@ class TestEventsAndStats:
         self, five_rooms_index
     ):
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        sharded.register_iknn(Q_LEFT, 5)   # unfull: both shards run
-        sharded.register_iknn(Q_RIGHT, 5)
+        sharded.register(KNNSpec(Q_LEFT, 5))   # unfull: both shards run
+        sharded.register(KNNSpec(Q_RIGHT, 5))
         sharded.apply_moves([_point_move("near", 4.5, 5.0)])
         # Each shard saw the update, but it was one routed update.
         assert sharded.stats.updates_seen == 1
@@ -375,7 +484,7 @@ class TestEventsAndStats:
         self, five_rooms_index
     ):
         sharded = ShardedMonitor(five_rooms_index, n_shards=1)
-        a = sharded.register_irq(Q_LEFT, 10.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 10.0))
         sharded.apply_moves([_point_move("far", 6.0, 6.0)])
         assert sharded.result_ids(a) == {"near", "mid", "far"}
         assert sharded.routing.shard_visits == 1
@@ -388,8 +497,8 @@ class TestEventsAndStats:
         deregister delta in that shard; the next mutation must deliver
         it even though the shard holds no standing queries anymore."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        a = sharded.register_irq(Q_LEFT, 10.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        a = sharded.register(RangeSpec(Q_LEFT, 10.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         sharded.drain_pending_deltas()
         sharded.deregister(a)  # its shard is empty now, delta parked
         batch = sharded.apply_moves([_point_move("far", 24.5, 5.0)])
@@ -403,8 +512,8 @@ class TestEventsAndStats:
         """A whole-shard skip is its own statistic: its updates are not
         also reported as 'filtered inside a visited shard'."""
         sharded = ShardedMonitor(five_rooms_index, n_shards=2)
-        sharded.register_irq(Q_LEFT, 4.0)
-        sharded.register_irq(Q_RIGHT, 4.0)
+        sharded.register(RangeSpec(Q_LEFT, 4.0))
+        sharded.register(RangeSpec(Q_RIGHT, 4.0))
         # Both moves near Q_LEFT: the right shard is skipped outright.
         sharded.apply_moves([
             _point_move("near", 4.5, 5.0),

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api.specs import KNNSpec, RangeSpec
 from repro.geometry import Point
 from repro.index import CompositeIndex
 from repro.objects import ObjectGenerator
@@ -128,8 +129,8 @@ class TestMonitorStatsUnits:
         pop = gen.generate(15)
         index = CompositeIndex.build(two_floor_space, pop)
         monitor = QueryMonitor(index)
-        monitor.register_irq(Point(5.0, 5.0, 0), 12.0)
-        monitor.register_iknn(Point(5.0, 5.0, 1), 4)
+        monitor.register(RangeSpec(Point(5.0, 5.0, 0), 12.0))
+        monitor.register(KNNSpec(Point(5.0, 5.0, 1), 4))
         stream = MovementStream(two_floor_space, pop, gen, seed=4)
         for batch in stream.batches(4, 6):
             monitor.apply_moves(batch)

@@ -75,7 +75,9 @@ class TestApiSurface:
 
     def test_schema_versions_are_current(self):
         assert repro.api.SPEC_SCHEMA_VERSION == 1
-        assert repro.api.WIRE_VERSION == 1
+        # v2: delta records carry `prob_changed` (standing iPRQ); the
+        # decoder still reads v1 (tests/api/test_wire.py).
+        assert repro.api.WIRE_VERSION == 2
 
     def test_api_names_reachable_from_top_level(self):
         names = (
