@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 tier2 test bench bench-stream bench-serving \
-	bench-serving-parallel lint figures
+	bench-serving-parallel bench-serving-net lint figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -33,6 +33,11 @@ bench-serving:
 # router-tightening (coarse vs bucketed) sweep, printed as a table.
 bench-serving-parallel:
 	$(PYTHON) benchmarks/bench_serving.py --workers 4
+
+# Network serving: N TCP subscribers x M standing queries against a
+# live NetServer, asserting exact convergence at quiesce.
+bench-serving-net:
+	$(PYTHON) benchmarks/bench_serving.py --net --workers 1
 
 # Same checks the CI lint job runs (requires ruff, pinned in ci.yml).
 lint:

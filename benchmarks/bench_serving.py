@@ -41,6 +41,7 @@ import argparse
 import asyncio
 import pathlib
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -49,6 +50,9 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_serving.py`
 
 import pytest
 
+from repro.api.net import NetClient, ServerThread
+from repro.api.service import QueryService
+from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from repro.bench.workloads import ScaleProfile, WorkloadFactory
 from repro.queries import DeltaBatch, MonitorServer
 
@@ -518,6 +522,221 @@ def test_serving_wire_transport(full_run, save_table):
     save_table("serving_wire_transport", result)
 
 
+# ---------------------------------------------------------------------
+# network serving (--net): many remote TCP subscribers
+# ---------------------------------------------------------------------
+
+#: ``--net`` knobs: (n_clients, queries_per_client, n_batches,
+#: batch_size).  Four concurrent subscribers is the acceptance floor;
+#: each watches a mix of iRQ / ikNN / iPRQ standing queries.
+NET_FULL = (4, 3, 30, 5)
+NET_QUICK = (4, 2, 6, 5)
+
+
+@dataclass
+class NetServingRun:
+    """Outcome of one ``--net`` run: N TCP subscribers x M standing
+    queries each, fed by one served ingest stream."""
+
+    n_clients: int
+    n_queries: int
+    updates: int
+    ingest_s: float
+    #: Ingest start to last client's drain barrier.
+    wall_s: float
+    deltas_received: int
+    records_received: int
+    heartbeats: int
+    resyncs: int
+    converged: bool
+
+    @property
+    def updates_per_sec(self) -> float:
+        return self.updates / self.ingest_s if self.ingest_s else 0.0
+
+    @property
+    def deltas_per_sec(self) -> float:
+        """Aggregate delta throughput actually *received and folded*
+        across every subscriber."""
+        return self.deltas_received / self.wall_s if self.wall_s else 0.0
+
+
+class _NetTail(threading.Thread):
+    """One benchmark subscriber: watch the assigned specs, then keep
+    folding the stream until told to quiesce."""
+
+    def __init__(self, host: str, port: int, specs: list) -> None:
+        super().__init__(daemon=True)
+        self.client = NetClient(host, port, timeout=30.0)
+        self.specs = specs
+        self.query_ids: list[str] = []
+        self.ready = threading.Event()
+        self.stop = threading.Event()
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self.client.connect()
+            for spec in self.specs:
+                self.query_ids.append(self.client.watch(spec))
+            self.ready.set()
+            while not self.stop.is_set():
+                self.client.poll(timeout=0.02)
+            self.client.sync()  # drain everything published
+        except BaseException as exc:
+            self.error = exc
+            self.ready.set()
+
+
+def run_net_serving(
+    factory: WorkloadFactory,
+    n_clients: int,
+    queries_per_client: int,
+    n_batches: int,
+    batch_size: int,
+) -> NetServingRun:
+    """Serve one :class:`QueryService` to ``n_clients`` concurrent TCP
+    subscribers (threads + blocking :class:`NetClient`\\ s), each
+    watching ``queries_per_client`` standing queries (iRQ / ikNN /
+    iPRQ round-robin), while the movement stream churns.  Exact
+    convergence of every client is part of the measurement: the run is
+    only reported if each client's folded state equals the service's
+    live result at quiesce."""
+    p = factory.profile
+    scenario = factory.stream_scenario(n_irq=0, n_iknn=0)
+    service = QueryService(scenario.index)
+    points = factory.query_points(n=n_clients * queries_per_client)
+
+    def spec_for(i: int):
+        q = points[i]
+        kind = i % 3
+        if kind == 0:
+            return RangeSpec(q, p.default_range)
+        if kind == 1:
+            return KNNSpec(q, p.default_k)
+        return ProbRangeSpec(q, p.default_range, 0.5)
+
+    with ServerThread(service) as st:
+        host, port = st.address
+        tails = [
+            _NetTail(
+                host,
+                port,
+                [
+                    spec_for(c * queries_per_client + j)
+                    for j in range(queries_per_client)
+                ],
+            )
+            for c in range(n_clients)
+        ]
+        for t in tails:
+            t.start()
+        for t in tails:
+            t.ready.wait(timeout=60)
+            if t.error is not None:
+                raise t.error
+
+        updates = 0
+        ingest_s = 0.0
+        wall_t0 = time.perf_counter()
+        for _ in range(n_batches):
+            moves = scenario.stream.next_moves(batch_size)
+            t0 = time.perf_counter()
+            batch = st.ingest(moves)
+            ingest_s += time.perf_counter() - t0
+            updates += len(batch.moved)
+        for t in tails:
+            t.stop.set()
+        for t in tails:
+            t.join(timeout=120)
+            if t.error is not None:
+                raise t.error
+        wall_s = time.perf_counter() - wall_t0
+
+        converged = all(
+            t.client.states[qid]
+            == st.run(service.result_distances, qid)
+            for t in tails
+            for qid in t.query_ids
+        )
+        run = NetServingRun(
+            n_clients=n_clients,
+            n_queries=n_clients * queries_per_client,
+            updates=updates,
+            ingest_s=ingest_s,
+            wall_s=wall_s,
+            deltas_received=sum(
+                t.client.state.deltas_received for t in tails
+            ),
+            records_received=sum(
+                t.client.state.records_received for t in tails
+            ),
+            heartbeats=sum(
+                t.client.state.heartbeats_seen for t in tails
+            ),
+            resyncs=sum(t.client.state.resyncs for t in tails),
+            converged=converged,
+        )
+        for t in tails:
+            t.client.close()
+    service.close()
+    return run
+
+
+def _check_net(run: NetServingRun) -> None:
+    assert run.converged, "a subscriber diverged from the live result"
+    assert run.deltas_received > 0, "no deltas reached any subscriber"
+    assert run.n_clients >= 4, "acceptance floor: 4 concurrent clients"
+
+
+def test_serving_net(save_table):
+    """The ``serving_net`` nightly table: N concurrent TCP subscribers
+    x M standing queries, aggregate received-delta throughput, with
+    per-client exact convergence asserted."""
+    from repro.bench.runner import ExperimentResult
+
+    n_clients, per_client, n_batches, batch_size = NET_FULL
+    run = run_net_serving(
+        WorkloadFactory(), n_clients, per_client, n_batches, batch_size
+    )
+    _check_net(run)
+    result = ExperimentResult(
+        title=(
+            f"Serving — network ({run.n_clients} TCP subscribers x "
+            f"{per_client} standing queries)"
+        ),
+        x_label="metric",
+        unit="",
+    )
+    result.x_values.append("run")
+    result.add("clients", run.n_clients)
+    result.add("standing_queries", run.n_queries)
+    result.add("updates", run.updates)
+    result.add("ingest_upd_per_s", run.updates_per_sec)
+    result.add("recv_deltas_per_s", run.deltas_per_sec)
+    result.add("deltas_received", run.deltas_received)
+    result.add("records_received", run.records_received)
+    result.add("resyncs", run.resyncs)
+    result.add("converged", 1.0 if run.converged else 0.0)
+    save_table("serving_net", result)
+
+
+def _print_net(run: NetServingRun) -> None:
+    print(
+        f"net serving             {run.n_clients} clients x "
+        f"{run.n_queries // run.n_clients} queries "
+        f"({run.n_queries} standing)"
+    )
+    print(f"  updates absorbed      {run.updates}")
+    print(f"  ingest updates/sec    {run.updates_per_sec:10.1f}")
+    print(f"  recv deltas/sec       {run.deltas_per_sec:10.1f}")
+    print(
+        f"  received              {run.deltas_received} deltas in "
+        f"{run.records_received} records, {run.resyncs} resyncs"
+    )
+    print(f"  converged             {run.converged} (asserted)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Delta-serving benchmark: single vs sharded monitor."
@@ -549,6 +768,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="mix standing probabilistic-threshold range queries "
         "(iPRQ) into the workload",
+    )
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="also run the network serving variant: concurrent TCP "
+        "subscribers over a served QueryService, exact convergence "
+        "asserted",
     )
     args = parser.parse_args(argv)
 
@@ -641,6 +867,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  decode deltas/sec     {wt.decode_per_sec:10.1f}")
     print("results identical       True (asserted)")
     _check(run)
+    if args.net:
+        n_clients, per_client, net_batches, net_bs = (
+            NET_QUICK if args.quick else NET_FULL
+        )
+        net_run = run_net_serving(
+            factory, n_clients, per_client, net_batches, net_bs
+        )
+        _print_net(net_run)
+        _check_net(net_run)
     print("serving bench OK")
     return 0
 

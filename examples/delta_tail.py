@@ -1,25 +1,30 @@
-"""Delta tail: an out-of-process consumer of the JSONL delta wire feed.
+"""Delta tail: out-of-process consumers of the delta wire.
 
-The ROADMAP's "delta transport" demo.  Two halves, talking only through
-a file of JSON lines (``repro.api.wire``):
+The ROADMAP's "delta transport" demo, in both transports:
 
-* **Producer** — a positioning gateway: a :class:`repro.QueryService`
-  with two standing queries attaches a wire feed
-  (:meth:`~repro.api.service.QueryService.attach_feed`), then ingests
-  movement batches, a new visitor, a departure and a door closure.
-  Every published delta batch lands in the feed file as one versioned
-  JSON line.
-* **Consumer** — ``tail -f`` for query results: reads the file line by
-  line (:func:`repro.api.wire.read_feed` — it never touches the
-  service), folds the records with
-  :func:`repro.api.wire.replay_feed`, and reconstructs every standing
-  query's live result exactly, membership *and* distances.
+* **File feed** — a positioning gateway (:class:`repro.QueryService`)
+  attaches a JSONL feed, ingests movement/churn/topology, and a
+  consumer replays the file (:func:`repro.api.wire.replay_feed`) into
+  every standing query's exact live result.
+* **Network** — the same service behind a
+  :class:`~repro.api.net.NetServer`: a :class:`~repro.api.net.NetClient`
+  negotiates a watch, is primed by a snapshot, folds the live delta
+  stream, survives an unannounced disconnect via its resume token, and
+  still ends bit-identical to the live results.
 
 Run with::
 
-    python examples/delta_tail.py
+    python examples/delta_tail.py                     # both demos
+    python examples/delta_tail.py --connect HOST:PORT --query-id ID
+                                  # tail a remote server's query
+
+The ``--connect`` mode is a tiny operational tool: point it at any
+running :class:`~repro.api.net.NetServer` and it prints the watched
+query's result after every change (Ctrl-C to stop).
 """
 
+import argparse
+import sys
 import tempfile
 from collections import Counter
 from pathlib import Path
@@ -106,7 +111,108 @@ def consume(feed_path: Path) -> dict[str, dict[str, float | None]]:
     return wire.replay_feed(records)
 
 
-def main() -> None:
+def serve_over_tcp() -> None:
+    """The network half: the same gateway served over a socket, with a
+    subscriber that disconnects mid-stream and resumes."""
+    from repro import NetClient, NetServer, ServerThread
+
+    space = build_mall(
+        floors=2,
+        bands=2,
+        rooms_per_band_side=3,
+        floor_size=140.0,
+        hallway_width=5.0,
+        stair_size=12.0,
+        seed=17,
+    )
+    generator = ObjectGenerator(space, radius=4.0, n_instances=12, seed=17)
+    visitors = generator.generate(120)
+    service = QueryService(CompositeIndex.build(space, visitors))
+    stream = MovementStream(space, visitors, generator, seed=47)
+
+    with ServerThread(service) as server_thread:
+        host, port = server_thread.address
+        print(f"Server:   {NetServer.__name__} listening on {host}:{port}")
+        client = NetClient(host, port)
+        client.connect()
+        kiosk = client.watch(
+            RangeSpec(space.random_point(seed=4), 55.0), query_id="kiosk"
+        )
+        client.sync()  # primed from the negotiation snapshot
+        print(
+            f"Client:   watching {kiosk!r} "
+            f"({len(client.states[kiosk])} members at prime)"
+        )
+        for _ in range(4):
+            server_thread.ingest(stream.next_moves(25))
+        client.sync()
+
+        # The resume contract: drop without a goodbye, miss updates,
+        # reconnect with the token — the snapshot re-prime makes the
+        # resumed state exact again.
+        client.disconnect()
+        server_thread.ingest(stream.next_moves(25))
+        client.reconnect()
+        client.sync()
+        live = server_thread.run(service.result_distances, kiosk)
+        assert client.states[kiosk] == live, "resumed client diverged"
+        print(
+            f"Client:   dropped, missed a batch, resumed with token — "
+            f"{len(client.states[kiosk])} members, exact == live."
+        )
+        print(
+            f"Client:   {client.state.records_received} records folded, "
+            f"{client.state.resyncs} snapshot re-primes, "
+            f"{client.reconnects} reconnect."
+        )
+        client.close()
+    service.close()
+    print("Network contract holds: resumed subscriber == live results.")
+
+
+def connect_and_tail(address: str, query_id: str) -> None:
+    """``--connect`` mode: tail one standing query on a remote server."""
+    from repro import NetClient
+
+    host, _, port = address.rpartition(":")
+    client = NetClient(host or "127.0.0.1", int(port))
+    client.connect()
+    qid = client.watch(query_id=query_id)
+    client.sync()
+    print(f"tailing {qid!r} — {len(client.states.get(qid, {}))} members")
+    last: dict[str, float | None] | None = None
+    try:
+        while qid in client.states:
+            client.poll(timeout=0.5)
+            state = client.states.get(qid)
+            if state != last and state is not None:
+                last = dict(state)
+                print(f"  {qid}: {len(last)} members")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="tail a standing query on a running NetServer",
+    )
+    parser.add_argument(
+        "--query-id",
+        default=None,
+        help="standing query to tail (required with --connect)",
+    )
+    args = parser.parse_args(argv)
+    if args.connect:
+        if not args.query_id:
+            parser.error("--connect requires --query-id")
+        connect_and_tail(args.connect, args.query_id)
+        return
+
     with tempfile.TemporaryDirectory() as tmp:
         feed_path = Path(tmp) / "mall_feed.jsonl"
         service = produce(feed_path)
@@ -128,6 +234,8 @@ def main() -> None:
         print("Wire contract holds: out-of-process replay == live results.")
         service.close()
 
+    serve_over_tcp()
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

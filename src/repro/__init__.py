@@ -73,6 +73,10 @@ _EXPORTS = {
     "ProbRangeSpec": "repro.api",
     "QueryService": "repro.api",
     "ServiceConfig": "repro.api",
+    "NetServer": "repro.api",
+    "NetClient": "repro.api",
+    "AsyncNetClient": "repro.api",
+    "ServerThread": "repro.api",
     "QueryStats": "repro.queries",
     "QuerySession": "repro.queries",
     "QueryMonitor": "repro.queries",
@@ -144,6 +148,10 @@ __all__ = [
     "ProbRangeSpec",
     "QueryService",
     "ServiceConfig",
+    "NetServer",
+    "NetClient",
+    "AsyncNetClient",
+    "ServerThread",
     "QueryStats",
     "QuerySession",
     "QueryMonitor",

@@ -22,6 +22,53 @@ Quickstart::
     feed = service.subscribe(KNNSpec(desk, 8))     # async delta push
     service.ingest(moves)                          # drive updates
 
+Serving over the network
+------------------------
+
+:mod:`repro.api.net` turns the facade into a TCP server: many remote
+subscribers, each negotiating watches and folding the same wire
+records the file feed carries, over length-prefixed sequence-numbered
+frames (:mod:`repro.api.framing`)::
+
+    # gateway process (owns the loop thread + all mutation)
+    with ServerThread(service) as st:
+        st.watch(RangeSpec(q, 60.0), query_id="kiosk")
+        ...
+        st.ingest(moves)
+
+    # any other process / machine
+    client = NetClient(host, port)
+    client.connect()
+    kiosk = client.watch(query_id="kiosk")   # ack + snapshot prime
+    client.sync()                            # ping/pong drain barrier
+    client.states[kiosk]                     # member -> annotation
+
+The protocol's load-bearing records:
+
+* **negotiation** — the client opens with a ``hello`` (or ``resume``)
+  record; the server's ``hello`` reply carries a *resume token* and
+  its *heartbeat cadence*.  Each ``watch_req`` (a
+  ``SPEC_SCHEMA_VERSION``-tagged spec, an existing query id, or both)
+  is acked by a ``watch`` record, then a priming ``snapshot``, then
+  the live delta stream — the same fold rules as
+  :func:`~repro.api.wire.replay_feed`.
+* **heartbeats** — emitted whenever a connection has been silent for
+  one cadence; a client hearing nothing for a few cadences should
+  presume the server gone.  Connections holding no watches past the
+  server's idle timeout are torn down with an ``error`` record.
+* **reconnect tokens** — presenting the token on a fresh connection
+  re-acks every watched query and re-primes each from a *current*
+  snapshot, so a resumed client is bit-identical to an uninterrupted
+  subscriber from that point on.  :class:`NetClient` does this
+  automatically on dead connections (including duplicated/torn frames,
+  surfaced via sequence numbers as
+  :class:`~repro.errors.FramingError`); server ``error`` records are
+  always surfaced as :class:`~repro.errors.NetError`, never retried.
+* **backpressure** — each watch rides a bounded drop-oldest
+  subscription with ``resync_on_drop``: a lossy connection's next
+  record is a fresh full-result snapshot (loss means re-prime, never
+  silent divergence).
+
 Submodules are imported lazily (``repro.api.specs`` must stay
 importable from :mod:`repro.queries.monitor` without dragging the whole
 service stack in).
@@ -43,10 +90,15 @@ _EXPORTS = {
     "WatchRecord": "repro.api.wire",
     "SnapshotRecord": "repro.api.wire",
     "DeltaFeedWriter": "repro.api.wire",
+    "FeedReadStats": "repro.api.wire",
     "encode_record": "repro.api.wire",
     "decode_record": "repro.api.wire",
     "read_feed": "repro.api.wire",
     "replay_feed": "repro.api.wire",
+    "NetServer": "repro.api.net",
+    "NetClient": "repro.api.net",
+    "AsyncNetClient": "repro.api.net",
+    "ServerThread": "repro.api.net",
 }
 
 __all__ = sorted(_EXPORTS)

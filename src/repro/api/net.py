@@ -1,0 +1,1168 @@
+"""Network serving: a :class:`QueryService` as a TCP delta server.
+
+The wire protocol reached files first (:meth:`QueryService.attach_feed`
+— one process writes, another tails).  This module is the ROADMAP's
+"library to server" step: an asyncio :class:`NetServer` wraps one
+:class:`~repro.api.service.QueryService` and streams standing-query
+deltas to many concurrent remote subscribers over length-prefixed,
+sequence-numbered frames (:mod:`repro.api.framing`).
+
+Protocol, per connection (client speaks first)::
+
+    C -> S   hello {token: null}          | resume {token}
+    S -> C   hello {token, heartbeat_s}
+    C -> S   watch_req {spec?, query_id?}
+    S -> C   watch {query_id, spec}       # the ack, with the final id
+    S -> C   snapshot {query_id, members} # prime: current full result
+    S -> C   delta / batch ...            # the live stream
+    S -> C   heartbeat {seq}              # when otherwise idle
+    C -> S   ping {nonce}  ->  S -> C   pong {nonce}   # drain barrier
+
+Semantics:
+
+* **Negotiation** — a ``watch_req`` naming an existing standing query
+  subscribes this connection to it; one carrying a spec registers a
+  new standing query.  Either way the server replies with the ``watch``
+  ack and a priming ``snapshot`` before any delta, so a client folding
+  the stream (exactly :func:`repro.api.wire.replay_feed`'s rules)
+  reconstructs the live result from nothing.
+* **Backpressure** — each watch is served from a bounded
+  :class:`~repro.queries.serving.Subscription` under the drop-oldest
+  policy, with ``resync_on_drop``: when a slow connection sheds
+  deltas, the very next record it gets is a fresh full-result
+  ``snapshot``, so a lossy subscriber re-primes in-band and never
+  silently diverges.
+* **Heartbeats** — the server emits a ``heartbeat`` whenever a
+  connection has been silent for its cadence, and tears down
+  connections that never negotiate a watch within the idle timeout.
+* **Reconnect** — the server's ``hello`` carries a resume token.  A
+  client that reconnects and presents it gets every previously watched
+  query re-acked and re-primed from a *current* snapshot; because a
+  snapshot replaces replayed state wholesale, the resumed stream is
+  bit-identical to an uninterrupted subscriber from that point on
+  (the property and fault-injection suites assert it).
+* **Duplicate/torn frames** — frame sequence numbers make duplicated,
+  dropped or reordered frames a loud
+  :class:`~repro.errors.FramingError`; clients treat it like a dead
+  connection and resume.
+
+:class:`NetClient` is the blocking counterpart (usable from plain
+threads, with optional automatic resume); :class:`AsyncNetClient` the
+in-loop one; :class:`ServerThread` hosts a server plus its service on
+a dedicated loop thread so synchronous code (benchmarks, tests) can
+drive ingest safely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.api import wire
+from repro.api.framing import (
+    ByeRecord,
+    ErrorRecord,
+    FrameDecoder,
+    FrameEncoder,
+    HeartbeatRecord,
+    HelloRecord,
+    NetRecord,
+    PingRecord,
+    PongRecord,
+    ResumeRequest,
+    WatchRequest,
+    decode_net_record,
+    encode_net_record,
+)
+from repro.api.service import QueryService
+from repro.api.specs import QuerySpec
+from repro.errors import FramingError, NetError, QueryError, WireError
+from repro.queries.deltas import ResultDelta
+from repro.queries.serving import Subscription
+
+#: Read chunk size for both server and clients.
+_READ_CHUNK = 65536
+
+
+# =====================================================================
+# server
+# =====================================================================
+
+
+@dataclass
+class NetServerStats:
+    """Aggregate counters of one :class:`NetServer`'s lifetime."""
+
+    connections_accepted: int = 0
+    connections_active: int = 0
+    resumes: int = 0
+    watches: int = 0
+    records_sent: int = 0
+    heartbeats_sent: int = 0
+    errors_sent: int = 0
+    idle_teardowns: int = 0
+
+
+class _Connection:
+    """Server-side per-connection state (one reader, many pumps)."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        now: float,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.encoder = FrameEncoder()
+        self.decoder = FrameDecoder()
+        self.subs: dict[str, Subscription] = {}
+        self.pumps: dict[str, asyncio.Task] = {}
+        self.aux: set[asyncio.Task] = set()
+        self.token: str | None = None
+        self.negotiated = False
+        self.closing = False
+        self.last_write = now
+        self.last_seen = now
+        #: Deltas pulled from a subscription queue but not yet written
+        #: (the ping/pong barrier waits for queues *and* this).
+        self.inflight = 0
+        self.wlock = asyncio.Lock()
+
+
+class NetServer:
+    """Serve one :class:`QueryService` to remote subscribers over TCP.
+
+    Usage (inside a running loop; see :class:`ServerThread` for the
+    threaded wrapper synchronous callers want)::
+
+        server = NetServer(service, port=0)
+        await server.start()
+        host, port = server.address
+        ...
+        await server.aclose()
+
+    ``maxlen`` bounds every connection's per-query subscription queue
+    (drop-oldest + in-band snapshot re-prime); ``heartbeat_s`` is the
+    cadence advertised in the hello record; connections holding no
+    watches for ``idle_timeout_s`` are torn down.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        maxlen: int | None = 1024,
+        heartbeat_s: float = 2.0,
+        idle_timeout_s: float = 30.0,
+        barrier_timeout_s: float = 30.0,
+        resume_keep: int = 1024,
+    ) -> None:
+        if heartbeat_s <= 0:
+            raise NetError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.maxlen = maxlen
+        self.heartbeat_s = heartbeat_s
+        self.idle_timeout_s = idle_timeout_s
+        self.barrier_timeout_s = barrier_timeout_s
+        self.stats = NetServerStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[_Connection] = set()
+        #: Reconnect sessions: token -> ordered watched query ids.
+        #: Bounded FIFO (oldest session forgotten past ``resume_keep``).
+        self._sessions: OrderedDict[str, list[str]] = OrderedDict()
+        self._resume_keep = resume_keep
+        self._token_counter = itertools.count(1)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return (self.host, self.port)
+
+    async def aclose(self) -> None:
+        """Stop accepting, say bye to every client, drop connections.
+        The wrapped service itself stays open (it belongs to the
+        caller)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns):
+            try:
+                await self._send(conn, ByeRecord())
+            except OSError:
+                pass
+            await self._teardown(conn)
+
+    # -- per-connection plumbing ---------------------------------------
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        conn = _Connection(reader, writer, self._now())
+        self._conns.add(conn)
+        self.stats.connections_accepted += 1
+        self.stats.connections_active = len(self._conns)
+        hb = asyncio.ensure_future(self._heartbeat_loop(conn))
+        try:
+            await self._read_loop(conn)
+        except (ConnectionError, OSError):
+            pass  # peer died mid-frame: session stays resumable
+        finally:
+            hb.cancel()
+            await self._teardown(conn)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while not conn.closing:
+            data = await conn.reader.read(_READ_CHUNK)
+            if not data:
+                return
+            conn.last_seen = self._now()
+            try:
+                payloads = conn.decoder.feed(data)
+                records = [decode_net_record(p) for p in payloads]
+            except WireError as exc:  # FramingError included
+                await self._fail(conn, f"protocol violation: {exc}")
+                return
+            for record in records:
+                if not await self._on_record(conn, record):
+                    return
+
+    async def _on_record(
+        self, conn: _Connection, record: NetRecord
+    ) -> bool:
+        """Handle one client record; False ends the connection."""
+        if not conn.negotiated:
+            return await self._negotiate(conn, record)
+        if isinstance(record, WatchRequest):
+            return await self._on_watch(conn, record)
+        if isinstance(record, PingRecord):
+            task = asyncio.ensure_future(
+                self._pong_after_drain(conn, record.nonce)
+            )
+            conn.aux.add(task)
+            task.add_done_callback(conn.aux.discard)
+            return True
+        if isinstance(record, HeartbeatRecord):
+            return True  # client keepalive: last_seen already bumped
+        if isinstance(record, ByeRecord):
+            # A clean goodbye is a completed session, not a resumable
+            # one: forget the token.
+            if conn.token is not None:
+                self._sessions.pop(conn.token, None)
+            return False
+        await self._fail(
+            conn,
+            f"unexpected {type(record).__name__} from client",
+        )
+        return False
+
+    async def _negotiate(
+        self, conn: _Connection, record: NetRecord
+    ) -> bool:
+        if isinstance(record, HelloRecord):
+            conn.token = self._mint_token()
+            self._sessions[conn.token] = []
+            self._trim_sessions()
+            conn.negotiated = True
+            await self._send(
+                conn,
+                HelloRecord(conn.token, heartbeat_s=self.heartbeat_s),
+            )
+            return True
+        if isinstance(record, ResumeRequest):
+            watched = self._sessions.get(record.token)
+            if watched is None:
+                await self._fail(
+                    conn, f"unknown resume token {record.token!r}"
+                )
+                return False
+            conn.token = record.token
+            conn.negotiated = True
+            self.stats.resumes += 1
+            await self._send(
+                conn,
+                HelloRecord(conn.token, heartbeat_s=self.heartbeat_s),
+            )
+            for query_id in list(watched):
+                if query_id not in self.service:
+                    # Deregistered while the client was away: close it
+                    # on the wire too (replay pops the query), never
+                    # leave the client believing a stale result.
+                    watched.remove(query_id)
+                    await self._send(
+                        conn, ResultDelta(query_id, "deregister")
+                    )
+                    continue
+                await self._ack_and_stream(conn, query_id)
+            return True
+        await self._fail(
+            conn,
+            "connection must open with a hello or resume record, got "
+            f"{type(record).__name__}",
+        )
+        return False
+
+    async def _on_watch(
+        self, conn: _Connection, req: WatchRequest
+    ) -> bool:
+        query_id = req.query_id
+        try:
+            if query_id is not None and query_id in self.service:
+                spec = self.service.query_spec(query_id)
+                if req.spec is not None and req.spec != spec:
+                    raise QueryError(
+                        f"standing query {query_id!r} is registered "
+                        f"with a different spec"
+                    )
+            elif req.spec is not None:
+                query_id = self.service.watch(
+                    req.spec, query_id=query_id
+                )
+            else:
+                raise QueryError(
+                    "watch_req needs a spec or an existing query_id"
+                )
+            if query_id in conn.subs:
+                raise QueryError(
+                    f"connection already watches {query_id!r}"
+                )
+        except QueryError as exc:
+            await self._fail(conn, str(exc))
+            return False
+        await self._ack_and_stream(conn, query_id)
+        if conn.token is not None:
+            watched = self._sessions.setdefault(conn.token, [])
+            if query_id not in watched:
+                watched.append(query_id)
+        self.stats.watches += 1
+        return True
+
+    async def _ack_and_stream(
+        self, conn: _Connection, query_id: str
+    ) -> None:
+        """The ack + prime + live-stream sequence behind both watch and
+        resume: ``watch`` record first, then a subscription whose
+        priming snapshot delta becomes the wire ``snapshot`` record."""
+        await self._send(
+            conn,
+            wire.WatchRecord(query_id, self.service.query_spec(query_id)),
+        )
+        sub = self.service.subscribe(
+            query_id,
+            snapshot=True,
+            maxlen=self.maxlen,
+            resync_on_drop=True,
+        )
+        conn.subs[query_id] = sub
+        conn.pumps[query_id] = asyncio.ensure_future(
+            self._pump(conn, sub)
+        )
+
+    async def _pump(self, conn: _Connection, sub: Subscription) -> None:
+        """Drain one subscription onto the socket, translating the
+        synthetic snapshot-cause deltas (priming, drop-resync) into
+        wholesale ``snapshot`` records."""
+        try:
+            while True:
+                delta = await sub.next_delta()
+                if delta is None:
+                    return
+                conn.inflight += 1
+                try:
+                    if delta.cause == "snapshot":
+                        await self._send(
+                            conn,
+                            wire.SnapshotRecord(
+                                delta.query_id, dict(delta.entered)
+                            ),
+                        )
+                    else:
+                        await self._send(conn, delta)
+                finally:
+                    conn.inflight -= 1
+        except (ConnectionError, OSError):
+            conn.writer.close()  # reader loop notices and tears down
+
+    async def _pong_after_drain(
+        self, conn: _Connection, nonce: int
+    ) -> None:
+        """Reply to a ping only once every delta published before it
+        has left this connection's queues *and* hit the socket."""
+        deadline = self._now() + self.barrier_timeout_s
+        while self._now() < deadline:
+            drained = conn.inflight == 0 and all(
+                sub.pending == 0 for sub in conn.subs.values()
+            )
+            if drained:
+                try:
+                    await self._send(conn, PongRecord(nonce))
+                except (ConnectionError, OSError):
+                    pass
+                return
+            await asyncio.sleep(0.002)
+        await self._fail(conn, "drain barrier timed out")
+
+    async def _heartbeat_loop(self, conn: _Connection) -> None:
+        seq = 0
+        try:
+            while not conn.closing:
+                await asyncio.sleep(self.heartbeat_s / 4)
+                now = self._now()
+                idle = now - conn.last_seen > self.idle_timeout_s
+                if not conn.subs and idle:
+                    self.stats.idle_teardowns += 1
+                    await self._fail(
+                        conn,
+                        "idle connection torn down (no watch within "
+                        f"{self.idle_timeout_s}s)",
+                    )
+                    return
+                if now - conn.last_write >= self.heartbeat_s:
+                    await self._send(conn, HeartbeatRecord(seq))
+                    self.stats.heartbeats_sent += 1
+                    seq += 1
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    async def _send(self, conn: _Connection, record: NetRecord) -> None:
+        data = None
+        line = encode_net_record(record)
+        async with conn.wlock:
+            if conn.closing:
+                return
+            data = conn.encoder.encode(line)
+            conn.writer.write(data)
+            await conn.writer.drain()
+            conn.last_write = self._now()
+        self.stats.records_sent += 1
+
+    async def _fail(self, conn: _Connection, message: str) -> None:
+        """Fatal per-connection error: tell the client why, then hang
+        up (never a silent divergence)."""
+        try:
+            await self._send(conn, ErrorRecord(message))
+            self.stats.errors_sent += 1
+        except (ConnectionError, OSError):
+            pass
+        conn.closing = True
+        conn.writer.close()
+
+    async def _teardown(self, conn: _Connection) -> None:
+        conn.closing = True
+        for task in list(conn.pumps.values()) + list(conn.aux):
+            task.cancel()
+        for sub in conn.subs.values():
+            self.service.unsubscribe(sub)
+        conn.subs.clear()
+        conn.pumps.clear()
+        conn.writer.close()
+        try:
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._conns.discard(conn)
+        self.stats.connections_active = len(self._conns)
+
+    def _mint_token(self) -> str:
+        return f"s{next(self._token_counter)}-{secrets.token_hex(8)}"
+
+    def _trim_sessions(self) -> None:
+        while len(self._sessions) > self._resume_keep:
+            self._sessions.popitem(last=False)
+
+
+class ServerThread:
+    """A :class:`NetServer` (and its service's mutation path) on a
+    dedicated event-loop thread.
+
+    Synchronous code must not mutate a served :class:`QueryService`
+    directly — publishes touch asyncio queues that belong to the
+    server's loop.  This wrapper owns the loop and marshals every
+    mutation onto it::
+
+        with ServerThread(service) as st:
+            st.watch(RangeSpec(q, 60.0), query_id="kiosk")
+            client = NetClient(*st.address)
+            ...
+            st.ingest(stream.next_moves(50))
+
+    ``ingest``/``insert``/``delete``/``apply_event`` run as the
+    monitor-server coroutines (single-writer lock included); ``run``
+    executes any synchronous callable on the loop thread; ``call``
+    awaits any coroutine there.
+    """
+
+    def __init__(self, service: QueryService, **server_kwargs) -> None:
+        self.service = service
+        self._kwargs = server_kwargs
+        self.server: NetServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._boot_exc: BaseException | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ServerThread":
+        started = threading.Event()
+
+        def main() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self.server = NetServer(self.service, **self._kwargs)
+
+            async def boot() -> None:
+                try:
+                    await self.server.start()
+                except BaseException as exc:  # surface in __enter__
+                    self._boot_exc = exc
+                finally:
+                    started.set()
+
+            loop.create_task(boot())
+            loop.run_forever()
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=main, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise NetError("server thread failed to start in time")
+        if self._boot_exc is not None:
+            raise self._boot_exc
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._loop is None:
+            return
+        try:
+            self.call(self.server.aclose())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    # -- marshalling ---------------------------------------------------
+
+    def call(self, coro):
+        """Await ``coro`` on the server loop; return its result."""
+        fut = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return fut.result(timeout=60)
+
+    def run(self, fn: Callable, *args, **kwargs):
+        """Run the synchronous ``fn(*args, **kwargs)`` on the loop
+        thread (where publishing to subscriber queues is safe)."""
+        done = threading.Event()
+        box: list = [None, None]
+
+        def go() -> None:
+            try:
+                box[0] = fn(*args, **kwargs)
+            except BaseException as exc:
+                box[1] = exc
+            finally:
+                done.set()
+
+        self._loop.call_soon_threadsafe(go)
+        if not done.wait(timeout=60):
+            raise NetError("loop-thread call timed out")
+        if box[1] is not None:
+            raise box[1]
+        return box[0]
+
+    # -- service verbs, marshalled ------------------------------------
+
+    def watch(self, spec: QuerySpec, query_id: str | None = None) -> str:
+        return self.run(self.service.watch, spec, query_id)
+
+    def unwatch(self, query_id: str) -> None:
+        self.run(self.service.unwatch, query_id)
+
+    def ingest(self, moves):
+        return self.call(self.service.server.apply_moves(moves))
+
+    def insert(self, obj):
+        return self.call(self.service.server.apply_insert(obj))
+
+    def delete(self, object_id: str):
+        return self.call(self.service.server.apply_delete(object_id))
+
+    def apply_event(self, event):
+        return self.call(self.service.server.apply_event(event))
+
+
+# =====================================================================
+# clients
+# =====================================================================
+
+
+class TcpTransport:
+    """Blocking socket transport (the default); the seam
+    :class:`~repro.api.testing.FlakyTransport` wraps for fault
+    injection."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+
+    def connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _live(self) -> socket.socket:
+        if self._sock is None:
+            raise ConnectionError("transport is closed")
+        return self._sock
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._live().settimeout(timeout)
+
+    def sendall(self, data: bytes) -> None:
+        self._live().sendall(data)
+
+    def recv(self, n: int = _READ_CHUNK) -> bytes:
+        return self._live().recv(n)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+
+@dataclass
+class _ClientState:
+    """Replayed standing-query state shared by both client flavours.
+
+    Folds the incoming record stream by :func:`replay_feed`'s rules —
+    ``watch`` opens, ``snapshot`` re-primes wholesale, ``delta`` /
+    ``batch`` apply incrementally, ``deregister`` closes — plus the
+    net-layer control records."""
+
+    states: dict[str, dict[str, float | None]] = field(
+        default_factory=dict
+    )
+    watched: dict[str, QuerySpec] = field(default_factory=dict)
+    token: str | None = None
+    heartbeat_s: float | None = None
+    records_received: int = 0
+    deltas_received: int = 0
+    heartbeats_seen: int = 0
+    #: Snapshots received for an already-primed query: the count of
+    #: mid-stream re-primes (drop-resync or reconnect).
+    resyncs: int = 0
+    server_said_bye: bool = False
+    pongs: set = field(default_factory=set)
+    _primed: set = field(default_factory=set)
+
+    def fold(self, record: NetRecord) -> None:
+        self.records_received += 1
+        if isinstance(record, HelloRecord):
+            self.token = record.token
+            self.heartbeat_s = record.heartbeat_s
+        elif isinstance(record, wire.WatchRecord):
+            self.watched[record.query_id] = record.spec
+            self.states.setdefault(record.query_id, {})
+        elif isinstance(record, wire.SnapshotRecord):
+            if record.query_id in self._primed:
+                self.resyncs += 1
+            self._primed.add(record.query_id)
+            self.states[record.query_id] = dict(record.members)
+        elif isinstance(record, ResultDelta):
+            self._apply(record)
+        elif isinstance(record, wire.DeltaBatch):
+            for delta in record.deltas:
+                self._apply(delta)
+        elif isinstance(record, HeartbeatRecord):
+            self.heartbeats_seen += 1
+        elif isinstance(record, PongRecord):
+            self.pongs.add(record.nonce)
+        elif isinstance(record, ByeRecord):
+            self.server_said_bye = True
+        elif isinstance(record, ErrorRecord):
+            raise NetError(f"server error: {record.message}")
+        # A bare QuerySpec carries no query id: metadata only.
+
+    def _apply(self, delta: ResultDelta) -> None:
+        self.deltas_received += 1
+        if delta.cause == "deregister":
+            self.states.pop(delta.query_id, None)
+            self.watched.pop(delta.query_id, None)
+            self._primed.discard(delta.query_id)
+            return
+        delta.apply_to(self.states.setdefault(delta.query_id, {}))
+
+
+class NetClient:
+    """Blocking subscriber to a :class:`NetServer`.
+
+    Usage::
+
+        client = NetClient(host, port)
+        client.connect()
+        kiosk = client.watch(RangeSpec(q, 60.0))
+        client.sync()                       # drain barrier
+        client.states[kiosk]                # member -> annotation
+
+    ``states`` is the replayed result per watched query and is kept
+    exact: snapshots re-prime it wholesale after any loss, and with
+    ``auto_reconnect`` (the default) a dead connection — torn frame,
+    reset, stalled read, duplicated frame — is transparently resumed
+    with the server-issued token, which re-primes every watch from a
+    current snapshot.  A server ``error`` record always surfaces as
+    :class:`~repro.errors.NetError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        auto_reconnect: bool = True,
+        max_reconnects: int = 8,
+        transport_factory: (
+            Callable[[], TcpTransport] | None
+        ) = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.auto_reconnect = auto_reconnect
+        self.max_reconnects = max_reconnects
+        self._transport_factory = transport_factory or (
+            lambda: TcpTransport(host, port, timeout)
+        )
+        self._transport: TcpTransport | None = None
+        self._encoder = FrameEncoder()
+        self._decoder = FrameDecoder()
+        self._pending: list[NetRecord] = []
+        self._nonce = itertools.count(1)
+        self.state = _ClientState()
+        self.reconnects = 0
+
+    # -- convenience views ---------------------------------------------
+
+    @property
+    def states(self) -> dict[str, dict[str, float | None]]:
+        return self.state.states
+
+    @property
+    def watched(self) -> dict[str, QuerySpec]:
+        return self.state.watched
+
+    @property
+    def token(self) -> str | None:
+        return self.state.token
+
+    # -- lifecycle -----------------------------------------------------
+
+    def connect(self) -> None:
+        """Open the connection and complete the hello handshake."""
+        self._open(ResumeRequest(self.token) if self.token
+                   else HelloRecord())
+
+    def reconnect(self) -> None:
+        """Resume the session on a fresh connection (token required);
+        every watch re-acks and re-primes from a current snapshot."""
+        if self.token is None:
+            raise NetError("cannot resume: no token (connect first)")
+        self.disconnect()
+        self._open(ResumeRequest(self.token))
+        self.reconnects += 1
+
+    def _open(self, opener: HelloRecord | ResumeRequest) -> None:
+        self._transport = self._transport_factory()
+        self._transport.connect()
+        self._encoder = FrameEncoder()
+        self._decoder = FrameDecoder()
+        self._pending.clear()
+        self.state.server_said_bye = False
+        self._send_raw(opener)
+        self._read_until(
+            lambda r: isinstance(r, HelloRecord),
+            time.monotonic() + self.timeout,
+            allow_reconnect=False,
+        )
+
+    def disconnect(self) -> None:
+        """Drop the socket without a goodbye (the session stays
+        resumable server-side) — what a crash looks like to the peer."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def close(self) -> None:
+        """Polite shutdown: say bye (ending the server-side session),
+        then drop the socket."""
+        if self._transport is not None:
+            try:
+                self._send_raw(ByeRecord())
+            except (OSError, NetError):
+                pass
+        self.disconnect()
+
+    # -- verbs ---------------------------------------------------------
+
+    def watch(
+        self,
+        spec: QuerySpec | None = None,
+        query_id: str | None = None,
+        timeout: float | None = None,
+    ) -> str:
+        """Subscribe to a standing query (existing ``query_id``) or
+        register a new one from ``spec``; returns the final id once
+        the server acks.  Records arriving meanwhile are folded."""
+        if spec is None and query_id is None:
+            raise NetError("watch needs a spec or a query_id")
+        deadline = time.monotonic() + (timeout or self.timeout)
+        known = set(self.watched)
+        self._send(WatchRequest(spec, query_id))
+
+        def acked(record: NetRecord) -> bool:
+            if not isinstance(record, wire.WatchRecord):
+                return False
+            if query_id is not None:
+                return record.query_id == query_id
+            return record.spec == spec and record.query_id not in known
+
+        ack = self._read_until(acked, deadline)
+        return ack.query_id
+
+    def sync(self, timeout: float | None = None) -> None:
+        """Drain barrier: returns once every delta published before
+        the server processed this ping has been received and folded.
+        Re-pings automatically if a reconnect interrupts the wait."""
+        deadline = time.monotonic() + (timeout or self.timeout)
+        while True:
+            nonce = next(self._nonce)
+            epoch = self.reconnects
+            self._send(PingRecord(nonce))
+            while time.monotonic() < deadline:
+                if nonce in self.state.pongs:
+                    return
+                self._read_some(deadline)
+                if self.reconnects != epoch:
+                    break  # new connection: this ping is gone, re-ping
+            else:
+                raise NetError("sync barrier timed out")
+
+    def poll(self, timeout: float = 0.05) -> int:
+        """Opportunistic read: fold whatever arrives within
+        ``timeout`` seconds; returns the number of records folded.
+        A quiet wire is not an error."""
+        before = self.state.records_received
+        try:
+            if self._transport is None:
+                raise ConnectionError("not connected")
+            self._transport.settimeout(timeout)
+            try:
+                self._feed(self._transport.recv())
+            finally:
+                try:
+                    self._transport.settimeout(self.timeout)
+                except (ConnectionError, OSError):
+                    pass  # surfaced by the next read, not a poll bug
+        except TimeoutError:
+            pass
+        except (ConnectionError, OSError, FramingError) as exc:
+            self._revive(exc)
+        self._fold_pending()
+        return self.state.records_received - before
+
+    def records(self) -> Iterator[NetRecord]:
+        """Blocking record iterator (each record folded before it is
+        yielded); ends at the server's bye."""
+        while not self.state.server_said_bye:
+            if self._pending:
+                record = self._pending.pop(0)
+                self.state.fold(record)
+                if isinstance(record, ByeRecord):
+                    return
+                yield record
+                continue
+            try:
+                if self._transport is None:
+                    raise ConnectionError("not connected")
+                self._feed(self._transport.recv())
+            except (
+                TimeoutError, ConnectionError, OSError, FramingError
+            ) as exc:
+                self._revive(exc)
+
+    # -- internals -----------------------------------------------------
+
+    def _send(self, record: NetRecord) -> None:
+        try:
+            self._send_raw(record)
+        except (ConnectionError, OSError) as exc:
+            self._revive(exc)
+            self._send_raw(record)
+
+    def _send_raw(self, record: NetRecord) -> None:
+        if self._transport is None:
+            raise ConnectionError("not connected")
+        self._transport.sendall(
+            self._encoder.encode(encode_net_record(record))
+        )
+
+    def _feed(self, data: bytes) -> None:
+        if data == b"":
+            raise ConnectionError("server closed the connection")
+        for payload in self._decoder.feed(data):
+            self._pending.append(decode_net_record(payload))
+
+    def _fold_pending(self) -> None:
+        while self._pending:
+            self.state.fold(self._pending.pop(0))
+
+    def _read_some(self, deadline: float) -> None:
+        """Fold at least one read's worth of records (or revive a dead
+        connection trying)."""
+        if self._pending:
+            self._fold_pending()
+            return
+        if time.monotonic() >= deadline:
+            raise NetError("timed out waiting for the server")
+        try:
+            if self._transport is None:
+                raise ConnectionError("not connected")
+            self._feed(self._transport.recv())
+        except (
+            TimeoutError, ConnectionError, OSError, FramingError
+        ) as exc:
+            self._revive(exc)
+        self._fold_pending()
+
+    def _read_until(
+        self,
+        pred: Callable[[NetRecord], bool],
+        deadline: float,
+        allow_reconnect: bool = True,
+    ) -> NetRecord:
+        """Fold records until one satisfies ``pred`` (returned), the
+        deadline passes (:class:`NetError`), or the stream ends."""
+        while time.monotonic() < deadline:
+            while self._pending:
+                record = self._pending.pop(0)
+                self.state.fold(record)
+                if pred(record):
+                    return record
+            try:
+                if self._transport is None:
+                    raise ConnectionError("not connected")
+                self._feed(self._transport.recv())
+            except (
+                TimeoutError, ConnectionError, OSError, FramingError
+            ) as exc:
+                if not allow_reconnect:
+                    raise NetError(
+                        f"connection failed during handshake: {exc}"
+                    ) from exc
+                self._revive(exc)
+        raise NetError("timed out waiting for the server")
+
+    def _revive(self, exc: Exception) -> None:
+        """The connection is unusable (reset, torn frame, duplicated
+        frame, stalled read): resume it, or surface the failure."""
+        if (
+            not self.auto_reconnect
+            or self.token is None
+            or self.reconnects >= self.max_reconnects
+        ):
+            self.disconnect()
+            raise NetError(f"connection lost: {exc}") from exc
+        self.reconnect()
+
+
+class AsyncNetClient:
+    """In-loop counterpart of :class:`NetClient` (asyncio streams).
+
+    Reconnection is explicit (``await resume()``); everything else —
+    folding rules, watch ack, ping/pong barrier — matches the blocking
+    client, so either can stand in for the other in tests.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._encoder = FrameEncoder()
+        self._decoder = FrameDecoder()
+        self._pending: list[NetRecord] = []
+        self._nonce = itertools.count(1)
+        self.state = _ClientState()
+        self.reconnects = 0
+
+    @property
+    def states(self) -> dict[str, dict[str, float | None]]:
+        return self.state.states
+
+    @property
+    def watched(self) -> dict[str, QuerySpec]:
+        return self.state.watched
+
+    @property
+    def token(self) -> str | None:
+        return self.state.token
+
+    async def connect(self) -> None:
+        await self._open(
+            ResumeRequest(self.token) if self.token else HelloRecord()
+        )
+
+    async def resume(self) -> None:
+        if self.token is None:
+            raise NetError("cannot resume: no token (connect first)")
+        await self.aclose(say_bye=False)
+        await self._open(ResumeRequest(self.token))
+        self.reconnects += 1
+
+    async def _open(
+        self, opener: HelloRecord | ResumeRequest
+    ) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._encoder = FrameEncoder()
+        self._decoder = FrameDecoder()
+        self._pending.clear()
+        self.state.server_said_bye = False
+        await self._send(opener)
+        await self._read_until(lambda r: isinstance(r, HelloRecord))
+
+    async def aclose(self, say_bye: bool = True) -> None:
+        if self._writer is None:
+            return
+        if say_bye:
+            try:
+                await self._send(ByeRecord())
+            except (OSError, NetError):
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._writer = None
+        self._reader = None
+
+    async def watch(
+        self,
+        spec: QuerySpec | None = None,
+        query_id: str | None = None,
+    ) -> str:
+        if spec is None and query_id is None:
+            raise NetError("watch needs a spec or a query_id")
+        known = set(self.watched)
+        await self._send(WatchRequest(spec, query_id))
+
+        def acked(record: NetRecord) -> bool:
+            if not isinstance(record, wire.WatchRecord):
+                return False
+            if query_id is not None:
+                return record.query_id == query_id
+            return record.spec == spec and record.query_id not in known
+
+        ack = await self._read_until(acked)
+        return ack.query_id
+
+    async def sync(self) -> None:
+        nonce = next(self._nonce)
+        await self._send(PingRecord(nonce))
+        await self._read_until(
+            lambda r: isinstance(r, PongRecord) and r.nonce == nonce
+        )
+
+    async def next_record(self) -> NetRecord | None:
+        """The next folded record, or ``None`` at end of stream."""
+        if self.state.server_said_bye:
+            return None
+        while not self._pending:
+            data = await asyncio.wait_for(
+                self._reader.read(_READ_CHUNK), timeout=self.timeout
+            )
+            if not data:
+                raise NetError("server closed the connection")
+            for payload in self._decoder.feed(data):
+                self._pending.append(decode_net_record(payload))
+        record = self._pending.pop(0)
+        self.state.fold(record)
+        if isinstance(record, ByeRecord):
+            return None
+        return record
+
+    def __aiter__(self) -> "AsyncNetClient":
+        return self
+
+    async def __anext__(self) -> NetRecord:
+        record = await self.next_record()
+        if record is None:
+            raise StopAsyncIteration
+        return record
+
+    async def _send(self, record: NetRecord) -> None:
+        if self._writer is None:
+            raise NetError("not connected")
+        self._writer.write(
+            self._encoder.encode(encode_net_record(record))
+        )
+        await self._writer.drain()
+
+    async def _read_until(
+        self, pred: Callable[[NetRecord], bool]
+    ) -> NetRecord:
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            while self._pending:
+                record = self._pending.pop(0)
+                self.state.fold(record)
+                if pred(record):
+                    return record
+            record = await self.next_record()
+            if record is None:
+                raise NetError("stream ended before the awaited record")
+            if pred(record):
+                return record
+        raise NetError("timed out waiting for the server")

@@ -242,13 +242,17 @@ class QueryService:
         spec_or_id: QuerySpec | str,
         snapshot: bool = True,
         maxlen: int | None = _UNSET,  # type: ignore[assignment]
+        resync_on_drop: bool = False,
     ) -> Subscription:
         """A live delta feed for one standing query.
 
         Pass a spec to register-and-subscribe in one step (the
         subscription's ``query_id`` carries the new id), or an existing
         id to add another consumer.  ``maxlen`` defaults to the
-        service config's bound."""
+        service config's bound; ``resync_on_drop`` makes a bounded feed
+        self-healing (a full-result snapshot delta is queued after any
+        lossy publish — see
+        :meth:`~repro.queries.serving.MonitorServer.subscribe`)."""
         if isinstance(spec_or_id, QuerySpec):
             query_id = self.watch(spec_or_id)
         else:
@@ -256,7 +260,10 @@ class QueryService:
         if maxlen is _UNSET:
             maxlen = self.config.maxlen
         return self.server.subscribe(
-            query_id, snapshot=snapshot, maxlen=maxlen
+            query_id,
+            snapshot=snapshot,
+            maxlen=maxlen,
+            resync_on_drop=resync_on_drop,
         )
 
     def unsubscribe(self, sub: Subscription) -> None:

@@ -1,0 +1,147 @@
+"""Fault-injection transports for exercising the network layer.
+
+Real networks tear frames at arbitrary byte boundaries, deliver writes
+in dribbles, occasionally replay a chunk, and sometimes just go quiet.
+:class:`FlakyTransport` manufactures those conditions deterministically
+around a real :class:`~repro.api.net.TcpTransport`, so the fault suite
+(``tests/api/test_net_faults.py``) can assert the one invariant the
+serving layer promises: a client either converges to the exact live
+result (reconnect + snapshot re-prime) or surfaces a loud error —
+never a silent divergence.
+
+Faults (one per transport instance, armed after ``after_recvs``
+successful reads so the handshake can complete):
+
+``"cut"``
+    Mid-frame disconnect: the next read delivers only the first half
+    of the received chunk, and every read after that raises
+    :class:`ConnectionResetError`.  The client is left holding a torn
+    frame — exactly what a peer crash looks like.
+``"dup"``
+    A duplicated chunk: one read's bytes are delivered twice.  The
+    frame sequence numbers make this a
+    :class:`~repro.errors.FramingError` rather than a silently
+    double-applied delta.
+``"stall"``
+    A stalled read: the connection stays open but delivers nothing,
+    surfacing as :class:`TimeoutError` at the client's read timeout.
+``"tiny"``
+    Pathological write fragmentation: every ``sendall`` goes out one
+    byte at a time.  Not an error at all — the peer's incremental
+    frame decoder must simply cope.
+
+:class:`FlakyTransportFactory` is the :class:`~repro.api.net.NetClient`
+``transport_factory`` hook: it deals one scripted fault per connection
+(``faults[i]`` for the i-th), then clean transports forever after —
+so "fault once, reconnect, converge" is one client constructor call.
+"""
+
+from __future__ import annotations
+
+from repro.api.net import TcpTransport
+
+#: Fault names :class:`FlakyTransport` understands (``None`` = clean).
+FAULTS = ("cut", "dup", "stall", "tiny")
+
+
+class FlakyTransport:
+    """One connection's transport with one scripted misbehaviour."""
+
+    def __init__(
+        self,
+        inner: TcpTransport,
+        fault: str | None,
+        *,
+        after_recvs: int = 2,
+    ) -> None:
+        if fault is not None and fault not in FAULTS:
+            raise ValueError(f"unknown fault {fault!r}; pick from {FAULTS}")
+        self.inner = inner
+        self.fault = fault
+        self.after_recvs = after_recvs
+        self.recvs = 0
+        self._armed_fired = False
+        self._replay: bytes | None = None
+        self._dead = False
+
+    # -- transport interface -------------------------------------------
+
+    def connect(self) -> None:
+        self.inner.connect()
+
+    def settimeout(self, timeout: float | None) -> None:
+        self.inner.settimeout(timeout)
+
+    def sendall(self, data: bytes) -> None:
+        if self.fault == "tiny":
+            for i in range(len(data)):
+                self.inner.sendall(data[i:i + 1])
+            return
+        self.inner.sendall(data)
+
+    def recv(self, n: int = 65536) -> bytes:
+        if self._dead:
+            raise ConnectionResetError("flaky transport: connection cut")
+        if self._replay is not None:
+            chunk, self._replay = self._replay, None
+            return chunk
+        data = self.inner.recv(n)
+        self.recvs += 1
+        if (
+            self.fault in ("cut", "dup", "stall")
+            and not self._armed_fired
+            and self.recvs > self.after_recvs
+            and data
+        ):
+            self._armed_fired = True
+            if self.fault == "cut":
+                self._dead = True
+                self.inner.close()
+                return data[: max(1, len(data) // 2)]
+            if self.fault == "dup":
+                self._replay = data
+                return data
+            if self.fault == "stall":
+                self._dead = True
+                raise TimeoutError("flaky transport: stalled read")
+        return data
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class FlakyTransportFactory:
+    """Deal one scripted fault per connection, then clean transports.
+
+    ``faults[i]`` applies to the i-th connection this factory opens
+    (``None`` entries and every connection past the script are clean).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        faults: tuple[str | None, ...] = ("cut",),
+        after_recvs: int = 2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.faults = tuple(faults)
+        self.after_recvs = after_recvs
+        self.connections = 0
+        self.transports: list[FlakyTransport] = []
+
+    def __call__(self) -> FlakyTransport:
+        i = self.connections
+        self.connections += 1
+        fault = self.faults[i] if i < len(self.faults) else None
+        transport = FlakyTransport(
+            TcpTransport(self.host, self.port, self.timeout),
+            fault,
+            after_recvs=self.after_recvs,
+        )
+        self.transports.append(transport)
+        return transport

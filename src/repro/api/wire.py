@@ -298,17 +298,53 @@ class DeltaFeedWriter:
             self.write(batch)
 
 
+@dataclass
+class FeedReadStats:
+    """Outcome counters of one :func:`read_feed` pass."""
+
+    #: Records successfully decoded and yielded.
+    records: int = 0
+    #: Final records skipped as a torn tail (0 or 1 per pass): the
+    #: writer died mid-record, which is tolerated, not a crash.
+    torn_tail: int = 0
+
+
 def read_feed(
     lines: Iterable[str],
+    stats: FeedReadStats | None = None,
 ) -> Iterator[
     QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord
 ]:
-    """Decode a JSONL feed line by line (blank lines are skipped, so a
-    feed file still being appended to tails cleanly)."""
+    """Decode a JSONL feed line by line.
+
+    Blank lines are skipped, so a feed file still being appended to
+    tails cleanly.  A record that fails to decode is tolerated **only**
+    as the feed's final non-blank line — the torn tail a writer killed
+    mid-:meth:`~DeltaFeedWriter.write` leaves behind.  It is skipped
+    (counted in ``stats.torn_tail`` when a :class:`FeedReadStats` is
+    passed) instead of crashing the replay; the same failure anywhere
+    *before* the tail still raises, because mid-feed corruption means
+    the replay cannot be trusted.
+    """
+    pending: WireError | None = None
     for line in lines:
         line = line.strip()
-        if line:
-            yield decode_record(line)
+        if not line:
+            continue
+        if pending is not None:
+            # The bad line was NOT the tail: corruption, not a torn
+            # write. Fail loudly where the reader can see it.
+            raise pending
+        try:
+            record = decode_record(line)
+        except WireError as exc:
+            pending = exc
+            continue
+        if stats is not None:
+            stats.records += 1
+        yield record
+    if pending is not None and stats is not None:
+        stats.torn_tail += 1
 
 
 def replay_feed(

@@ -40,6 +40,18 @@ class WireError(ReproError):
     unknown record type, unsupported wire version, non-finite float)."""
 
 
+class FramingError(WireError):
+    """Corrupt network frame (bad header, oversized frame, or a
+    sequence-number violation — a duplicated, dropped or reordered
+    frame on a connection)."""
+
+
+class NetError(ReproError):
+    """Network serving failure surfaced to the caller (negotiation
+    refused, peer error record, dead connection past the reconnect
+    budget, barrier timeout)."""
+
+
 class UnreachableError(QueryError):
     """The query point cannot reach the requested entity through any path
     in the doors graph (e.g. isolated partition or one-way dead end)."""

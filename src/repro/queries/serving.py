@@ -61,13 +61,27 @@ class Subscription:
     PR-2 unbounded behaviour.
     """
 
-    def __init__(self, query_id: str, maxlen: int | None = None) -> None:
+    def __init__(
+        self,
+        query_id: str,
+        maxlen: int | None = None,
+        resync_on_drop: bool = False,
+    ) -> None:
         if maxlen is not None and maxlen < 1:
             raise QueryError(f"maxlen must be >= 1, got {maxlen}")
         self.query_id = query_id
         self.maxlen = maxlen
+        #: When set, the server re-primes this feed in-band after a
+        #: drop: a synthetic ``snapshot`` delta carrying the query's
+        #: *current* full result is queued right after the lossy
+        #: publish, so the consumer's replayed state snaps back to
+        #: exact instead of staying diverged (the queue-level analogue
+        #: of the wire feeds' mid-stream snapshot records).
+        self.resync_on_drop = resync_on_drop
         self.delivered = 0
         self.dropped = 0
+        #: Snapshot re-primes pushed by the drop-resync path.
+        self.resyncs = 0
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed = False
 
@@ -241,6 +255,7 @@ class MonitorServer:
         query_id: str,
         snapshot: bool = True,
         maxlen: int | None = None,
+        resync_on_drop: bool = False,
     ) -> Subscription:
         """A live delta feed for one standing query.
 
@@ -248,7 +263,10 @@ class MonitorServer:
         delta carrying the current members, so replaying the feed from
         empty state always reconstructs the full result.  ``maxlen``
         bounds the feed's queue under the drop-oldest policy (see
-        :class:`Subscription`).
+        :class:`Subscription`); ``resync_on_drop`` additionally queues
+        a fresh full-result snapshot delta after any lossy publish, so
+        a bounded feed heals itself in-band (the network serving layer
+        turns these into mid-stream wire snapshots).
         """
         if self._closed:
             raise QueryError("server is closed")
@@ -258,7 +276,9 @@ class MonitorServer:
         # the *existing* subscribers first: a feed begins at its own
         # snapshot, never with another query's history.
         self.publish(self.monitor.drain_pending_deltas())
-        sub = Subscription(query_id, maxlen=maxlen)
+        sub = Subscription(
+            query_id, maxlen=maxlen, resync_on_drop=resync_on_drop
+        )
         if snapshot:
             sub._push(
                 ResultDelta(
@@ -296,6 +316,7 @@ class MonitorServer:
         ``on_drop`` once, after the batch reached ``on_publish``)."""
         published = 0
         dropped_queries: dict[str, None] = {}
+        dropped_subs: dict[Subscription, None] = {}
         for delta in batch:
             if delta.is_empty:
                 continue
@@ -304,12 +325,28 @@ class MonitorServer:
                 if sub._push(delta):
                     self.deltas_dropped += 1
                     dropped_queries.setdefault(delta.query_id)
+                    if sub.resync_on_drop:
+                        dropped_subs.setdefault(sub)
         self.deltas_published += published
         if self.on_publish is not None:
             self.on_publish(batch)
         if self.on_drop is not None:
             for query_id in dropped_queries:
                 self.on_drop(query_id)
+        # In-band re-prime of lossy resync_on_drop subscriptions: queue
+        # the query's *post-batch* full result as a snapshot delta.  It
+        # lands after this batch's surviving deltas and before anything
+        # published later, so replaying the queue stays exact.  (If the
+        # snapshot push itself evicts an older delta that loss is
+        # counted too, but no second resync is needed — the snapshot
+        # supersedes everything before it.)
+        for sub in dropped_subs:
+            if sub.query_id not in self.monitor:
+                continue  # dropped during its own deregister publish
+            members = self.monitor.result_distances(sub.query_id)
+            if sub._push(ResultDelta(sub.query_id, "snapshot", members)):
+                self.deltas_dropped += 1
+            sub.resyncs += 1
         return published
 
     # ------------------------------------------------------------------

@@ -313,6 +313,73 @@ class TestFeedReplay:
         text = "\n" + wire.encode_record(delta) + "\n\n"
         assert list(wire.read_feed(text.splitlines())) == [delta]
 
+
+class TestTornTail:
+    """A writer killed mid-record leaves a torn final line; tailing it
+    must replay everything before the tear, skip the tear with a
+    counter, and still crash loudly on *mid*-feed corruption."""
+
+    LINES = [
+        wire.encode_record(ResultDelta("q", "register", {"a": 1.0})),
+        wire.encode_record(
+            ResultDelta("q", "move", {"b": 2.0}, ("a",))
+        ),
+    ]
+
+    def test_torn_final_record_skipped_and_counted(self):
+        torn = self.LINES + [self.LINES[1][: len(self.LINES[1]) // 2]]
+        stats = wire.FeedReadStats()
+        records = list(wire.read_feed(torn, stats))
+        assert records == list(wire.read_feed(self.LINES))
+        assert stats.records == 2
+        assert stats.torn_tail == 1
+        assert wire.replay_feed(records) == {"q": {"b": 2.0}}
+
+    def test_torn_tail_tolerated_without_stats(self):
+        torn = self.LINES + ['{"half a reco']
+        assert list(wire.read_feed(torn)) == \
+            list(wire.read_feed(self.LINES))
+
+    def test_trailing_blank_lines_after_tear_still_a_tail(self):
+        torn = self.LINES + ['{"v":2,"type":"del', "", "  ", ""]
+        stats = wire.FeedReadStats()
+        assert len(list(wire.read_feed(torn, stats))) == 2
+        assert stats.torn_tail == 1
+
+    def test_mid_feed_corruption_still_raises(self):
+        corrupt = [self.LINES[0], '{"not a record', self.LINES[1]]
+        with pytest.raises(WireError):
+            list(wire.read_feed(corrupt))
+
+    def test_intact_feed_counts_no_tear(self):
+        stats = wire.FeedReadStats()
+        assert len(list(wire.read_feed(self.LINES, stats))) == 2
+        assert stats == wire.FeedReadStats(records=2, torn_tail=0)
+
+    def test_live_feed_with_torn_tail_replays_to_live_state(
+        self, five_rooms_index
+    ):
+        """End to end: kill the writer mid-record, tail the feed — the
+        replay equals the last fully written state."""
+        service = QueryService(five_rooms_index)
+        fp = io.StringIO()
+        service.attach_feed(fp)
+        a = service.watch(RangeSpec(Q1, 10.0))
+        service.ingest([_point_move("far", 6.0, 6.0)])
+        want = wire.replay_feed(wire.read_feed(
+            fp.getvalue().splitlines()
+        ))
+        # the writer dies 10 bytes into the next record
+        torn = fp.getvalue() + wire.encode_record(
+            ResultDelta(a, "move", {"x": 1.0})
+        )[:10]
+        stats = wire.FeedReadStats()
+        got = wire.replay_feed(wire.read_feed(
+            torn.splitlines(), stats
+        ))
+        assert got == want
+        assert stats.torn_tail == 1
+
     @pytest.mark.parametrize("n_shards", [1, 2])
     def test_standing_iprq_rides_the_feed(self, five_rooms_index,
                                           n_shards):

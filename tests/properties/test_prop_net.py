@@ -1,0 +1,235 @@
+"""Properties of the network serving layer.
+
+* **Framing transparency** — any batch of records (data *and* control:
+  heartbeats, pings, hellos ...) framed by a :class:`FrameEncoder` and
+  fed to a :class:`FrameDecoder` in arbitrary chunks comes out as the
+  identical payload sequence, and every payload re-encodes to the
+  identical wire line.  The transport adds nothing and loses nothing.
+* **Reconnect convergence** — for a random movement history and a
+  random disconnect point, a client that drops its connection without
+  warning mid-stream and resumes with its token ends **bit-identical**
+  to an uninterrupted subscriber of the same query, and both equal the
+  service's live result.  Where the tear falls must not matter.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import wire
+from repro.api.framing import (
+    ByeRecord,
+    ErrorRecord,
+    FrameDecoder,
+    FrameEncoder,
+    HeartbeatRecord,
+    HelloRecord,
+    PingRecord,
+    PongRecord,
+    ResumeRequest,
+    WatchRequest,
+    decode_net_record,
+    encode_net_record,
+)
+from repro.api.net import NetClient, ServerThread
+from repro.api.service import QueryService
+from repro.api.specs import KNNSpec, RangeSpec
+from repro.geometry import Circle, Point, Rect
+from repro.index import CompositeIndex
+from repro.objects import InstanceSet, ObjectPopulation, UncertainObject
+from repro.objects.population import ObjectMove
+from repro.queries import DeltaBatch, ResultDelta
+from repro.space.builder import SpaceBuilder
+
+# ---------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------
+
+finite = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    width=64,
+    min_value=-1e9,
+    max_value=1e9,
+)
+non_negative = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=0.0, max_value=1e9
+)
+points = st.builds(
+    Point, x=finite, y=finite, floor=st.integers(-3, 40)
+)
+object_ids = st.text(
+    alphabet="abco123-_ .é√", min_size=1, max_size=12
+)
+distances = st.one_of(st.none(), non_negative)
+specs = st.one_of(
+    st.builds(RangeSpec, q=points, r=non_negative),
+    st.builds(KNNSpec, q=points, k=st.integers(1, 500)),
+)
+deltas = st.builds(
+    ResultDelta,
+    query_id=object_ids,
+    cause=st.just("move"),
+    entered=st.dictionaries(object_ids, distances, max_size=4),
+    left=st.lists(object_ids, max_size=4).map(tuple),
+)
+net_records = st.one_of(
+    deltas,
+    specs,
+    st.builds(DeltaBatch, deltas=st.lists(deltas, max_size=3).map(tuple)),
+    st.builds(wire.WatchRecord, query_id=object_ids, spec=specs),
+    st.builds(
+        wire.SnapshotRecord,
+        query_id=object_ids,
+        members=st.dictionaries(object_ids, distances, max_size=5),
+    ),
+    st.builds(
+        HelloRecord,
+        token=st.one_of(st.none(), object_ids),
+        heartbeat_s=st.one_of(
+            st.none(), st.floats(min_value=0.01, max_value=60.0)
+        ),
+    ),
+    st.builds(
+        WatchRequest,
+        spec=st.one_of(st.none(), specs),
+        query_id=st.one_of(st.none(), object_ids),
+    ),
+    st.builds(ResumeRequest, token=object_ids),
+    st.builds(HeartbeatRecord, seq=st.integers(0, 2**31)),
+    st.builds(PingRecord, nonce=st.integers(0, 2**31)),
+    st.builds(PongRecord, nonce=st.integers(0, 2**31)),
+    st.builds(ErrorRecord, message=st.text(max_size=40)),
+    st.just(ByeRecord()),
+)
+
+
+class TestFramingTransparency:
+    @given(
+        records=st.lists(net_records, min_size=1, max_size=12),
+        chunk_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_chunking_reassembles_byte_identically(
+        self, records, chunk_seed
+    ):
+        lines = [encode_net_record(r) for r in records]
+        encoder = FrameEncoder()
+        stream = b"".join(encoder.encode(line) for line in lines)
+
+        rng = random.Random(chunk_seed)
+        decoder = FrameDecoder()
+        out: list[str] = []
+        i = 0
+        while i < len(stream):
+            n = rng.randint(1, max(1, len(stream) // 4))
+            out.extend(decoder.feed(stream[i:i + n]))
+            i += n
+
+        assert out == lines
+        assert decoder.partial_bytes == 0
+        assert decoder.frames_decoded == len(records)
+        # ...and the payloads decode back to the original records,
+        # re-encoding byte-identically (the wire contract holds through
+        # the transport).
+        decoded = [decode_net_record(p) for p in out]
+        assert decoded == records
+        assert [encode_net_record(r) for r in decoded] == lines
+
+    @given(records=st.lists(net_records, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_never_yields_a_phantom_payload(self, records):
+        """Cutting the stream anywhere loses only the torn frame:
+        every completed payload is exact, never partial."""
+        encoder = FrameEncoder()
+        frames = [
+            encoder.encode(encode_net_record(r)) for r in records
+        ]
+        stream = b"".join(frames)
+        lines = [encode_net_record(r) for r in records]
+        for cut in range(0, len(stream), 7):
+            decoder = FrameDecoder()
+            got = decoder.feed(stream[:cut])
+            assert got == lines[: len(got)]
+
+
+# ---------------------------------------------------------------------
+# reconnect convergence
+# ---------------------------------------------------------------------
+
+
+def _build_service() -> QueryService:
+    b = SpaceBuilder()
+    b.add_hallway("h", Rect(0, 10, 30, 14))
+    b.add_room("r1", Rect(0, 0, 10, 10))
+    b.add_room("r2", Rect(10, 0, 20, 10))
+    b.add_room("r3", Rect(20, 0, 30, 10))
+    b.connect("r1", "h", door_id="d1")
+    b.connect("r2", "h", door_id="d2")
+    b.connect("r3", "h", door_id="d3")
+    space = b.build()
+    pop = ObjectPopulation(space)
+    for oid, x in (("near", 4.0), ("mid", 8.0), ("far", 25.0)):
+        p = Point(x, 5.0, 0)
+        pop.insert(
+            UncertainObject(oid, Circle(p, 0.0), InstanceSet.single(p))
+        )
+    return QueryService(CompositeIndex.build(space, pop))
+
+
+def _move(oid: str, x: float) -> ObjectMove:
+    p = Point(x, 5.0, 0)
+    return ObjectMove(oid, Circle(p, 0.0), InstanceSet.single(p))
+
+
+Q1 = Point(5.0, 5.0, 0)
+
+move_batches = st.lists(
+    st.tuples(
+        st.sampled_from(["near", "mid", "far"]),
+        st.sampled_from([3.0, 6.0, 9.0, 15.0, 25.0, 28.0]),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestReconnectConvergence:
+    @given(
+        batches=move_batches,
+        cut_at=st.integers(0, 9),
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_resumed_client_bit_identical_to_uninterrupted(
+        self, batches, cut_at
+    ):
+        service = _build_service()
+        with ServerThread(service) as st_:
+            steady = NetClient(*st_.address)
+            flaky = NetClient(*st_.address)
+            steady.connect()
+            flaky.connect()
+            qid = steady.watch(RangeSpec(Q1, 7.0), query_id="kiosk")
+            assert flaky.watch(query_id=qid) == qid
+
+            cut_at = min(cut_at, len(batches) - 1)
+            for i, (oid, x) in enumerate(batches):
+                if i == cut_at:
+                    flaky.disconnect()  # no goodbye, mid-stream
+                st_.ingest([_move(oid, x)])
+                if i == cut_at:
+                    flaky.reconnect()
+
+            steady.sync()
+            flaky.sync()
+            live = st_.run(service.result_distances, qid)
+            assert steady.states[qid] == live
+            assert flaky.states[qid] == live
+            assert flaky.states[qid] == steady.states[qid]
+            steady.close()
+            flaky.close()

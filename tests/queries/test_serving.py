@@ -262,6 +262,75 @@ class TestBackpressure:
 
         asyncio.run(run())
 
+    def test_resync_on_drop_appends_current_snapshot(
+        self, five_rooms_index
+    ):
+        """The network layer's in-band re-prime: a lossy publish to a
+        ``resync_on_drop`` subscription is followed by a snapshot-cause
+        delta carrying the query's *current* full result, so folding
+        the queue tail converges exactly despite the loss."""
+
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register(RangeSpec(Q1, 10.0))
+            sub = server.subscribe(
+                a, snapshot=False, maxlen=1, resync_on_drop=True
+            )
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            await server.apply_moves([_point_move("far", 25.0, 5.0)])
+            assert sub.dropped >= 1
+            assert sub.resyncs >= 1
+            # Drain and fold: the tail must end in a snapshot that
+            # reproduces the live result exactly.
+            state: dict[str, float | None] = {}
+            saw_snapshot = False
+            while sub.pending:
+                delta = await sub.next_delta()
+                if delta.cause == "snapshot":
+                    saw_snapshot = True
+                    state = dict(delta.entered)
+                else:
+                    delta.apply_to(state)
+            assert saw_snapshot
+            assert state == server.monitor.result_distances(a)
+
+        asyncio.run(run())
+
+    def test_resync_not_pushed_without_optin(self, five_rooms_index):
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register(RangeSpec(Q1, 10.0))
+            sub = server.subscribe(a, snapshot=False, maxlen=1)
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            await server.apply_moves([_point_move("far", 25.0, 5.0)])
+            assert sub.dropped == 1 and sub.resyncs == 0
+            delta = await sub.next_delta()
+            assert delta.cause != "snapshot"
+
+        asyncio.run(run())
+
+    def test_resync_skipped_for_deregistering_query(
+        self, five_rooms_index
+    ):
+        """A queue shedding its own deregister delta must not resync —
+        the query is gone; there is no current result to re-prime
+        from (and the final state must stay 'closed')."""
+
+        async def run():
+            server = MonitorServer(QueryMonitor(five_rooms_index))
+            a = server.register(RangeSpec(Q1, 10.0))
+            sub = server.subscribe(
+                a, snapshot=False, maxlen=1, resync_on_drop=True
+            )
+            await server.apply_moves([_point_move("far", 6.0, 6.0)])
+            server.deregister(a)  # lossy: evicts the move delta
+            assert a not in server.monitor
+            assert sub.resyncs == 0
+            delta = await sub.next_delta()
+            assert delta.cause == "deregister"
+
+        asyncio.run(run())
+
 
 class TestParallelOffload:
     """A parallel sharded monitor's mutations leave the event loop."""

@@ -11,13 +11,18 @@ import repro.api
 #: public API changed: update this snapshot *in the same PR* (and the
 #: "API" section of ROADMAP.md if the schema version moved).
 API_SURFACE_SNAPSHOT = [
+    "AsyncNetClient",
     "DeltaFeedWriter",
+    "FeedReadStats",
     "KNNSpec",
+    "NetClient",
+    "NetServer",
     "ProbRangeSpec",
     "QueryService",
     "QuerySpec",
     "RangeSpec",
     "SPEC_SCHEMA_VERSION",
+    "ServerThread",
     "ServiceConfig",
     "SnapshotRecord",
     "WIRE_VERSION",
