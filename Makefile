@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 tier2 test bench bench-stream bench-serving \
-	bench-serving-parallel bench-serving-net lint figures
+	bench-serving-parallel bench-serving-net bench-restart lint figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -38,6 +38,14 @@ bench-serving-parallel:
 # live NetServer, asserting exact convergence at quiesce.
 bench-serving-net:
 	$(PYTHON) benchmarks/bench_serving.py --net --workers 1
+
+# Crash recovery: checkpointed serving killed mid-stream, restarted
+# from its manifest, every subscriber resuming to the exact result —
+# plus the checkpoint/restore-latency sweep (nightly table).
+bench-restart:
+	$(PYTHON) benchmarks/bench_serving.py --restart --workers 1
+	$(PYTHON) -m pytest -q -m tier2 \
+		benchmarks/bench_serving.py::test_serving_restart
 
 # Same checks the CI lint job runs (requires ruff, pinned in ci.yml).
 lint:

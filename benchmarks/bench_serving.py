@@ -32,6 +32,14 @@ monitor.
 monitor's workload; the nightly ``serving_prob`` table tracks that
 regime's throughput and delta volume.
 
+``--restart`` exercises the durability story end to end: a
+checkpointed, WAL-attached served service is killed mid-stream
+(aborted connections, no goodbye), restarted from its manifest on the
+same port, and every pre-crash TCP subscriber must resume
+transparently and still converge exactly; the nightly
+``serving_restart`` table tracks checkpoint write/restore latency vs
+object count and recovery-replay throughput.
+
 Also runnable standalone (CI smoke)::
 
     python benchmarks/bench_serving.py --quick --workers 2 --prob
@@ -40,7 +48,9 @@ Also runnable standalone (CI smoke)::
 import argparse
 import asyncio
 import pathlib
+import shutil
 import sys
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,6 +64,7 @@ from repro.api.net import NetClient, ServerThread
 from repro.api.service import QueryService
 from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
 from repro.bench.workloads import ScaleProfile, WorkloadFactory
+from repro.persist import CheckpointStore
 from repro.queries import DeltaBatch, MonitorServer
 
 pytestmark = pytest.mark.tier2
@@ -572,6 +583,9 @@ class _NetTail(threading.Thread):
         self.query_ids: list[str] = []
         self.ready = threading.Event()
         self.stop = threading.Event()
+        #: Held by the restart run while the server is down, so no
+        #: poll races the gap between kill and the port coming back.
+        self.pause = threading.Lock()
         self.error: BaseException | None = None
 
     def run(self) -> None:
@@ -581,7 +595,8 @@ class _NetTail(threading.Thread):
                 self.query_ids.append(self.client.watch(spec))
             self.ready.set()
             while not self.stop.is_set():
-                self.client.poll(timeout=0.02)
+                with self.pause:
+                    self.client.poll(timeout=0.02)
             self.client.sync()  # drain everything published
         except BaseException as exc:
             self.error = exc
@@ -737,6 +752,316 @@ def _print_net(run: NetServingRun) -> None:
     print(f"  converged             {run.converged} (asserted)")
 
 
+# ---------------------------------------------------------------------
+# restart serving (--restart): crash, recover, resume under clients
+# ---------------------------------------------------------------------
+
+#: ``--restart`` knobs: (n_clients, queries_per_client, n_batches,
+#: batch_size, kill_after) — the server is killed after ``kill_after``
+#: batches (connections aborted mid-stream, no final checkpoint),
+#: restarted from its checkpoint directory on the same port, and every
+#: pre-crash subscriber must resume transparently and still converge.
+RESTART_FULL = (4, 3, 24, 5, 12)
+RESTART_QUICK = (3, 2, 8, 5, 4)
+
+
+@dataclass
+class RestartServingRun:
+    """Outcome of one ``--restart`` run: checkpointed serving, a
+    mid-stream kill, manifest recovery, post-restart convergence."""
+
+    n_clients: int
+    n_queries: int
+    updates: int
+    #: Wall-clock of the mid-run :meth:`ServerThread.checkpoint_now`.
+    checkpoint_s: float
+    #: Kill-to-serving wall-clock: checkpoint read + engine rebuild +
+    #: WAL replay + fresh durable point + listener back on the port.
+    restart_s: float
+    #: WAL records replayed during recovery.
+    wal_records: int
+    #: Movement updates that existed only in the WAL tail.
+    replayed_updates: int
+    reconnects: int
+    converged: bool
+
+    @property
+    def replay_updates_per_sec(self) -> float:
+        """WAL-tail updates brought back per second of restart wall."""
+        return (
+            self.replayed_updates / self.restart_s if self.restart_s else 0.0
+        )
+
+
+def run_restart_serving(
+    factory: WorkloadFactory,
+    n_clients: int,
+    queries_per_client: int,
+    n_batches: int,
+    batch_size: int,
+    kill_after: int,
+) -> RestartServingRun:
+    """The crash-recovery acceptance scenario, measured.
+
+    A :class:`QueryService` with a :class:`CheckpointStore` serves
+    ``n_clients`` TCP subscribers; a durable point is cut mid-run, the
+    server is killed after ``kill_after`` batches, restarted with
+    :meth:`ServerThread.from_store` on the same port, and the stream
+    continues.  Every client resumes with its pre-crash token and must
+    end bit-identical to both the restarted service's live result and
+    an uninterrupted from-scratch twin fed the same batches.
+    """
+    p = factory.profile
+    scenario = factory.stream_scenario(n_irq=0, n_iknn=0)
+    twin = factory.stream_scenario(n_irq=0, n_iknn=0)
+    service = QueryService(scenario.index)
+    ref = QueryService(twin.index)
+    points = factory.query_points(n=n_clients * queries_per_client)
+
+    def spec_for(i: int):
+        q = points[i]
+        kind = i % 3
+        if kind == 0:
+            return RangeSpec(q, p.default_range)
+        if kind == 1:
+            return KNNSpec(q, p.default_k)
+        return ProbRangeSpec(q, p.default_range, 0.5)
+
+    ref_ids = [
+        ref.watch(spec_for(i))
+        for i in range(n_clients * queries_per_client)
+    ]
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench-restart-"))
+    store = CheckpointStore(root)
+    ckpt_at = kill_after // 2
+    updates = 0
+    checkpoint_s = 0.0
+    st = ServerThread(service, store=store).__enter__()
+    host, port = st.address
+    tails = [
+        _NetTail(
+            host,
+            port,
+            [
+                spec_for(c * queries_per_client + j)
+                for j in range(queries_per_client)
+            ],
+        )
+        for c in range(n_clients)
+    ]
+    for t in tails:
+        t.start()
+    for t in tails:
+        t.ready.wait(timeout=60)
+        if t.error is not None:
+            raise t.error
+
+    for b in range(kill_after):
+        moves = scenario.stream.next_moves(batch_size)
+        batch = st.ingest(moves)
+        ref.ingest(moves)
+        updates += len(batch.moved)
+        if b == ckpt_at:
+            t0 = time.perf_counter()
+            st.checkpoint_now()
+            checkpoint_s = time.perf_counter() - t0
+
+    # Freeze every subscriber outside poll(), crash, restart on the
+    # same port, then let them trip over the dead socket and resume.
+    for t in tails:
+        t.pause.acquire()
+    st.kill()
+    t0 = time.perf_counter()
+    st2 = ServerThread.from_store(store, port=port).__enter__()
+    restart_s = time.perf_counter() - t0
+    for t in tails:
+        t.pause.release()
+
+    for _ in range(kill_after, n_batches):
+        moves = scenario.stream.next_moves(batch_size)
+        batch = st2.ingest(moves)
+        ref.ingest(moves)
+        updates += len(batch.moved)
+    for t in tails:
+        t.stop.set()
+    for t in tails:
+        t.join(timeout=120)
+        if t.error is not None:
+            raise t.error
+
+    service2 = st2.service
+    converged = all(
+        t.client.states[qid]
+        == st2.run(service2.result_distances, qid)
+        == ref.result_distances(ref_ids[c * queries_per_client + j])
+        for c, t in enumerate(tails)
+        for j, qid in enumerate(t.query_ids)
+    )
+    report = st2.recovery
+    run = RestartServingRun(
+        n_clients=n_clients,
+        n_queries=n_clients * queries_per_client,
+        updates=updates,
+        checkpoint_s=checkpoint_s,
+        restart_s=restart_s,
+        wal_records=report.wal_records,
+        replayed_updates=(kill_after - ckpt_at - 1) * batch_size,
+        reconnects=sum(t.client.reconnects for t in tails),
+        converged=converged,
+    )
+    for t in tails:
+        t.client.close()
+    st2.close()
+    service.close()
+    service2.close()
+    ref.close()
+    shutil.rmtree(root, ignore_errors=True)
+    return run
+
+
+def measure_restart_scaling(
+    factory: WorkloadFactory,
+    objects_grid: tuple[int, ...],
+    n_queries: int = 6,
+    n_batches: int = 4,
+    batch_size: int = 10,
+) -> list[dict]:
+    """Durability cost vs object count: checkpoint write and restore
+    latency, checkpoint size, and recovery throughput (a WAL tail of
+    ``n_batches`` x ``batch_size`` updates replayed through
+    :func:`repro.persist.store.recover`, fresh post-recovery
+    checkpoint included) at each population scale."""
+    p = factory.profile
+    points = factory.query_points(n=n_queries)
+
+    def spec_for(i: int):
+        q = points[i]
+        kind = i % 3
+        if kind == 0:
+            return RangeSpec(q, p.default_range)
+        if kind == 1:
+            return KNNSpec(q, p.default_k)
+        return ProbRangeSpec(q, p.default_range, 0.5)
+
+    rows: list[dict] = []
+    for n_objects in objects_grid:
+        scenario = factory.stream_scenario(
+            n_irq=0, n_iknn=0, n_objects=n_objects
+        )
+        service = QueryService(scenario.index)
+        for i in range(n_queries):
+            service.watch(spec_for(i))
+        service.ingest(scenario.stream.next_moves(batch_size))
+        root = pathlib.Path(tempfile.mkdtemp(prefix="bench-ckpt-"))
+        try:
+            solo = root / "solo-checkpoint.jsonl"
+            t0 = time.perf_counter()
+            service.checkpoint(solo)
+            write_s = time.perf_counter() - t0
+            size_kb = solo.stat().st_size / 1024.0
+            t0 = time.perf_counter()
+            restored = QueryService.restore(solo)
+            restore_s = time.perf_counter() - t0
+            restored.close()
+
+            store = CheckpointStore(root / "store")
+            store.attach(service)
+            replayed = 0
+            for _ in range(n_batches):
+                moves = scenario.stream.next_moves(batch_size)
+                replayed += len(service.ingest(moves).moved)
+            t0 = time.perf_counter()
+            recovered, report = CheckpointStore(root / "store").recover()
+            recover_s = time.perf_counter() - t0
+            assert report.wal_records > 0
+            recovered.close()
+            store.close()
+            service.close()
+            rows.append(
+                {
+                    "n_objects": n_objects,
+                    "write_s": write_s,
+                    "restore_s": restore_s,
+                    "size_kb": size_kb,
+                    "recover_s": recover_s,
+                    "replayed": replayed,
+                    "replay_per_s": (
+                        replayed / recover_s if recover_s else 0.0
+                    ),
+                }
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+def _check_restart(run: RestartServingRun) -> None:
+    assert run.converged, (
+        "a resumed subscriber diverged after the restart"
+    )
+    assert run.reconnects >= run.n_clients, (
+        "every client should have resumed across the kill"
+    )
+    assert run.wal_records > 0, "the WAL tail was never replayed"
+
+
+def test_serving_restart(save_table):
+    """The ``serving_restart`` nightly table: the kill/recover/resume
+    acceptance scenario, plus checkpoint write/restore latency and
+    recovery-replay throughput swept over object count."""
+    from repro.bench.runner import ExperimentResult
+
+    n_clients, per_client, n_batches, batch_size, kill_after = (
+        RESTART_FULL
+    )
+    factory = WorkloadFactory()
+    run = run_restart_serving(
+        factory, n_clients, per_client, n_batches, batch_size, kill_after
+    )
+    _check_restart(run)
+    rows = measure_restart_scaling(factory, factory.profile.objects_grid)
+    result = ExperimentResult(
+        title=(
+            f"Serving — restart (checkpoint/restore vs |O|; "
+            f"scenario: {run.n_clients} clients killed mid-stream, "
+            f"restart {run.restart_s * 1000.0:.1f} ms, "
+            f"replay {run.replay_updates_per_sec:.0f} upd/s, "
+            f"converged={run.converged})"
+        ),
+        x_label="objects",
+        unit="",
+    )
+    for row in rows:
+        result.x_values.append(row["n_objects"])
+        result.add("ckpt_write_ms", 1000.0 * row["write_s"])
+        result.add("ckpt_restore_ms", 1000.0 * row["restore_s"])
+        result.add("ckpt_kb", row["size_kb"])
+        result.add("recover_ms", 1000.0 * row["recover_s"])
+        result.add("replay_upd_per_s", row["replay_per_s"])
+    save_table("serving_restart", result)
+
+
+def _print_restart(run: RestartServingRun) -> None:
+    print(
+        f"restart serving         {run.n_clients} clients x "
+        f"{run.n_queries // run.n_clients} queries "
+        f"({run.n_queries} standing)"
+    )
+    print(f"  updates absorbed      {run.updates}")
+    print(f"  checkpoint wall       {1000.0 * run.checkpoint_s:10.1f} ms")
+    print(
+        f"  restart wall          {1000.0 * run.restart_s:10.1f} ms "
+        f"({run.wal_records} WAL records replayed)"
+    )
+    print(
+        f"  replay updates/sec    {run.replay_updates_per_sec:10.1f} "
+        f"({run.replayed_updates} updates were WAL-only)"
+    )
+    print(f"  client resumes        {run.reconnects}")
+    print(f"  converged             {run.converged} (asserted)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Delta-serving benchmark: single vs sharded monitor."
@@ -775,6 +1100,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the network serving variant: concurrent TCP "
         "subscribers over a served QueryService, exact convergence "
         "asserted",
+    )
+    parser.add_argument(
+        "--restart",
+        action="store_true",
+        help="also run the crash-recovery variant: checkpointed "
+        "serving killed mid-stream and restarted from its manifest, "
+        "every subscriber resuming to the exact result",
     )
     args = parser.parse_args(argv)
 
@@ -876,6 +1208,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         _print_net(net_run)
         _check_net(net_run)
+    if args.restart:
+        rs_clients, rs_per_client, rs_batches, rs_bs, rs_kill = (
+            RESTART_QUICK if args.quick else RESTART_FULL
+        )
+        restart_run = run_restart_serving(
+            factory, rs_clients, rs_per_client, rs_batches, rs_bs, rs_kill
+        )
+        _print_restart(restart_run)
+        _check_restart(restart_run)
     print("serving bench OK")
     return 0
 

@@ -15,12 +15,21 @@ The ROADMAP's "delta transport" demo, in both transports:
 Run with::
 
     python examples/delta_tail.py                     # both demos
+    python examples/delta_tail.py --checkpoint-every 0.5
+                                  # durable TCP demo: periodic
+                                  # checkpoints, a crash, a restart
     python examples/delta_tail.py --connect HOST:PORT --query-id ID
                                   # tail a remote server's query
+    python examples/delta_tail.py --from-checkpoint DIR
+                                  # recover a gateway's durable state
 
 The ``--connect`` mode is a tiny operational tool: point it at any
 running :class:`~repro.api.net.NetServer` and it prints the watched
-query's result after every change (Ctrl-C to stop).
+query's result after every change (Ctrl-C to stop).  The
+``--from-checkpoint`` mode is its durable sibling: point it at a
+:class:`~repro.persist.store.CheckpointStore` directory and it
+reconstructs every standing query's result from the newest readable
+checkpoint plus the WAL tail — no server required.
 """
 
 import argparse
@@ -111,10 +120,16 @@ def consume(feed_path: Path) -> dict[str, dict[str, float | None]]:
     return wire.replay_feed(records)
 
 
-def serve_over_tcp() -> None:
+def serve_over_tcp(checkpoint_every: float | None = None) -> None:
     """The network half: the same gateway served over a socket, with a
-    subscriber that disconnects mid-stream and resumes."""
-    from repro import NetClient, NetServer, ServerThread
+    subscriber that disconnects mid-stream and resumes.
+
+    With ``checkpoint_every`` set, the server becomes durable: a
+    :class:`~repro.persist.store.CheckpointStore` is attached
+    (periodic checkpoints + WAL), the server is then *killed* —
+    connections aborted, no goodbye — restarted from its manifest on
+    the same port, and the same subscriber resumes across the crash."""
+    from repro import CheckpointStore, NetClient, NetServer, ServerThread
 
     space = build_mall(
         floors=2,
@@ -130,44 +145,115 @@ def serve_over_tcp() -> None:
     service = QueryService(CompositeIndex.build(space, visitors))
     stream = MovementStream(space, visitors, generator, seed=47)
 
-    with ServerThread(service) as server_thread:
-        host, port = server_thread.address
-        print(f"Server:   {NetServer.__name__} listening on {host}:{port}")
-        client = NetClient(host, port)
-        client.connect()
-        kiosk = client.watch(
-            RangeSpec(space.random_point(seed=4), 55.0), query_id="kiosk"
-        )
-        client.sync()  # primed from the negotiation snapshot
+    durable_dir = (
+        tempfile.TemporaryDirectory() if checkpoint_every else None
+    )
+    store = None
+    kwargs: dict = {}
+    if durable_dir is not None:
+        store = CheckpointStore(Path(durable_dir.name) / "gateway")
+        kwargs = {"store": store, "checkpoint_every_s": checkpoint_every}
         print(
-            f"Client:   watching {kiosk!r} "
-            f"({len(client.states[kiosk])} members at prime)"
+            f"Durable:  checkpointing every {checkpoint_every}s "
+            f"to {store.root}"
         )
-        for _ in range(4):
-            server_thread.ingest(stream.next_moves(25))
-        client.sync()
 
-        # The resume contract: drop without a goodbye, miss updates,
-        # reconnect with the token — the snapshot re-prime makes the
-        # resumed state exact again.
-        client.disconnect()
+    server_thread = ServerThread(service, **kwargs).__enter__()
+    host, port = server_thread.address
+    print(f"Server:   {NetServer.__name__} listening on {host}:{port}")
+    client = NetClient(host, port)
+    client.connect()
+    kiosk = client.watch(
+        RangeSpec(space.random_point(seed=4), 55.0), query_id="kiosk"
+    )
+    client.sync()  # primed from the negotiation snapshot
+    print(
+        f"Client:   watching {kiosk!r} "
+        f"({len(client.states[kiosk])} members at prime)"
+    )
+    for _ in range(4):
         server_thread.ingest(stream.next_moves(25))
-        client.reconnect()
-        client.sync()
-        live = server_thread.run(service.result_distances, kiosk)
-        assert client.states[kiosk] == live, "resumed client diverged"
-        print(
-            f"Client:   dropped, missed a batch, resumed with token — "
-            f"{len(client.states[kiosk])} members, exact == live."
-        )
-        print(
-            f"Client:   {client.state.records_received} records folded, "
-            f"{client.state.resyncs} snapshot re-primes, "
-            f"{client.reconnects} reconnect."
-        )
+    client.sync()
+
+    # The resume contract: drop without a goodbye, miss updates,
+    # reconnect with the token — the snapshot re-prime makes the
+    # resumed state exact again.
+    client.disconnect()
+    server_thread.ingest(stream.next_moves(25))
+    client.reconnect()
+    client.sync()
+    live = server_thread.run(service.result_distances, kiosk)
+    assert client.states[kiosk] == live, "resumed client diverged"
+    print(
+        f"Client:   dropped, missed a batch, resumed with token — "
+        f"{len(client.states[kiosk])} members, exact == live."
+    )
+    print(
+        f"Client:   {client.state.records_received} records folded, "
+        f"{client.state.resyncs} snapshot re-primes, "
+        f"{client.reconnects} reconnect."
+    )
+
+    if store is None:
         client.close()
+        server_thread.close()
+        service.close()
+        print(
+            "Network contract holds: resumed subscriber == live results."
+        )
+        return
+
+    # The crash contract: kill the process image (aborted sockets, no
+    # final checkpoint), restart from the manifest on the same port —
+    # the client's pre-crash resume token is still honoured.
+    server_thread.checkpoint_now()
+    server_thread.kill()
+    print("Server:   killed mid-stream (connections aborted, no bye).")
+    restarted = ServerThread.from_store(store, port=port).__enter__()
+    report = restarted.recovery
+    print(
+        f"Server:   restarted from seq {report.restored_seq} "
+        f"(+{report.wal_records} WAL records) on the same port."
+    )
+    restarted.ingest(stream.next_moves(25))
+    client.poll()
+    client.sync()
+    live = restarted.run(restarted.service.result_distances, kiosk)
+    assert client.states[kiosk] == live, "client diverged across crash"
+    print(
+        f"Client:   resumed across the crash "
+        f"({client.reconnects} reconnects total) — "
+        f"{len(client.states[kiosk])} members, exact == live."
+    )
+    client.close()
+    restarted.close()
     service.close()
-    print("Network contract holds: resumed subscriber == live results.")
+    restarted.service.close()
+    durable_dir.cleanup()
+    print("Crash contract holds: restarted subscriber == live results.")
+
+
+def resume_from_checkpoint(directory: str) -> None:
+    """``--from-checkpoint`` mode: one-shot recovery of a gateway's
+    durable directory — newest readable checkpoint + WAL tail replay —
+    then print every standing query's reconstructed result."""
+    from repro import recover
+
+    service, report = recover(directory)
+    tail = f" + {report.wal_records} WAL records"
+    if report.torn_tail:
+        tail += f" ({report.torn_tail} torn record dropped)"
+    if report.fell_back:
+        tail += f", fell back past {report.fell_back} bad checkpoint(s)"
+    print(f"Recovered: checkpoint seq {report.restored_seq}{tail}")
+    for qid in sorted(service.query_ids()):
+        spec = service.query_spec(qid)
+        members = service.result_distances(qid)
+        print(
+            f"  {qid}: {len(members)} members "
+            f"({type(spec).__name__}) — reconstructed exactly."
+        )
+    service.close()
 
 
 def connect_and_tail(address: str, query_id: str) -> None:
@@ -206,11 +292,28 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help="standing query to tail (required with --connect)",
     )
+    parser.add_argument(
+        "--from-checkpoint",
+        metavar="DIR",
+        help="recover a CheckpointStore directory and print every "
+        "standing query's reconstructed result",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="N",
+        help="make the TCP demo durable: checkpoint every N seconds, "
+        "then kill the server and restart it from the manifest",
+    )
     args = parser.parse_args(argv)
     if args.connect:
         if not args.query_id:
             parser.error("--connect requires --query-id")
         connect_and_tail(args.connect, args.query_id)
+        return
+    if args.from_checkpoint:
+        resume_from_checkpoint(args.from_checkpoint)
         return
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -234,7 +337,7 @@ def main(argv: list[str] | None = None) -> None:
         print("Wire contract holds: out-of-process replay == live results.")
         service.close()
 
-    serve_over_tcp()
+    serve_over_tcp(checkpoint_every=args.checkpoint_every)
 
 
 if __name__ == "__main__":

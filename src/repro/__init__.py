@@ -71,8 +71,12 @@ _EXPORTS = {
     "RangeSpec": "repro.api",
     "KNNSpec": "repro.api",
     "ProbRangeSpec": "repro.api",
+    "CountSpec": "repro.api",
     "QueryService": "repro.api",
     "ServiceConfig": "repro.api",
+    "CheckpointStore": "repro.persist",
+    "RecoveryReport": "repro.persist",
+    "recover": "repro.persist",
     "NetServer": "repro.api",
     "NetClient": "repro.api",
     "AsyncNetClient": "repro.api",
@@ -146,8 +150,12 @@ __all__ = [
     "RangeSpec",
     "KNNSpec",
     "ProbRangeSpec",
+    "CountSpec",
     "QueryService",
     "ServiceConfig",
+    "CheckpointStore",
+    "RecoveryReport",
+    "recover",
     "NetServer",
     "NetClient",
     "AsyncNetClient",

@@ -69,6 +69,49 @@ The protocol's load-bearing records:
   record is a fresh full-result snapshot (loss means re-prime, never
   silent divergence).
 
+Durability and recovery
+-----------------------
+
+:mod:`repro.persist` makes the whole engine crash-recoverable.  Two
+complementary artifacts, one directory
+(:class:`~repro.persist.store.CheckpointStore`):
+
+* **checkpoints** — :meth:`QueryService.checkpoint` writes a
+  versioned, schema-stamped, sha256-sealed snapshot (config, space
+  topology, every object in insertion order, every standing query's
+  spec *and exact maintainer state* in registration order, the auto-id
+  counter) atomically — tmp + fsync + rename.
+  :meth:`QueryService.restore` rebuilds the engine — single or
+  sharded, overridable via ``config=`` — *provably bit-identical*: the
+  same subsequent updates produce the same delta sequences, and auto
+  query-id allocation continues where it left off.
+* **write-ahead log** — with a WAL attached (the store does this at
+  every checkpoint), each absorbed mutation (``watch``/``unwatch``/
+  ``ingest``/``insert``/``delete``/``apply_event``) is appended and
+  fsynced *before* its deltas are published, and the log rotates
+  atomically with each snapshot capture.  Recovery
+  (:meth:`CheckpointStore.recover <repro.persist.store.CheckpointStore.recover>`
+  or the module-level :func:`repro.persist.store.recover`) replays the
+  tail through the restored service's own verbs — torn final records
+  tolerated, corrupt checkpoints falling back to the previous manifest
+  entry — and reconverges exactly.
+
+The network layer rides the same machinery: ``ServerThread(service,
+store=..., checkpoint_every_s=...)`` cuts durable points periodically
+(plus at boot, on :meth:`~repro.api.net.ServerThread.checkpoint_now`,
+on clean close, and on SIGTERM with ``install_sigterm=True``), each
+carrying the resume-session table.  After a crash,
+:meth:`ServerThread.from_store <repro.api.net.ServerThread.from_store>`
+restarts on the old port with every pre-crash resume token honoured: a
+reconnecting :class:`NetClient` re-primes and ends bit-identical to a
+client whose server never died::
+
+    store = CheckpointStore("gateway-state/")
+    with ServerThread(service, store=store, checkpoint_every_s=30.0):
+        ...                                  # crash here, then:
+    st = ServerThread.from_store(store, port=port).__enter__()
+    st.recovery.wal_records                  # tail replayed
+
 Submodules are imported lazily (``repro.api.specs`` must stay
 importable from :mod:`repro.queries.monitor` without dragging the whole
 service stack in).
@@ -82,10 +125,14 @@ _EXPORTS = {
     "RangeSpec": "repro.api.specs",
     "KNNSpec": "repro.api.specs",
     "ProbRangeSpec": "repro.api.specs",
+    "CountSpec": "repro.api.specs",
     "SPEC_SCHEMA_VERSION": "repro.api.specs",
     "spec_from_dict": "repro.api.specs",
     "QueryService": "repro.api.service",
     "ServiceConfig": "repro.api.service",
+    "CheckpointStore": "repro.persist",
+    "RecoveryReport": "repro.persist",
+    "recover": "repro.persist",
     "WIRE_VERSION": "repro.api.wire",
     "WatchRecord": "repro.api.wire",
     "SnapshotRecord": "repro.api.wire",

@@ -58,12 +58,13 @@ from __future__ import annotations
 import asyncio
 import itertools
 import secrets
+import signal
 import socket
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.api import wire
 from repro.api.framing import (
@@ -495,6 +496,30 @@ class NetServer:
         while len(self._sessions) > self._resume_keep:
             self._sessions.popitem(last=False)
 
+    # -- restartability ------------------------------------------------
+
+    def session_state(self) -> list[dict[str, Any]]:
+        """The resume-session table as a JSON-able payload — stored in
+        every checkpoint's ``extra`` so a server restarted from a
+        manifest still honours tokens minted before the crash (a
+        reconnecting client is then bit-identical to one whose server
+        never died)."""
+        return [
+            {"token": token, "watched": list(watched)}
+            for token, watched in self._sessions.items()
+        ]
+
+    def restore_sessions(self, entries: list[dict[str, Any]]) -> int:
+        """Reinstate a :meth:`session_state` capture (token order
+        preserved — it is the FIFO eviction order); returns the number
+        of sessions restored."""
+        for entry in entries:
+            self._sessions[str(entry["token"])] = [
+                str(qid) for qid in entry.get("watched", ())
+            ]
+        self._trim_sessions()
+        return len(entries)
+
 
 class ServerThread:
     """A :class:`NetServer` (and its service's mutation path) on a
@@ -515,15 +540,75 @@ class ServerThread:
     monitor-server coroutines (single-writer lock included); ``run``
     executes any synchronous callable on the loop thread; ``call``
     awaits any coroutine there.
+
+    **Durability** — pass ``store`` (a
+    :class:`~repro.persist.store.CheckpointStore`) and the thread
+    becomes restartable: a durable point is cut at boot (attaching the
+    service's WAL, so every subsequent mutation is replayable), every
+    ``checkpoint_every_s`` seconds, on :meth:`checkpoint_now`, on a
+    clean :meth:`close`, and — with ``install_sigterm=True``, from the
+    main thread only — on SIGTERM before the process dies.  Each
+    checkpoint carries the server's resume-session table, so
+    :meth:`from_store` brings the whole thing back after a crash
+    (:meth:`kill` simulates one) with every pre-crash resume token
+    still honoured: a client that reconnects into the restarted server
+    re-primes from a current snapshot and ends bit-identical to one
+    whose server never died.
     """
 
-    def __init__(self, service: QueryService, **server_kwargs) -> None:
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        store=None,
+        checkpoint_every_s: float | None = None,
+        install_sigterm: bool = False,
+        **server_kwargs,
+    ) -> None:
+        if checkpoint_every_s is not None and checkpoint_every_s <= 0:
+            raise NetError(
+                f"checkpoint_every_s must be > 0, got {checkpoint_every_s}"
+            )
+        if checkpoint_every_s is not None and store is None:
+            raise NetError("checkpoint_every_s needs a store")
+        if install_sigterm and store is None:
+            raise NetError("install_sigterm needs a store")
         self.service = service
         self._kwargs = server_kwargs
+        self._store = store
+        self._checkpoint_every_s = checkpoint_every_s
+        self._want_sigterm = install_sigterm
+        self._prev_sigterm = None
+        self._resume_sessions: list[dict[str, Any]] = []
+        #: The recovery report when built by :meth:`from_store`.
+        self.recovery = None
         self.server: NetServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._boot_exc: BaseException | None = None
+        self._ckpt_task: asyncio.Task | None = None
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        config=None,
+        **kwargs,
+    ) -> "ServerThread":
+        """Recover a service from ``store`` (newest readable checkpoint
+        + WAL tail replay) and host it — the restart half of the crash
+        story.  Resume sessions recorded in the checkpoint's ``extra``
+        are reinstated at boot; pass ``port=`` the pre-crash port so
+        clients can transparently resume.  ``config`` optionally
+        overrides the checkpointed engine shape; the recovery report
+        lands on ``.recovery``."""
+        service, report = store.recover(config=config)
+        thread = cls(service, store=store, **kwargs)
+        thread._resume_sessions = list(
+            report.extra.get("net_sessions", ())
+        )
+        thread.recovery = report
+        return thread
 
     # -- lifecycle -----------------------------------------------------
 
@@ -539,6 +624,18 @@ class ServerThread:
             async def boot() -> None:
                 try:
                     await self.server.start()
+                    if self._resume_sessions:
+                        self.server.restore_sessions(
+                            self._resume_sessions
+                        )
+                    if self._store is not None:
+                        # First durable point: attaches the WAL, so no
+                        # mutation predates the log.
+                        self._checkpoint_sync()
+                        if self._checkpoint_every_s is not None:
+                            self._ckpt_task = asyncio.ensure_future(
+                                self._checkpoint_loop()
+                            )
                 except BaseException as exc:  # surface in __enter__
                     self._boot_exc = exc
                 finally:
@@ -556,24 +653,121 @@ class ServerThread:
             raise NetError("server thread failed to start in time")
         if self._boot_exc is not None:
             raise self._boot_exc
+        if self._want_sigterm:
+            self._install_sigterm()
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
     def close(self) -> None:
+        """Graceful shutdown: a final durable point (when a store is
+        attached), bye to every client, loop torn down.  The service's
+        WAL is detached afterwards — its segment stream dies with the
+        store, and a detached service mutating on is a caller choice,
+        not a crash."""
         if self._loop is None:
             return
+        self._uninstall_sigterm()
         try:
+            if self._store is not None:
+                self.run(self._checkpoint_sync)
             self.call(self.server.aclose())
         finally:
+            if self._ckpt_task is not None:
+                self._loop.call_soon_threadsafe(self._ckpt_task.cancel)
+                self._ckpt_task = None
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=30)
             self._loop = None
+            if self._store is not None:
+                self.service.detach_wal()
+                self._store.close()
+
+    def kill(self) -> None:
+        """Crash simulation: every connection aborted mid-frame (no
+        bye), the listener dropped, the loop stopped — and, crucially,
+        *no* final checkpoint, so the store is exactly as durable as
+        the last completed cut plus the WAL tail.  Pair with
+        :meth:`from_store` to exercise the recovery path."""
+        if self._loop is None:
+            return
+        self._uninstall_sigterm()
+        loop, self._loop = self._loop, None
+
+        def die() -> None:
+            server = self.server
+            if server._server is not None:
+                server._server.close()
+                server._server = None
+            for conn in list(server._conns):
+                conn.closing = True
+                transport = conn.writer.transport
+                if transport is not None:
+                    transport.abort()
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.call_soon(loop.stop)
+
+        loop.call_soon_threadsafe(die)
+        self._thread.join(timeout=30)
+        self._ckpt_task = None
 
     @property
     def address(self) -> tuple[str, int]:
         return self.server.address
+
+    # -- durability ----------------------------------------------------
+
+    def checkpoint_now(self) -> int:
+        """Cut a durable point right now (on the loop thread, so the
+        snapshot and the session table are mutually consistent);
+        returns the new manifest sequence number."""
+        if self._store is None:
+            raise NetError("no checkpoint store attached")
+        return self.run(self._checkpoint_sync)
+
+    def _checkpoint_sync(self) -> int:
+        """Loop-thread body of every checkpoint: service state plus the
+        current resume-session table."""
+        return self._store.checkpoint(
+            self.service,
+            extra={"net_sessions": self.server.session_state()},
+        )
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._checkpoint_every_s)
+            self._checkpoint_sync()
+
+    def _install_sigterm(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            raise NetError(
+                "install_sigterm requires entering the ServerThread "
+                "from the main thread"
+            )
+
+        def handler(signum, frame) -> None:
+            prev = self._prev_sigterm
+            try:
+                if self._store is not None and self._loop is not None:
+                    self.checkpoint_now()
+            finally:
+                self._uninstall_sigterm()
+                if callable(prev):
+                    prev(signum, frame)
+                else:
+                    signal.raise_signal(signal.SIGTERM)
+
+        self._prev_sigterm = signal.signal(signal.SIGTERM, handler)
+
+    def _uninstall_sigterm(self) -> None:
+        if self._prev_sigterm is not None:
+            prev, self._prev_sigterm = self._prev_sigterm, None
+            try:
+                signal.signal(signal.SIGTERM, prev)
+            except (ValueError, OSError):  # pragma: no cover
+                pass  # not on the main thread any more: leave it
 
     # -- marshalling ---------------------------------------------------
 

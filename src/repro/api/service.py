@@ -35,23 +35,41 @@ loudly no matter which surface claimed first.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import IO, Awaitable, Callable
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Any, Awaitable, Callable
 
 from repro.api.specs import (
+    CountSpec,
     KNNSpec,
     ProbRangeSpec,
     QuerySpec,
     RangeSpec,
+    spec_from_dict,
     standing_spec,
 )
 from repro.api.wire import DeltaFeedWriter
-from repro.errors import QueryError
+from repro.errors import PersistError, QueryError
 from repro.index.composite import CompositeIndex
 from repro.objects.generator import MovementStream
-from repro.objects.population import ObjectMove
+from repro.objects.population import ObjectMove, ObjectPopulation
 from repro.objects.uncertain import UncertainObject
+from repro.persist.checkpoint import (
+    CheckpointState,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.persist.codec import object_from_dict, object_to_dict
+from repro.persist.wal import (
+    WalDelete,
+    WalEvent,
+    WalInsert,
+    WalMoves,
+    WalRecord,
+    WalUnwatch,
+    WalWatch,
+    WalWriter,
+)
 from repro.queries.deltas import DeltaBatch, ResultDelta
 from repro.queries.engine import QueryResult
 from repro.queries.monitor import (
@@ -69,10 +87,34 @@ from repro.queries.session import QuerySession
 from repro.queries.shard import ShardedMonitor, ShardStats
 from repro.queries.stats import QueryStats
 from repro.space.events import EventResult, TopologyEvent
+from repro.space.io import space_from_dict, space_to_dict
 
 #: Sentinel: "caller did not pass maxlen" (None is a meaningful value —
 #: an explicitly unbounded queue overriding the config default).
 _UNSET = object()
+
+
+class _IdCounter:
+    """The service's auto query-id counter, with its position exposed.
+
+    ``itertools.count`` cannot be observed or repositioned, but the
+    durability layer needs both: a checkpoint records where allocation
+    stands (``next_auto_id``) and WAL replay moves the restored counter
+    to where each live registration left it — otherwise a recovered
+    service would mint different ids for the next auto-named watch
+    than the uninterrupted one (the counter is shared across kinds).
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self.value = start
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+    def __iter__(self) -> "_IdCounter":
+        return self
 
 
 @dataclass(frozen=True)
@@ -143,8 +185,10 @@ class QueryService:
         self.server = MonitorServer(self.monitor)
         self.server.on_publish = self._feed_batch
         self.server.on_drop = self._feed_resync_snapshot
+        self.server.on_mutation = self._log_mutation
         self._feeds: list[DeltaFeedWriter] = []
-        self._id_counter = itertools.count(1)
+        self._id_counter = _IdCounter()
+        self._wal: WalWriter | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -184,6 +228,12 @@ class QueryService:
             return self.session.iknnq(spec.q, spec.k, stats=stats)
         if isinstance(spec, ProbRangeSpec):
             return iPRQ(spec.q, spec.r, spec.p_min, self.index, stats=stats)
+        if isinstance(spec, CountSpec):
+            raise QueryError(
+                "CountSpec is watch-only: a one-shot count is "
+                "len(run(RangeSpec(q, r)).objects); watch() it to get "
+                "threshold-crossing alerts"
+            )
         raise QueryError(
             f"cannot run {type(spec).__name__}: not a known query spec"
         )
@@ -215,6 +265,7 @@ class QueryService:
             raise QueryError("service is closed")
         query_id = self.claim_query_id(query_id, spec)
         self.monitor.register(spec, query_id=query_id)
+        self._log(WalWatch(query_id, spec, self._id_counter.value))
         for feed in self._feeds:
             feed.watch(query_id, spec)
         self.server.publish(self.monitor.drain_pending_deltas())
@@ -226,6 +277,7 @@ class QueryService:
         subscriptions end."""
         members = self.monitor.result_distances(query_id)
         self.server.deregister(query_id)
+        self._log(WalUnwatch(query_id))
         if not members:
             # An empty result deregisters without a delta (nothing
             # changed for in-process subscribers), but a wire feed
@@ -276,26 +328,40 @@ class QueryService:
     def ingest(self, moves: list[ObjectMove]) -> DeltaBatch:
         """Absorb a batch of position updates: index mutation, standing
         result maintenance, delta fan-out to subscribers and feeds."""
-        return self._publish(lambda: self.monitor.apply_moves(moves))
+        return self._publish(
+            lambda: self.monitor.apply_moves(moves),
+            log=lambda: WalMoves(tuple(moves)),
+        )
 
     def insert(self, obj: UncertainObject) -> DeltaBatch:
         """A brand-new object appears."""
-        return self._publish(lambda: self.monitor.apply_insert(obj))
+        return self._publish(
+            lambda: self.monitor.apply_insert(obj),
+            log=lambda: WalInsert(obj),
+        )
 
     def delete(self, object_id: str) -> DeltaBatch:
         """An object disappears."""
         return self._publish(
-            lambda: self.monitor.apply_delete(object_id)
+            lambda: self.monitor.apply_delete(object_id),
+            log=lambda: WalDelete(object_id),
         )
 
     def apply_event(self, event: TopologyEvent) -> EventResult:
         """Apply a topology event (door closure, split, merge); every
         standing query resynchronises and the resync deltas fan out.
         Returns the space-level outcome."""
-        batch = self._publish(lambda: self.monitor.apply_event(event))
+        batch = self._publish(
+            lambda: self.monitor.apply_event(event),
+            log=lambda: WalEvent(event),
+        )
         return batch.event_result
 
-    def _publish(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
+    def _publish(
+        self,
+        op: Callable[[], DeltaBatch],
+        log: Callable[[], WalRecord] | None = None,
+    ) -> DeltaBatch:
         if self._closed:
             raise QueryError("service is closed")
         # The server's writer lock serialises this sync mutation against
@@ -307,8 +373,35 @@ class QueryService:
         # foreign thread.)
         with self.server._op_lock:
             batch = op()
+            # WAL after the mutation succeeded (a raising op logs
+            # nothing) and before the fan-out: in the crash window
+            # between log and publish, recovery replays a mutation no
+            # client ever saw — reconnecting clients re-prime from the
+            # recovered snapshot, so both sides agree either way.
+            if log is not None:
+                self._log(log())
             self.server.publish(batch)
         return batch
+
+    def _log(self, record: WalRecord) -> None:
+        if self._wal is not None:
+            self._wal.write(record)
+
+    def _log_mutation(self, kind: str, payload: Any) -> None:
+        """WAL tap for mutations driven through the monitor server's
+        async ``apply_*`` verbs (``serve`` loops, the network layer) —
+        the synchronous verbs above log directly and never reach this
+        hook, so nothing is recorded twice."""
+        if self._wal is None:
+            return
+        if kind == "moves":
+            self._log(WalMoves(tuple(payload)))
+        elif kind == "insert":
+            self._log(WalInsert(payload))
+        elif kind == "delete":
+            self._log(WalDelete(payload))
+        elif kind == "event":
+            self._log(WalEvent(payload))
 
     async def serve(
         self,
@@ -372,6 +465,179 @@ class QueryService:
         members = self.monitor.result_distances(query_id)
         for feed in self._feeds:
             feed.snapshot(query_id, members)
+
+    # ------------------------------------------------------------------
+    # durability (checkpoint / restore / WAL)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, writer: WalWriter) -> None:
+        """Append every subsequent input mutation (watch/unwatch,
+        moves, insert, delete, topology event) to ``writer`` — the
+        replayable half of the durability story.  Records are written
+        after the mutation succeeds and before its deltas fan out, so
+        a failed mutation logs nothing and recovery never replays an
+        op the engine rejected.  Normally called by
+        :class:`~repro.persist.store.CheckpointStore`, which also
+        rotates the writer at every checkpoint boundary."""
+        self._wal = writer
+
+    def detach_wal(self) -> WalWriter | None:
+        """Stop logging; returns the writer that was attached (its
+        stream still belongs to whoever opened it)."""
+        writer, self._wal = self._wal, None
+        return writer
+
+    def checkpoint(
+        self,
+        path: str | Path,
+        extra: dict[str, Any] | None = None,
+        rotate_wal_to: IO[str] | None = None,
+    ) -> int:
+        """Write a digest-sealed snapshot of the whole service to
+        ``path`` atomically; returns bytes written.
+
+        The capture runs under the single-writer lock, so it is a
+        consistent cut even against a concurrently running ``serve``.
+        When ``rotate_wal_to`` is given (an open text stream), the
+        attached WAL rotates onto it *inside the same lock* — no
+        mutation can slip between the snapshot and the segment
+        boundary, which is what lets recovery replay exactly the
+        post-checkpoint tail.  ``extra`` is an opaque payload carried
+        through the round trip (the net layer keeps its resume-session
+        table there)."""
+        with self.server._op_lock:
+            state = self._capture(extra)
+            old_stream: IO[str] | None = None
+            if rotate_wal_to is not None:
+                if self._wal is None:
+                    self._wal = WalWriter(rotate_wal_to)
+                else:
+                    old_stream = self._wal.rotate(rotate_wal_to)
+        if old_stream is not None:
+            try:
+                old_stream.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        return write_checkpoint(path, state)
+
+    def _capture(self, extra: dict[str, Any] | None) -> CheckpointState:
+        """Everything a bit-identical rebuild needs (caller holds the
+        writer lock): config (plus the index build shape), space and
+        its topology version, objects in population insertion order,
+        query specs + maintainer snapshots in registration order, reach
+        epoch(s), and the auto-id counter."""
+        monitor = self.monitor
+        if isinstance(monitor, ShardedMonitor):
+            reach_epoch: int | list[int] = [
+                shard.reach_epoch for shard in monitor.shards
+            ]
+        else:
+            reach_epoch = monitor.reach_epoch
+        space = self.index.space
+        config = dict(asdict(self.config))
+        config["index"] = {
+            "fanout": self.index.indr.fanout,
+            "t_shape": self.index.indr.t_shape,
+        }
+        return CheckpointState(
+            config=config,
+            space=space_to_dict(space),
+            topology_version=space.topology_version,
+            reach_epoch=reach_epoch,
+            next_auto_id=self._id_counter.value,
+            objects=[
+                object_to_dict(obj) for obj in self.index.objects()
+            ],
+            queries=[
+                {
+                    "query_id": query_id,
+                    "spec": spec.to_dict(),
+                    "state": state,
+                }
+                for query_id, spec, state in monitor.snapshot_queries()
+            ],
+            extra=dict(extra or {}),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | Path,
+        config: "ServiceConfig | None" = None,
+    ) -> "QueryService":
+        """Rebuild a service from a checkpoint file (digest verified —
+        a torn or corrupt file raises
+        :class:`~repro.errors.PersistError` rather than restoring
+        silently-wrong state).  ``config`` overrides the checkpointed
+        engine shape — e.g. restart a single-engine checkpoint
+        sharded; results stay identical either way."""
+        return cls.from_state(read_checkpoint(path), config=config)
+
+    @classmethod
+    def from_state(
+        cls,
+        state: CheckpointState,
+        config: "ServiceConfig | None" = None,
+    ) -> "QueryService":
+        """Rebuild from an already-read :class:`CheckpointState`.
+
+        The index is rebuilt from scratch over the restored space and
+        population — its tree *structure* may differ from the crashed
+        process's incrementally-mutated one, but every distance and
+        probability bound the maintainers consume is tree-independent,
+        so restored results (and all subsequent deltas) are
+        bit-identical.  Maintainer states are reinstated exactly from
+        their snapshots, never recomputed: a fresh recompute could
+        legitimately differ in unobservable internals (bound markers,
+        incremental kNN bookkeeping) and leak phantom deltas on the
+        next update."""
+        space = space_from_dict(state.space)
+        space.topology_version = int(state.topology_version)
+        cfg = dict(state.config)
+        index_shape = cfg.pop("index", {})
+        population = ObjectPopulation(space)
+        for payload in state.objects:
+            population.insert(object_from_dict(payload))
+        index = CompositeIndex.build(
+            space,
+            population,
+            fanout=int(index_shape.get("fanout", 20)),
+            t_shape=float(index_shape.get("t_shape", 0.5)),
+        )
+        if config is None:
+            try:
+                config = ServiceConfig(**cfg)
+            except (TypeError, QueryError) as exc:
+                raise PersistError(
+                    f"checkpoint carries an unusable config: {exc}"
+                ) from None
+        service = cls(index, config)
+        for payload in state.queries:
+            try:
+                query_id = str(payload["query_id"])
+                spec = spec_from_dict(payload["spec"])
+                query_state = payload["state"]
+            except (KeyError, TypeError, QueryError) as exc:
+                raise PersistError(
+                    f"checkpoint carries an unusable query record: {exc}"
+                ) from None
+            service.monitor.restore_query(spec, query_id, query_state)
+        # Reach epochs transfer only when the engine shape matches the
+        # checkpointed one (a config override may change it); they are
+        # cache-invalidation counters, so starting over merely costs
+        # one rebuild of each shard's reach table, never correctness.
+        epochs = state.reach_epoch
+        monitor = service.monitor
+        if isinstance(monitor, ShardedMonitor):
+            if isinstance(epochs, list) and len(epochs) == len(
+                monitor.shards
+            ):
+                for shard, epoch in zip(monitor.shards, epochs):
+                    shard.reach_epoch = int(epoch)
+        elif isinstance(epochs, int):
+            monitor.reach_epoch = epochs
+        service._id_counter.value = int(state.next_auto_id)
+        return service
 
     # ------------------------------------------------------------------
     # result / introspection surface

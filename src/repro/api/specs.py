@@ -200,6 +200,52 @@ class ProbRangeSpec(QuerySpec):
         )
 
 
+@_spec_kind
+@dataclass(frozen=True)
+class CountSpec(QuerySpec):
+    """Aggregate count watch: alert when the number of objects within
+    expected indoor distance ``r`` of ``q`` reaches ``threshold``.
+
+    Watch-only (``QueryService.run`` refuses it — a one-shot count is
+    just ``len(run(RangeSpec(q, r)))``): the standing variant,
+    maintained by :class:`~repro.queries.maintainers.CountMaintainer`,
+    publishes a single synthetic ``"count"`` member annotated with the
+    current count while the threshold is met, and an empty result while
+    it is not — so delta subscribers see *entered* when occupancy
+    crosses up, *distance_changed* re-annotations while it varies above
+    the threshold, and *left* when it crosses back down."""
+
+    q: Point
+    r: float
+    threshold: int
+
+    kind: ClassVar[str] = "icount"
+    watchable: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "r", _as_float(self.r, "query range"))
+        object.__setattr__(
+            self, "threshold", _as_int(self.threshold, "threshold")
+        )
+        if not self.r >= 0:
+            raise QueryError(f"negative query range {self.r}")
+        if self.threshold < 1:
+            raise QueryError(
+                f"threshold must be >= 1, got {self.threshold}"
+            )
+
+    def _params(self) -> dict[str, Any]:
+        return {"r": self.r, "threshold": self.threshold}
+
+    @classmethod
+    def _from_dict(cls, data: dict[str, Any]) -> "CountSpec":
+        return cls(
+            _point_from_wire(data.get("q")),
+            data.get("r"),
+            data.get("threshold"),
+        )
+
+
 def spec_from_dict(data: Any) -> QuerySpec:
     """Rebuild a spec from its :meth:`QuerySpec.to_dict` form.
 

@@ -38,6 +38,7 @@ in-process side outputs (``moved`` objects, ``deleted``,
 
 from __future__ import annotations
 
+import itertools
 import json
 from dataclasses import dataclass
 from typing import IO, Any, Iterable, Iterator
@@ -349,8 +350,14 @@ def read_feed(
 
 def replay_feed(
     records: Iterable[
-        QuerySpec | ResultDelta | DeltaBatch | WatchRecord | SnapshotRecord
+        QuerySpec
+        | ResultDelta
+        | DeltaBatch
+        | WatchRecord
+        | SnapshotRecord
+        | str
     ],
+    stats: FeedReadStats | None = None,
 ) -> dict[str, dict[str, float | None]]:
     """Fold a decoded feed into per-query result state.
 
@@ -361,7 +368,31 @@ def replay_feed(
     complete feed reproduces every standing query's live
     ``result_distances`` exactly — the acceptance check
     ``examples/delta_tail.py`` and ``tests/api/test_wire.py`` run.
+
+    Accepts decoded records *or* raw feed lines (the first item
+    decides; raw lines route through :func:`read_feed`).  Pass a
+    :class:`FeedReadStats` to observe the pass either way — in
+    particular ``torn_tail``, so recovery paths can report a skipped
+    partial final record instead of silently absorbing it.
     """
+    iterator = iter(records)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return {}
+    if isinstance(first, str):
+        # Raw lines: read_feed owns the decoding (and the stats).
+        decoded = read_feed(itertools.chain([first], iterator), stats)
+    else:
+
+        def count(rec):
+            if stats is not None:
+                stats.records += 1
+            return rec
+
+        decoded = (
+            count(rec) for rec in itertools.chain([first], iterator)
+        )
     states: dict[str, dict[str, float | None]] = {}
 
     def apply(delta: ResultDelta) -> None:
@@ -370,7 +401,7 @@ def replay_feed(
             return
         delta.apply_to(states.setdefault(delta.query_id, {}))
 
-    for record in records:
+    for record in decoded:
         if isinstance(record, WatchRecord):
             states.setdefault(record.query_id, {})
         elif isinstance(record, SnapshotRecord):

@@ -46,6 +46,12 @@ class FramingError(WireError):
     frame on a connection)."""
 
 
+class PersistError(ReproError):
+    """Durable-state failure: a torn or digest-mismatched checkpoint,
+    an unreadable manifest, an unknown checkpoint/WAL schema version,
+    or a recovery directory with nothing recoverable in it."""
+
+
 class NetError(ReproError):
     """Network serving failure surfaced to the caller (negotiation
     refused, peer error record, dead connection past the reconnect

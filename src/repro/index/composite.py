@@ -112,6 +112,13 @@ class CompositeIndex:
         times["object_layer"] = time.perf_counter() - t0
         return index
 
+    def objects(self) -> Iterable[UncertainObject]:
+        """The indexed objects in population insertion order — the
+        order a checkpoint records them in (and must, for a restored
+        engine to emit deltas in the same order; see
+        :mod:`repro.persist.checkpoint`)."""
+        return iter(self.population)
+
     # ------------------------------------------------------------------
     # geometric-layer distances
     # ------------------------------------------------------------------

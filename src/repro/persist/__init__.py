@@ -1,0 +1,64 @@
+"""Durable state: checkpoint/restore and WAL-backed crash recovery.
+
+The in-memory library becomes a restartable server here:
+
+* :mod:`repro.persist.checkpoint` — versioned, digest-sealed JSONL
+  snapshots of a whole :class:`~repro.api.service.QueryService`
+  (objects, specs, maintainer states, epochs, id counter), written
+  atomically;
+* :mod:`repro.persist.wal` — a write-ahead log of service *input*
+  mutations, flushed per record, torn-tail tolerant on read;
+* :mod:`repro.persist.store` — the directory protocol tying them
+  together: a manifest linking each checkpoint to its WAL segment,
+  rotation at checkpoint boundaries, compaction past the last ``keep``
+  durable points, and :func:`~repro.persist.store.recover` — newest
+  readable checkpoint + WAL tail replay, reconverging bit-identically
+  to the uninterrupted run.
+
+See the "Durability and recovery" section of :mod:`repro.api` for the
+format and the restart guarantees.
+"""
+
+from repro.persist.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointState,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.persist.store import (
+    CheckpointStore,
+    RecoveryReport,
+    recover,
+)
+from repro.persist.wal import (
+    WAL_VERSION,
+    WalDelete,
+    WalEvent,
+    WalInsert,
+    WalMoves,
+    WalRecord,
+    WalUnwatch,
+    WalWatch,
+    WalWriter,
+    read_wal,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "WAL_VERSION",
+    "CheckpointState",
+    "CheckpointStore",
+    "RecoveryReport",
+    "WalDelete",
+    "WalEvent",
+    "WalInsert",
+    "WalMoves",
+    "WalRecord",
+    "WalUnwatch",
+    "WalWatch",
+    "WalWriter",
+    "read_checkpoint",
+    "read_wal",
+    "recover",
+    "write_checkpoint",
+]

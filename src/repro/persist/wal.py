@@ -1,0 +1,249 @@
+"""Write-ahead log of service *input* mutations.
+
+The delta feeds of :mod:`repro.api.wire` record *outputs* (result
+changes); replaying them reconstructs results but not the engine — the
+index, the session caches, the maintainer internals.  The WAL records
+the **inputs** instead: every mutation the service absorbed after the
+last checkpoint (watch/unwatch, moves, insert, delete, topology event),
+so recovery can re-drive them through a restored service and land on
+the *same engine state* the crashed process had — results, deltas, and
+auto-allocated query ids all bit-identical.
+
+One JSON object per line, canonical encoding, ``"w"`` stamping
+:data:`WAL_VERSION`::
+
+    {"w":1,"op":"watch","query_id":"irq-2","spec":{...},"next_auto":3}
+    {"w":1,"op":"unwatch","query_id":"irq-2"}
+    {"w":1,"op":"moves","moves":[{...move...}, ...]}
+    {"w":1,"op":"insert","object":{...}}
+    {"w":1,"op":"delete","object_id":"o7"}
+    {"w":1,"op":"event","body":{"event":"close_door","door_id":"d3"}}
+
+``watch`` carries ``next_auto`` — the service's auto-id counter *after*
+the registration — because replay registers by explicit id: without
+restoring the counter, a recovered service would mint different ids for
+the next auto-named watch than the uninterrupted one (the counter is
+shared across kinds, so an ``iknn-3`` minted before the crash must
+leave ``irq-…`` allocation at 4, not 3).
+
+Each record is flushed (and fsynced when the stream exposes a file
+descriptor) as it is written — the WAL is the durability boundary.  A
+process killed mid-write leaves at most one torn final line, which
+:func:`read_wal` skips and counts exactly like the feed reader's
+torn-tail rule; corruption anywhere earlier raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import IO, Any, Iterable, Iterator
+
+from repro.api.specs import QuerySpec, spec_from_dict
+from repro.api.wire import FeedReadStats
+from repro.errors import PersistError, QueryError
+from repro.objects.population import ObjectMove
+from repro.objects.uncertain import UncertainObject
+from repro.persist.codec import (
+    event_from_dict,
+    event_to_dict,
+    move_from_dict,
+    move_to_dict,
+    object_from_dict,
+    object_to_dict,
+)
+from repro.space.events import TopologyEvent
+
+#: Version stamped into every WAL line; readers reject unknown ones.
+WAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WalWatch:
+    query_id: str
+    spec: QuerySpec
+    #: The service auto-id counter value after this registration.
+    next_auto: int
+
+
+@dataclass(frozen=True)
+class WalUnwatch:
+    query_id: str
+
+
+@dataclass(frozen=True)
+class WalMoves:
+    moves: tuple[ObjectMove, ...]
+
+
+@dataclass(frozen=True)
+class WalInsert:
+    obj: UncertainObject
+
+
+@dataclass(frozen=True)
+class WalDelete:
+    object_id: str
+
+
+@dataclass(frozen=True)
+class WalEvent:
+    event: TopologyEvent
+
+
+WalRecord = WalWatch | WalUnwatch | WalMoves | WalInsert | WalDelete | WalEvent
+
+
+def _dumps(payload: dict[str, Any]) -> str:
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise PersistError(f"unencodable WAL record: {exc}") from None
+
+
+def encode_wal_record(record: WalRecord) -> str:
+    if isinstance(record, WalWatch):
+        payload: dict[str, Any] = {
+            "w": WAL_VERSION,
+            "op": "watch",
+            "query_id": record.query_id,
+            "spec": record.spec.to_dict(),
+            "next_auto": record.next_auto,
+        }
+    elif isinstance(record, WalUnwatch):
+        payload = {
+            "w": WAL_VERSION,
+            "op": "unwatch",
+            "query_id": record.query_id,
+        }
+    elif isinstance(record, WalMoves):
+        payload = {
+            "w": WAL_VERSION,
+            "op": "moves",
+            "moves": [move_to_dict(m) for m in record.moves],
+        }
+    elif isinstance(record, WalInsert):
+        payload = {
+            "w": WAL_VERSION,
+            "op": "insert",
+            "object": object_to_dict(record.obj),
+        }
+    elif isinstance(record, WalDelete):
+        payload = {
+            "w": WAL_VERSION,
+            "op": "delete",
+            "object_id": record.object_id,
+        }
+    elif isinstance(record, WalEvent):
+        payload = {
+            "w": WAL_VERSION,
+            "op": "event",
+            "body": event_to_dict(record.event),
+        }
+    else:
+        raise PersistError(
+            f"cannot encode {type(record).__name__} as a WAL record"
+        )
+    return _dumps(payload)
+
+
+def decode_wal_record(line: str) -> WalRecord:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise PersistError(f"malformed WAL line: {exc}") from None
+    if not isinstance(data, dict):
+        raise PersistError(f"WAL record must be an object, got {data!r}")
+    if data.get("w") != WAL_VERSION:
+        raise PersistError(
+            f"unsupported WAL version {data.get('w')!r} "
+            f"(this build reads version {WAL_VERSION})"
+        )
+    op = data.get("op")
+    try:
+        if op == "watch":
+            return WalWatch(
+                str(data["query_id"]),
+                spec_from_dict(data["spec"]),
+                int(data["next_auto"]),
+            )
+        if op == "unwatch":
+            return WalUnwatch(str(data["query_id"]))
+        if op == "moves":
+            return WalMoves(
+                tuple(move_from_dict(m) for m in data["moves"])
+            )
+        if op == "insert":
+            return WalInsert(object_from_dict(data["object"]))
+        if op == "delete":
+            return WalDelete(str(data["object_id"]))
+        if op == "event":
+            return WalEvent(event_from_dict(data["body"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed WAL {op!r} record: {exc}") from None
+    except QueryError as exc:  # bad embedded spec
+        raise PersistError(f"malformed WAL watch record: {exc}") from None
+    raise PersistError(f"unknown WAL op {op!r}")
+
+
+class WalWriter:
+    """Appends WAL records to a text stream, flushing each one (the
+    record is the durability unit — a checkpoint bounds how many of
+    them recovery ever replays).
+
+    :meth:`rotate` swaps the underlying stream at a checkpoint
+    boundary: the service keeps one logical WAL while the store starts
+    a fresh segment per checkpoint and compacts old ones.
+    """
+
+    def __init__(self, fp: IO[str]) -> None:
+        self._fp = fp
+        self.records_written = 0
+
+    def write(self, record: WalRecord) -> None:
+        self._fp.write(encode_wal_record(record) + "\n")
+        self._fp.flush()
+        try:
+            os.fsync(self._fp.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass  # in-memory streams (tests) have no descriptor
+        self.records_written += 1
+
+    def rotate(self, fp: IO[str]) -> IO[str]:
+        """Direct subsequent records to ``fp``; returns the previous
+        stream (the caller owns closing it)."""
+        old, self._fp = self._fp, fp
+        return old
+
+
+def read_wal(
+    lines: Iterable[str],
+    stats: FeedReadStats | None = None,
+) -> Iterator[WalRecord]:
+    """Decode a WAL segment line by line, tolerating exactly one torn
+    *final* record (the write the crash interrupted) — skipped and
+    counted in ``stats.torn_tail``.  A bad line anywhere earlier
+    raises: mid-log corruption means replay cannot be trusted."""
+    pending: PersistError | None = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        if pending is not None:
+            raise pending
+        try:
+            record = decode_wal_record(line)
+        except PersistError as exc:
+            pending = exc
+            continue
+        if stats is not None:
+            stats.records += 1
+        yield record
+    if pending is not None and stats is not None:
+        stats.torn_tail += 1

@@ -33,10 +33,19 @@ write in a mutation scope, so the monitor can diff it into a
 * :meth:`~StandingQuery.on_delete` — absorb one deleted object (ditto);
 * :meth:`~StandingQuery.recompute` — full re-execution (registration,
   bound-violation fallbacks, topology resyncs);
-* :meth:`~StandingQuery.snapshot` — the current result as a ``member id
-  -> annotation`` mapping (``None`` marks a member accepted by bounds
-  alone; otherwise the exact expected distance, or for ``iprq`` the
-  exact qualifying probability).
+* :meth:`~StandingQuery.snapshot` / :meth:`~StandingQuery.restore` —
+  the round-trippable persistence contract: ``snapshot()`` captures the
+  maintainer's complete mutable state as a JSON-serializable value and
+  ``restore(state)`` reinstates it exactly (no recomputation), so that
+  ``restore(snapshot())`` on a fresh instance leaves the maintainer
+  bit-identical — same published result, same annotations, same
+  bounds-accepted ``None`` markers, hence identical deltas from
+  identical subsequent updates.  The default (state *is* the result
+  mapping, ``member id -> annotation``: ``None`` marks a member
+  accepted by bounds alone; otherwise the exact expected distance, or
+  for ``iprq`` the exact qualifying probability) suits any maintainer
+  whose only mutable state is ``result``; maintainers with extra state
+  override both symmetrically (see :class:`CountMaintainer`).
 
 Two class attributes steer the surrounding machinery:
 
@@ -74,7 +83,13 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
-from repro.api.specs import KNNSpec, ProbRangeSpec, QuerySpec, RangeSpec
+from repro.api.specs import (
+    CountSpec,
+    KNNSpec,
+    ProbRangeSpec,
+    QuerySpec,
+    RangeSpec,
+)
 from repro.distances.bounds import object_bounds
 from repro.distances.expected import expected_indoor_distance
 from repro.errors import QueryError
@@ -170,9 +185,21 @@ class StandingQuery:
         re-registrable as-is)."""
         return self._spec
 
-    def snapshot(self) -> dict[str, float | None]:
-        """The current result: member id -> per-member annotation."""
+    def snapshot(self) -> Any:
+        """This maintainer's complete mutable state, as a
+        JSON-serializable value :meth:`restore` reinstates exactly.
+        The default captures ``result`` (member id -> annotation) —
+        sufficient whenever that is the only mutable state."""
         return dict(self.result)
+
+    def restore(self, state: Any) -> None:
+        """Reinstate a :meth:`snapshot` capture *exactly* — no
+        recomputation.  Exact reinstatement (rather than a fresh
+        :meth:`recompute`) is what makes a restored engine
+        bit-identical: a recompute could legitimately differ in
+        bounds-accepted ``None`` markers or incrementally-grown member
+        sets, which would leak phantom deltas after restore."""
+        self.result = dict(state)
 
     # -- the per-kind contract -----------------------------------------
 
@@ -497,3 +524,110 @@ class ProbRangeMaintainer(StandingQuery):
                 if prob >= self.p_min:
                     result[obj.object_id] = prob
         self.result = result
+
+
+#: The single synthetic member id a count watch publishes.
+COUNT_KEY = "count"
+
+
+class _CountHost:
+    """Host proxy handed to a :class:`CountMaintainer`'s inner range
+    maintainer: forwards the read-only surface (``index`` / ``session``
+    / ``stats``) to the real monitor but redirects ``touch`` to the
+    *outer* maintainer — the monitor must diff the published count
+    result, never the private membership set, and the pre-mutation
+    capture must happen before the inner result mutates (the outer
+    result is republished from it afterwards)."""
+
+    def __init__(self, outer: "CountMaintainer") -> None:
+        self._outer = outer
+
+    @property
+    def index(self) -> Any:
+        return self._outer.host.index
+
+    @property
+    def session(self) -> Any:
+        return self._outer.host.session
+
+    @property
+    def stats(self) -> Any:
+        return self._outer.host.stats
+
+    def touch(self, _sq: StandingQuery) -> None:
+        self._outer.host.touch(self._outer)
+
+
+@register_maintainer(CountSpec)
+class CountMaintainer(StandingQuery):
+    """Aggregate count watch (standing ``icount``): alert while the
+    number of objects within indoor distance ``r`` of ``q`` is at
+    least ``threshold``.
+
+    Composition over a private :class:`RangeMaintainer`: the inner
+    maintainer tracks the qualifying membership set with the standing
+    iRQ machinery verbatim, and this class publishes a *derived* result
+    — ``{"count": float(n)}`` while ``n >= threshold``, empty otherwise
+    — so the generic delta diff yields exactly the alert semantics:
+    *entered* when occupancy crosses the threshold upward,
+    *distance_changed* re-annotation while it varies above it, *left*
+    when it crosses back down.  The inner host proxy routes ``touch``
+    to this maintainer (capturing the pre-mutation published count),
+    and every mutation hook delegates then republishes.
+
+    ``snapshot()`` must therefore capture *both* layers — the private
+    membership and the published count — and ``restore()`` reinstates
+    both, which is precisely the round-trip contract the persistence
+    subsystem exercises for a maintainer with state beyond ``result``.
+    """
+
+    def __init__(
+        self, query_id: str, spec: CountSpec, host: "QueryMonitor"
+    ) -> None:
+        super().__init__(query_id, spec, host)
+        self.threshold = spec.threshold
+        self._inner = RangeMaintainer(
+            query_id, RangeSpec(spec.q, spec.r), _CountHost(self)
+        )
+
+    def influence_radius(self) -> float:
+        """Same reach as the underlying range query: only objects
+        within ``r`` can change the membership count."""
+        return self._inner.r
+
+    def _republish(self) -> None:
+        # touch() already ran (via the inner host proxy) before the
+        # membership mutated, so rewriting the published result here is
+        # diffed against the true pre-mutation state.
+        n = len(self._inner.result)
+        if n >= self.threshold:
+            self.result = {COUNT_KEY: float(n)}
+        else:
+            self.result = {}
+
+    def on_update(self, obj: UncertainObject) -> None:
+        self._inner.on_update(obj)
+        self._republish()
+
+    def on_delete(self, object_id: str) -> None:
+        self._inner.on_delete(object_id)
+        self._republish()
+
+    def _delete_member(
+        self, object_id: str
+    ) -> None:  # pragma: no cover - on_delete fully delegates
+        raise AssertionError("unreachable: on_delete delegates")
+
+    def recompute(self) -> None:
+        self._inner.recompute()
+        self._republish()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "members": dict(self._inner.result),
+            "result": dict(self.result),
+        }
+
+    def restore(self, state: Any) -> None:
+        self._inner.result = dict(state["members"])
+        self.result = dict(state["result"])

@@ -282,6 +282,29 @@ class QueryMonitor:
             self.reach_epoch += 1
             self._pending.extend(self._collect("register"))
 
+    def restore_query(
+        self, spec: QuerySpec, query_id: str, state
+    ) -> None:
+        """Reinstate a checkpointed standing query *exactly*: the
+        maintainer is constructed from ``spec`` and handed the captured
+        :meth:`~repro.queries.maintainers.StandingQuery.snapshot`
+        ``state`` via ``restore()`` — no recompute, no register delta,
+        no ``reach_epoch`` bump.  The restore path of
+        :mod:`repro.persist` uses this so a restored monitor is
+        bit-identical to the checkpointed one (identical deltas from
+        identical subsequent updates); the caller owns restoring
+        ``reach_epoch`` itself."""
+        spec = standing_spec(spec)
+        with self._ingest_lock:
+            if query_id in self._queries:
+                raise QueryError(
+                    f"standing query id {query_id!r} already used"
+                )
+            sq = maintainer_for(spec, query_id, self)
+            sq.restore(state)
+            self._queries[query_id] = sq
+            self.session.pin(sq.q)
+
     def deregister(self, query_id: str) -> None:
         """Remove a standing query.
 
@@ -325,8 +348,28 @@ class QueryMonitor:
         """Member id -> per-member annotation: the exact expected
         distance (or, for a standing iPRQ, the exact qualifying
         probability), with ``None`` marking a member accepted by bounds
-        alone."""
+        alone.  Reads the *published* result — distinct from
+        :meth:`snapshot_query`, whose payload is the maintainer's full
+        persistence state (possibly more than the result)."""
+        return dict(self._standing(query_id).result)
+
+    def snapshot_query(self, query_id: str):
+        """The standing query's full persistence state — the value its
+        maintainer's ``restore()`` reinstates exactly (see
+        :meth:`restore_query`)."""
         return self._standing(query_id).snapshot()
+
+    def snapshot_queries(self) -> list[tuple[str, QuerySpec, object]]:
+        """``(query_id, spec, state)`` for every standing query, in
+        registration order — the order matters: the checkpoint restores
+        queries in this order so delta *emission* order (dict iteration
+        over ``_queries``) survives the round trip."""
+        with self._ingest_lock:
+            self._ensure_topology_current()
+            return [
+                (qid, sq.spec(), sq.snapshot())
+                for qid, sq in self._queries.items()
+            ]
 
     def results(self) -> dict[str, set[str]]:
         """Every standing query's current result ids."""

@@ -211,6 +211,14 @@ class MonitorServer:
     #: emit a mid-stream snapshot record into attached wire feeds, so
     #: a feed consumer re-primes exactly at the loss point.
     on_drop: Callable[[str], None] | None = None
+    #: Called with ``(kind, payload)`` after each mutation coroutine's
+    #: op succeeds — inside the writer lock, before the fan-out — for
+    #: every batch driven through the ``apply_*`` verbs (``serve``
+    #: loops and the network layer included).  The tap
+    #: :class:`repro.api.service.QueryService` uses to append these
+    #: *inputs* to its write-ahead log; its own synchronous verbs log
+    #: directly and never reach this hook, so nothing double-logs.
+    on_mutation: Callable[[str, object], None] | None = None
     deltas_published: int = 0
     #: Total queue overflows across all bounded subscriptions.
     deltas_dropped: int = 0
@@ -354,26 +362,40 @@ class MonitorServer:
     # ------------------------------------------------------------------
 
     async def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
-        return await self._mutate(lambda: self.monitor.apply_moves(moves))
+        return await self._mutate(
+            lambda: self.monitor.apply_moves(moves), ("moves", moves)
+        )
 
     async def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
-        return await self._mutate(lambda: self.monitor.apply_insert(obj))
+        return await self._mutate(
+            lambda: self.monitor.apply_insert(obj), ("insert", obj)
+        )
 
     async def apply_delete(self, object_id: str) -> DeltaBatch:
         return await self._mutate(
-            lambda: self.monitor.apply_delete(object_id)
+            lambda: self.monitor.apply_delete(object_id),
+            ("delete", object_id),
         )
 
     async def apply_event(self, event: TopologyEvent) -> DeltaBatch:
-        return await self._mutate(lambda: self.monitor.apply_event(event))
+        return await self._mutate(
+            lambda: self.monitor.apply_event(event), ("event", event)
+        )
 
-    async def _mutate(self, op: Callable[[], DeltaBatch]) -> DeltaBatch:
+    async def _mutate(
+        self,
+        op: Callable[[], DeltaBatch],
+        mutation: tuple[str, object] | None = None,
+    ) -> DeltaBatch:
         if self._closed:
             raise QueryError("server is closed")
 
         def locked_op() -> DeltaBatch:
             with self._op_lock:
-                return op()
+                batch = op()
+                if mutation is not None and self.on_mutation is not None:
+                    self.on_mutation(*mutation)
+                return batch
 
         async with self._mutex:
             if self._offloads():

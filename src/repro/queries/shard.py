@@ -341,6 +341,20 @@ class ShardedMonitor:
         self._home(query_id).deregister(query_id)
         del self._homes[query_id]
 
+    def restore_query(self, spec: QuerySpec, query_id: str, state) -> None:
+        """Reinstate a checkpointed standing query on the shard its
+        query point deterministically hashes to (same :meth:`shard_of`
+        placement as a live registration, so a restored sharded engine
+        routes and merges identically).  No register delta, no reach
+        epoch bump — see
+        :meth:`~repro.queries.monitor.QueryMonitor.restore_query`."""
+        spec = standing_spec(spec)
+        if query_id in _ClaimedIds(self._homes, self.shards):
+            raise QueryError(f"standing query id {query_id!r} already used")
+        shard = self.shard_of(spec.q)
+        self.shards[shard].restore_query(spec, query_id, state)
+        self._homes[query_id] = shard
+
     def _claim_id(self, query_id: str | None, kind: str) -> str:
         # Claim against the routed ids *and* every shard's own
         # registry: a query registered directly on a shard monitor
@@ -379,6 +393,21 @@ class ShardedMonitor:
 
     def query_spec(self, query_id: str) -> QuerySpec:
         return self._home(query_id).query_spec(query_id)
+
+    def snapshot_query(self, query_id: str):
+        return self._home(query_id).snapshot_query(query_id)
+
+    def snapshot_queries(self) -> list[tuple[str, QuerySpec, object]]:
+        """``(query_id, spec, state)`` for every standing query, in
+        global registration order (``_homes`` insertion order) — so the
+        restore path re-registers in the same order and each shard's
+        internal registration order is reproduced too."""
+        return [
+            (qid, shard.query_spec(qid), shard.snapshot_query(qid))
+            for qid, shard in (
+                (qid, self.shards[idx]) for qid, idx in self._homes.items()
+            )
+        ]
 
     def __len__(self) -> int:
         return len(self._homes)

@@ -356,6 +356,20 @@ class TestTornTail:
         assert len(list(wire.read_feed(self.LINES, stats))) == 2
         assert stats == wire.FeedReadStats(records=2, torn_tail=0)
 
+    def test_replay_feed_surfaces_stats_for_raw_lines(self):
+        """One call does it all: raw lines in, folded states out, the
+        decode pass (including a skipped tear) observable via stats."""
+        torn = self.LINES + ['{"half a reco']
+        stats = wire.FeedReadStats()
+        assert wire.replay_feed(torn, stats) == {"q": {"b": 2.0}}
+        assert stats == wire.FeedReadStats(records=2, torn_tail=1)
+
+    def test_replay_feed_surfaces_stats_for_decoded_records(self):
+        records = list(wire.read_feed(self.LINES))
+        stats = wire.FeedReadStats()
+        assert wire.replay_feed(records, stats) == {"q": {"b": 2.0}}
+        assert stats == wire.FeedReadStats(records=2, torn_tail=0)
+
     def test_live_feed_with_torn_tail_replays_to_live_state(
         self, five_rooms_index
     ):

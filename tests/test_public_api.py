@@ -12,6 +12,8 @@ import repro.api
 #: "API" section of ROADMAP.md if the schema version moved).
 API_SURFACE_SNAPSHOT = [
     "AsyncNetClient",
+    "CheckpointStore",
+    "CountSpec",
     "DeltaFeedWriter",
     "FeedReadStats",
     "KNNSpec",
@@ -21,6 +23,7 @@ API_SURFACE_SNAPSHOT = [
     "QueryService",
     "QuerySpec",
     "RangeSpec",
+    "RecoveryReport",
     "SPEC_SCHEMA_VERSION",
     "ServerThread",
     "ServiceConfig",
@@ -30,6 +33,7 @@ API_SURFACE_SNAPSHOT = [
     "decode_record",
     "encode_record",
     "read_feed",
+    "recover",
     "replay_feed",
     "spec_from_dict",
 ]
