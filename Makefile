@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 tier2 test bench bench-stream bench-serving \
-	bench-serving-parallel bench-serving-net bench-restart lint figures
+	bench-serving-parallel bench-serving-process bench-serving-net \
+	bench-restart lint docs-check figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -34,6 +35,12 @@ bench-serving:
 bench-serving-parallel:
 	$(PYTHON) benchmarks/bench_serving.py --workers 4
 
+# Process-backend serving: spawned shard workers (GIL-free ingest)
+# behind the same ShardedMonitor surface, asserted bit-identical to
+# serial.  Timing is only meaningful on a multi-core machine.
+bench-serving-process:
+	$(PYTHON) benchmarks/bench_serving.py --backend process --workers 4
+
 # Network serving: N TCP subscribers x M standing queries against a
 # live NetServer, asserting exact convergence at quiesce.
 bench-serving-net:
@@ -51,6 +58,11 @@ bench-restart:
 lint:
 	ruff check .
 	ruff format --check .
+
+# Same check the CI docs job runs: every relative link in the
+# markdown docs must resolve (stdlib only, no network).
+docs-check:
+	$(PYTHON) scripts/check_md_links.py
 
 # Regenerate the paper's figure tables via the CLI harness.
 figures:

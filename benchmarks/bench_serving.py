@@ -15,7 +15,12 @@ Variants swept:
   the PR-2 baseline;
 * ``sharded`` — sharded, tightened per-floor bucketed router (serial);
 * ``workers=N`` — same router, routed shard maintenance fanned out on
-  a thread pool (parallel ingest).
+  a thread pool (parallel ingest, still GIL-bound);
+* ``process=N`` — same router, shard maintenance in N supervised
+  worker *processes* (``backend="process"``): updates travel through a
+  shared-memory position table, deltas come back as wire records, and
+  ingest escapes the GIL.  Feeds the ``serving_worker_scaling``
+  nightly table alongside the thread rows.
 
 Reported per variant: wall-clock + updates/sec, shard-skip ratio (and
 ``bucket_skips`` — exclusions only the tightened router found), pair
@@ -43,6 +48,7 @@ object count and recovery-replay throughput.
 Also runnable standalone (CI smoke)::
 
     python benchmarks/bench_serving.py --quick --workers 2 --prob
+    python benchmarks/bench_serving.py --quick --backend process
 """
 
 import argparse
@@ -122,13 +128,24 @@ class Variant:
     label: str
     workers: int = 1
     bucketed_router: bool = True
+    #: ``"thread"`` (in-process pool) or ``"process"`` (supervised
+    #: worker processes — ingest escapes the GIL).
+    backend: str = "thread"
 
 
-#: The full sweep: router before/after, then worker scaling.
+#: The full sweep: router before/after, then worker scaling on both
+#: execution backends (threads share the GIL; processes escape it).
 FULL_VARIANTS = (
-    Variant("coarse", bucketed_router=False),
-    Variant("sharded"),
-) + tuple(Variant(f"workers={w}", workers=w) for w in WORKERS_GRID[1:])
+    (
+        Variant("coarse", bucketed_router=False),
+        Variant("sharded"),
+    )
+    + tuple(Variant(f"workers={w}", workers=w) for w in WORKERS_GRID[1:])
+    + tuple(
+        Variant(f"process={w}", workers=w, backend="process")
+        for w in WORKERS_GRID[1:]
+    )
+)
 
 
 @dataclass
@@ -210,6 +227,7 @@ def run_serving(
             n_shards=n_shards,
             workers=v.workers,
             bucketed_router=v.bucketed_router,
+            backend=v.backend,
         )
         for v in variants
     ]
@@ -387,10 +405,13 @@ def measure_wire(history: tuple) -> WireTransport:
     )
 
 
-def _serial_parallel(workers: int) -> tuple[Variant, ...]:
+def _serial_parallel(
+    workers: int, backend: str = "thread"
+) -> tuple[Variant, ...]:
+    label = "workers" if backend == "thread" else "process"
     return (
         Variant("sharded"),
-        Variant(f"workers={workers}", workers=workers),
+        Variant(f"{label}={workers}", workers=workers, backend=backend),
     )
 
 
@@ -442,17 +463,22 @@ def test_serving_worker_scaling(full_run, save_table):
     from repro.bench.runner import ExperimentResult
 
     run = full_run
-    # The serial bucketed variant is the workers=1 reference.
-    scaling = [run.by_label("sharded")] + [
-        run.by_label(f"workers={w}") for w in WORKERS_GRID[1:]
-    ]
+    # The serial bucketed variant is the workers=1 reference; the
+    # thread rows share the GIL, the process rows escape it.
+    scaling = (
+        [run.by_label("sharded")]
+        + [run.by_label(f"workers={w}") for w in WORKERS_GRID[1:]]
+        + [run.by_label(f"process={w}") for w in WORKERS_GRID[1:]]
+    )
     result = ExperimentResult(
         title=f"Serving — worker scaling (n_shards={FULL[4]})",
         x_label="workers",
         unit="",
     )
     result.x_values.extend(
-        f"workers={res.variant.workers}" for res in scaling
+        "workers=1" if res.variant.label == "sharded"
+        else res.variant.label
+        for res in scaling
     )
     result.series["upd_per_s"] = [
         run.updates_per_sec(res) for res in scaling
@@ -1078,6 +1104,15 @@ def main(argv: list[str] | None = None) -> int:
         help="also run a parallel variant and assert it is "
         "bit-identical to serial",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend for the parallel variant: 'thread' "
+        "(in-process pool, shares the GIL) or 'process' (supervised "
+        "shard worker processes); implies --workers 2 when --workers "
+        "is not given",
+    )
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--batches", type=int, default=None)
     parser.add_argument("--batch-size", type=int, default=None)
@@ -1120,19 +1155,21 @@ def main(argv: list[str] | None = None) -> int:
     n_batches = args.batches or n_batches
     batch_size = args.batch_size or batch_size
 
+    if args.backend == "process" and not args.workers:
+        args.workers = 2
+
     if args.quick and args.workers:
         # CI smoke: serial vs parallel equivalence, not timing.
-        variants = _serial_parallel(args.workers)
+        variants = _serial_parallel(args.workers, args.backend)
     elif args.quick:
         variants = (
             Variant("coarse", bucketed_router=False),
             Variant("sharded"),
         )
     elif args.workers:
+        wanted = _serial_parallel(args.workers, args.backend)[1]
         variants = FULL_VARIANTS + (
-            ()
-            if any(v.workers == args.workers for v in FULL_VARIANTS)
-            else (Variant(f"workers={args.workers}", workers=args.workers),)
+            () if wanted in FULL_VARIANTS else (wanted,)
         )
     else:
         variants = FULL_VARIANTS

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown files resolve.
+
+The docs tree (README.md, docs/, benchmarks/README.md) cross-links
+files and directories by relative path; a rename that breaks one of
+those links should fail CI, not wait for a reader to hit a 404.  This
+walks every ``*.md`` under the repo root, extracts inline links
+(``[text](target)``), and verifies each relative target exists.  For
+``path#anchor`` links the anchor must match a heading in the target
+file under GitHub's slug rules (lowercased, punctuation stripped,
+spaces to hyphens).
+
+External links (``http(s)://``, ``mailto:``) are skipped — CI must not
+depend on the network.  Stdlib only; exit status 1 when any link is
+broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directories never scanned (no docs of ours live there).
+SKIP_DIRS = {".git", ".ruff_cache", "__pycache__", ".pytest_cache"}
+
+#: Root-level scaffold files that quote *other* repos' content — their
+#: links point outside this tree by design.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md", "ISSUE.md"}
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation
+    (keeping hyphens), spaces to hyphens."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors a markdown file exposes."""
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in _HEADING.finditer(text)}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` under ``root``, skipping vendored/cache dirs."""
+    out = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.parent == root and path.name in SKIP_FILES:
+            continue
+        out.append(path)
+    return out
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link messages for one markdown file (empty = clean)."""
+    problems = []
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        rel = path.relative_to(root)
+        target, _, anchor = target.partition("#")
+        if not target:  # same-file anchor
+            resolved = path
+        else:
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+        if anchor:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown: out of scope
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{rel}: missing anchor -> {target or rel}#{anchor}"
+                )
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

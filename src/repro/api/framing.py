@@ -70,6 +70,7 @@ class FrameEncoder:
         self.seq = 0
 
     def encode(self, payload: str) -> bytes:
+        """Frame one payload: header, payload bytes, terminator."""
         data = payload.encode("utf-8")
         if len(data) > MAX_FRAME_BYTES:
             raise FramingError(

@@ -189,6 +189,7 @@ class NetServer:
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
+        """Bind and begin accepting connections (resolves port 0)."""
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -715,6 +716,7 @@ class ServerThread:
 
     @property
     def address(self) -> tuple[str, int]:
+        """The hosted server's bound ``(host, port)``."""
         return self.server.address
 
     # -- durability ----------------------------------------------------
@@ -800,21 +802,27 @@ class ServerThread:
     # -- service verbs, marshalled ------------------------------------
 
     def watch(self, spec: QuerySpec, query_id: str | None = None) -> str:
+        """Register a standing query on the loop thread."""
         return self.run(self.service.watch, spec, query_id)
 
     def unwatch(self, query_id: str) -> None:
+        """Deregister a standing query on the loop thread."""
         self.run(self.service.unwatch, query_id)
 
     def ingest(self, moves):
+        """Apply a move batch through the served mutation path."""
         return self.call(self.service.server.apply_moves(moves))
 
     def insert(self, obj):
+        """Insert an object through the served mutation path."""
         return self.call(self.service.server.apply_insert(obj))
 
     def delete(self, object_id: str):
+        """Delete an object through the served mutation path."""
         return self.call(self.service.server.apply_delete(object_id))
 
     def apply_event(self, event):
+        """Apply a topology event through the served mutation path."""
         return self.call(self.service.server.apply_event(event))
 
 
@@ -835,6 +843,7 @@ class TcpTransport:
         self._sock: socket.socket | None = None
 
     def connect(self) -> None:
+        """Open the TCP connection."""
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
@@ -845,15 +854,19 @@ class TcpTransport:
         return self._sock
 
     def settimeout(self, timeout: float | None) -> None:
+        """Set the socket read/write timeout (``None`` blocks)."""
         self._live().settimeout(timeout)
 
     def sendall(self, data: bytes) -> None:
+        """Write all of ``data`` to the socket."""
         self._live().sendall(data)
 
     def recv(self, n: int = _READ_CHUNK) -> bytes:
+        """Read up to ``n`` bytes (empty bytes means EOF)."""
         return self._live().recv(n)
 
     def close(self) -> None:
+        """Close the socket; safe to call when never connected."""
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -976,14 +989,17 @@ class NetClient:
 
     @property
     def states(self) -> dict[str, dict[str, float | None]]:
+        """Folded live result per watched query id."""
         return self.state.states
 
     @property
     def watched(self) -> dict[str, QuerySpec]:
+        """Spec per watched query id, in watch order."""
         return self.state.watched
 
     @property
     def token(self) -> str | None:
+        """The server-issued resume token (``None`` before hello)."""
         return self.state.token
 
     # -- lifecycle -----------------------------------------------------
@@ -1231,22 +1247,27 @@ class AsyncNetClient:
 
     @property
     def states(self) -> dict[str, dict[str, float | None]]:
+        """Folded live result per watched query id."""
         return self.state.states
 
     @property
     def watched(self) -> dict[str, QuerySpec]:
+        """Spec per watched query id, in watch order."""
         return self.state.watched
 
     @property
     def token(self) -> str | None:
+        """The server-issued resume token (``None`` before hello)."""
         return self.state.token
 
     async def connect(self) -> None:
+        """Open the connection (resuming when a token is held)."""
         await self._open(
             ResumeRequest(self.token) if self.token else HelloRecord()
         )
 
     async def resume(self) -> None:
+        """Reconnect with the held token; watches re-prime in-band."""
         if self.token is None:
             raise NetError("cannot resume: no token (connect first)")
         await self.aclose(say_bye=False)
@@ -1267,6 +1288,7 @@ class AsyncNetClient:
         await self._read_until(lambda r: isinstance(r, HelloRecord))
 
     async def aclose(self, say_bye: bool = True) -> None:
+        """Close the connection (with a ``bye`` unless told not to)."""
         if self._writer is None:
             return
         if say_bye:
@@ -1287,6 +1309,7 @@ class AsyncNetClient:
         spec: QuerySpec | None = None,
         query_id: str | None = None,
     ) -> str:
+        """Negotiate one watch; returns the acked query id."""
         if spec is None and query_id is None:
             raise NetError("watch needs a spec or a query_id")
         known = set(self.watched)
@@ -1303,6 +1326,7 @@ class AsyncNetClient:
         return ack.query_id
 
     async def sync(self) -> None:
+        """Ping/pong drain barrier: returns with all deltas folded."""
         nonce = next(self._nonce)
         await self._send(PingRecord(nonce))
         await self._read_until(

@@ -124,9 +124,13 @@ class ServiceConfig:
     ``n_shards=1`` (default) runs a single
     :class:`~repro.queries.monitor.QueryMonitor`; ``n_shards>1`` a
     :class:`~repro.queries.shard.ShardedMonitor`, with ``workers``
-    selecting its parallel ingest mode and ``bucketed_router`` the
-    tightened per-floor reach tables.  ``maxlen`` is the default
-    subscription queue bound (``None`` = unbounded; see
+    selecting its parallel ingest width and ``bucketed_router`` the
+    tightened per-floor reach tables.  ``backend`` picks the sharded
+    execution engine: ``"thread"`` (default, in-process monitors on a
+    thread pool) or ``"process"`` (shard monitors in worker processes
+    behind :mod:`repro.queries.procpool` — ``backend="process"``
+    forces a sharded monitor even at ``n_shards=1``).  ``maxlen`` is
+    the default subscription queue bound (``None`` = unbounded; see
     :class:`~repro.queries.serving.Subscription` for the drop-oldest
     policy and the ``dropped`` counter).
     """
@@ -134,6 +138,7 @@ class ServiceConfig:
     n_shards: int = 1
     workers: int = 1
     bucketed_router: bool = True
+    backend: str = "thread"
     maxlen: int | None = None
 
     def __post_init__(self) -> None:
@@ -143,6 +148,11 @@ class ServiceConfig:
             )
         if self.workers < 1:
             raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("thread", "process"):
+            raise QueryError(
+                "backend must be 'thread' or 'process', "
+                f"got {self.backend!r}"
+            )
         if self.maxlen is not None and self.maxlen < 1:
             raise QueryError(f"maxlen must be >= 1, got {self.maxlen}")
 
@@ -172,13 +182,14 @@ class QueryService:
         self.config = config or ServiceConfig()
         self.index = index
         self.session = session or QuerySession(index)
-        if self.config.n_shards > 1:
+        if self.config.n_shards > 1 or self.config.backend == "process":
             self.monitor: QueryMonitor | ShardedMonitor = ShardedMonitor(
                 index,
                 n_shards=self.config.n_shards,
                 session=self.session,
                 workers=self.config.workers,
                 bucketed_router=self.config.bucketed_router,
+                backend=self.config.backend,
             )
         else:
             self.monitor = QueryMonitor(index, session=self.session)
@@ -319,6 +330,7 @@ class QueryService:
         )
 
     def unsubscribe(self, sub: Subscription) -> None:
+        """Detach a subscription from the delta fan-out."""
         self.server.unsubscribe(sub)
 
     # ------------------------------------------------------------------
@@ -441,6 +453,7 @@ class QueryService:
         return writer
 
     def detach_feed(self, writer: DeltaFeedWriter) -> None:
+        """Stop publishing batches to ``writer`` (no-op if detached)."""
         if writer in self._feeds:
             self._feeds.remove(writer)
 
@@ -644,18 +657,23 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def result_ids(self, query_id: str) -> set[str]:
+        """One standing query's current member ids."""
         return self.monitor.result_ids(query_id)
 
     def result_distances(self, query_id: str) -> dict[str, float | None]:
+        """One standing query's members with stored annotations."""
         return self.monitor.result_distances(query_id)
 
     def results(self) -> dict[str, set[str]]:
+        """Every standing query's current member-id set."""
         return self.monitor.results()
 
     def query_ids(self) -> list[str]:
+        """Standing query ids, in registration order."""
         return self.monitor.query_ids()
 
     def query_spec(self, query_id: str) -> QuerySpec:
+        """The spec a standing query was registered with."""
         return self.monitor.query_spec(query_id)
 
     def __len__(self) -> int:
@@ -666,6 +684,7 @@ class QueryService:
 
     @property
     def stats(self) -> MonitorStats:
+        """The engine's aggregate maintenance counters."""
         return self.monitor.stats
 
     @property
@@ -675,10 +694,12 @@ class QueryService:
 
     @property
     def deltas_published(self) -> int:
+        """Total deltas fanned out to subscribers and feeds."""
         return self.server.deltas_published
 
     @property
     def deltas_dropped(self) -> int:
+        """Total deltas shed by bounded subscriptions."""
         return self.server.deltas_dropped
 
     def drain_pending_deltas(self) -> DeltaBatch:

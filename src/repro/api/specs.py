@@ -108,6 +108,7 @@ class QuerySpec:
 
     @staticmethod
     def from_dict(data: Any) -> "QuerySpec":
+        """Rebuild any spec kind from its versioned dict form."""
         return spec_from_dict(data)
 
 

@@ -67,12 +67,15 @@ class FlakyTransport:
     # -- transport interface -------------------------------------------
 
     def connect(self) -> None:
+        """Connect the wrapped transport (faults arm on reads)."""
         self.inner.connect()
 
     def settimeout(self, timeout: float | None) -> None:
+        """Pass the timeout through to the wrapped transport."""
         self.inner.settimeout(timeout)
 
     def sendall(self, data: bytes) -> None:
+        """Send, byte-at-a-time under the ``tiny`` fault."""
         if self.fault == "tiny":
             for i in range(len(data)):
                 self.inner.sendall(data[i:i + 1])
@@ -80,6 +83,7 @@ class FlakyTransport:
         self.inner.sendall(data)
 
     def recv(self, n: int = 65536) -> bytes:
+        """Read through the scripted fault (cut/dup/stall) once armed."""
         if self._dead:
             raise ConnectionResetError("flaky transport: connection cut")
         if self._replay is not None:
@@ -107,6 +111,7 @@ class FlakyTransport:
         return data
 
     def close(self) -> None:
+        """Close the wrapped transport."""
         self.inner.close()
 
 

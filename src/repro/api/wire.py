@@ -281,15 +281,18 @@ class DeltaFeedWriter:
             | SnapshotRecord
         ),
     ) -> None:
+        """Append one encoded record line to the stream."""
         self._fp.write(encode_record(record) + "\n")
         self.records_written += 1
 
     def watch(self, query_id: str, spec: QuerySpec) -> None:
+        """Write the feed-header watch record for one query."""
         self.write(WatchRecord(query_id, spec))
 
     def snapshot(
         self, query_id: str, members: dict[str, float | None]
     ) -> None:
+        """Write a full-result snapshot record for one query."""
         self.write(SnapshotRecord(query_id, dict(members)))
 
     def batch(self, batch: DeltaBatch) -> None:

@@ -64,23 +64,27 @@ def _location_from_dict(data: dict[str, Any]) -> tuple[Circle, InstanceSet]:
 
 
 def object_to_dict(obj: UncertainObject) -> dict[str, Any]:
+    """Plain-dict form of an uncertain object (id + region + samples)."""
     out = {"id": obj.object_id}
     out.update(_location_to_dict(obj.region, obj.instances))
     return out
 
 
 def object_from_dict(data: dict[str, Any]) -> UncertainObject:
+    """Inverse of :func:`object_to_dict`; raises ``PersistError``."""
     region, instances = _location_from_dict(data)
     return UncertainObject(str(data["id"]), region, instances)
 
 
 def move_to_dict(move: ObjectMove) -> dict[str, Any]:
+    """Plain-dict form of a position move (id + new location)."""
     out = {"id": move.object_id}
     out.update(_location_to_dict(move.new_region, move.new_instances))
     return out
 
 
 def move_from_dict(data: dict[str, Any]) -> ObjectMove:
+    """Inverse of :func:`move_to_dict`; raises ``PersistError``."""
     region, instances = _location_from_dict(data)
     return ObjectMove(str(data["id"]), region, instances)
 
@@ -91,6 +95,7 @@ _EVENT_KINDS = ("split", "merge", "close_door", "open_door", "set_direction")
 
 
 def event_to_dict(event: TopologyEvent) -> dict[str, Any]:
+    """Plain-dict form of a topology event, discriminated by ``event``."""
     if isinstance(event, SplitPartition):
         return {
             "event": "split",
@@ -124,6 +129,7 @@ def event_to_dict(event: TopologyEvent) -> dict[str, Any]:
 
 
 def event_from_dict(data: dict[str, Any]) -> TopologyEvent:
+    """Inverse of :func:`event_to_dict`; raises ``PersistError``."""
     kind = data.get("event")
     try:
         if kind == "split":

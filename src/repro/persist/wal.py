@@ -61,6 +61,8 @@ WAL_VERSION = 1
 
 @dataclass(frozen=True)
 class WalWatch:
+    """A standing-query registration (``op: "watch"``)."""
+
     query_id: str
     spec: QuerySpec
     #: The service auto-id counter value after this registration.
@@ -69,26 +71,36 @@ class WalWatch:
 
 @dataclass(frozen=True)
 class WalUnwatch:
+    """A standing-query deregistration (``op: "unwatch"``)."""
+
     query_id: str
 
 
 @dataclass(frozen=True)
 class WalMoves:
+    """One ingested batch of position moves (``op: "moves"``)."""
+
     moves: tuple[ObjectMove, ...]
 
 
 @dataclass(frozen=True)
 class WalInsert:
+    """An object insertion (``op: "insert"``)."""
+
     obj: UncertainObject
 
 
 @dataclass(frozen=True)
 class WalDelete:
+    """An object deletion (``op: "delete"``)."""
+
     object_id: str
 
 
 @dataclass(frozen=True)
 class WalEvent:
+    """An applied topology event (``op: "event"``)."""
+
     event: TopologyEvent
 
 
@@ -108,6 +120,7 @@ def _dumps(payload: dict[str, Any]) -> str:
 
 
 def encode_wal_record(record: WalRecord) -> str:
+    """One canonical JSON line for ``record`` (no trailing newline)."""
     if isinstance(record, WalWatch):
         payload: dict[str, Any] = {
             "w": WAL_VERSION,
@@ -154,6 +167,7 @@ def encode_wal_record(record: WalRecord) -> str:
 
 
 def decode_wal_record(line: str) -> WalRecord:
+    """Inverse of :func:`encode_wal_record`; raises ``PersistError``."""
     try:
         data = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -207,6 +221,7 @@ class WalWriter:
         self.records_written = 0
 
     def write(self, record: WalRecord) -> None:
+        """Append ``record`` and make it durable (flush + fsync)."""
         self._fp.write(encode_wal_record(record) + "\n")
         self._fp.flush()
         try:

@@ -518,6 +518,26 @@ class QueryMonitor:
             self._ensure_topology_current()
             return DeltaBatch(deltas=self._drain_pending())
 
+    def peek_pending_deltas(self) -> tuple[ResultDelta, ...]:
+        """The parked deltas, *without* draining them.  The process
+        shard engine mirrors these parent-side after every request so a
+        crashed worker's replacement can re-park them
+        (:meth:`park_deltas`) — a register delta parked between batches
+        must survive the restart or the delta stream loses it."""
+        with self._ingest_lock:
+            return tuple(self._pending)
+
+    def park_deltas(self, deltas) -> None:
+        """Append already-emitted deltas to the pending list, to flow
+        out on the next mutation or :meth:`drain_pending_deltas`.
+
+        Restart-only plumbing (see :meth:`peek_pending_deltas`): the
+        deltas were counted when first emitted, so this does not touch
+        ``stats.deltas_emitted``.
+        """
+        with self._ingest_lock:
+            self._pending.extend(deltas)
+
     # ------------------------------------------------------------------
     # delta bookkeeping
     # ------------------------------------------------------------------

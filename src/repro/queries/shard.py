@@ -39,6 +39,23 @@ The reach summary the router tests against is **two-level**:
   Updates the buckets exclude after the coarse box admitted them are
   counted in ``ShardStats.bucket_skips``.
 
+The grid resolution adapts to standing-query density:
+:func:`_buckets_per_side` sizes each reach table's per-floor grid from
+the shard's own query count (clamped to ``[2, 32]`` cells per side),
+so a near-empty shard does not pay bucket bookkeeping for a fine grid
+and a dense shard is not stuck at the historical fixed 8x8.
+
+Routing is vectorized on the batch path: each update batch's old and
+new instance boxes are packed once into ``(n, 6)`` numpy arrays, and a
+shard's coarse box plus **all** of its grid buckets are tested in a
+handful of whole-array operations
+(:meth:`_ShardReach.admit_moves`) instead of a per-(update, bucket)
+Python loop.  The arithmetic is the exact
+:meth:`~repro.geometry.rect.Box3.min_distance_to` formula evaluated in
+IEEE-754 float64 either way, so admission decisions — and therefore
+results and routing statistics — are bit-identical to the scalar
+two-level test, which single-box insert/delete routing still uses.
+
 Skipping is sound against the monitor's incremental invariants because
 ``tau`` never *grows* on an incremental path (members refine downward,
 entries evict the worst member); the only path that can grow it is a
@@ -57,6 +74,18 @@ maintenance on a :class:`~concurrent.futures.ThreadPoolExecutor`
 the GIL), gathering per-shard :class:`~repro.queries.deltas.DeltaBatch`
 results **in shard-index order** — the same order the serial loop
 merges in — so the merged batch is bit-identical to serial execution.
+
+``backend="process"`` swaps the thread pool for the
+:mod:`repro.queries.procpool` engine: shard monitors live in worker
+*processes* over per-worker world replicas, routed updates travel as
+messages (instance coordinates through a shared-memory numpy table),
+and per-shard deltas come back as wire records, still merged in
+shard-index order — bit-identical to serial, but with real multi-core
+parallelism where the GIL caps thread workers at ~1x.  Every mutation
+path below first computes a **routing plan** (one action per shard:
+ingest this payload, or just drain parked deltas) and then hands the
+plan to the selected execution backend, so the routing decisions are
+provably shared across serial, thread, and process execution.
 """
 
 from __future__ import annotations
@@ -65,7 +94,10 @@ import itertools
 import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from functools import cached_property
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
 
 from repro.api.specs import QuerySpec, standing_spec
 from repro.errors import QueryError
@@ -83,15 +115,38 @@ from repro.queries.monitor import (
 from repro.queries.session import QuerySession
 from repro.space.events import TopologyEvent
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.queries.procpool import ProcPoolConfig
+
 #: Safety margin added to influence radii before a skip decision, so a
 #: distance that ties the threshold to the last float bit never skips.
 _EPS = 1e-9
 
-#: Per-floor bucket grid resolution: each floor's footprint is split
-#: into this many cells per side when grouping query reaches.  Shards
-#: hold few queries, so the populated bucket count is bounded by the
-#: query count, never by the grid.
-_BUCKETS_PER_SIDE = 8
+#: Density-derived per-floor grid bounds: a shard's reach table never
+#: uses fewer than ``_MIN_BUCKETS_PER_SIDE`` or more than
+#: ``_MAX_BUCKETS_PER_SIDE`` cells per side (see
+#: :func:`_buckets_per_side`).
+_MIN_BUCKETS_PER_SIDE = 2
+_MAX_BUCKETS_PER_SIDE = 32
+
+
+def _buckets_per_side(n_queries: int) -> int:
+    """Per-floor grid resolution for a shard holding ``n_queries``
+    standing queries.
+
+    ``ceil(2 * sqrt(n))`` cells per side, clamped to
+    ``[_MIN_BUCKETS_PER_SIDE, _MAX_BUCKETS_PER_SIDE]``: the populated
+    bucket count is bounded by the query count, so a sparse shard gets
+    a coarse grid (less bucket bookkeeping per batch) while a dense
+    shard gets proportionally finer cells (tighter boxes, more
+    bucket-level skips).  Sixteen queries reproduce the historical
+    fixed ``8``; one query gets the minimum ``2``; the cap keeps the
+    cell arithmetic bounded for very dense shards.
+    """
+    if n_queries <= 0:
+        return _MIN_BUCKETS_PER_SIDE
+    side = math.ceil(2.0 * math.sqrt(n_queries))
+    return max(_MIN_BUCKETS_PER_SIDE, min(_MAX_BUCKETS_PER_SIDE, side))
 
 
 @dataclass
@@ -136,14 +191,55 @@ def _object_box(obj: UncertainObject, floor_height: float) -> Box3:
     return Box3.from_rect(obj.bounds(), obj.floor, floor_height).flattened()
 
 
+def _box_rows(boxes: list[Box3]) -> np.ndarray:
+    """Pack boxes into an ``(n, 6)`` float64 array with columns
+    ``minx, miny, minz, maxx, maxy, maxz`` — the layout every
+    vectorized admission test below broadcasts against."""
+    return np.array(
+        [
+            [b.minx, b.miny, b.minz, b.maxx, b.maxy, b.maxz]
+            for b in boxes
+        ],
+        dtype=np.float64,
+    ).reshape(len(boxes), 6)
+
+
+def _box_min_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise :meth:`Box3.min_distance_to` between two box arrays.
+
+    ``a`` is ``(m, 6)``, ``b`` is ``(n, 6)``; returns the ``(m, n)``
+    matrix of minimum Euclidean distances.  Per axis the gap is
+    ``max(a.min - b.max, 0, b.min - a.max)`` — exactly the scalar
+    formula, evaluated in the same float64 arithmetic, so every
+    comparison downstream decides identically to the scalar path.
+    """
+    dx = np.maximum(
+        0.0,
+        np.maximum(
+            a[:, None, 0] - b[None, :, 3], b[None, :, 0] - a[:, None, 3]
+        ),
+    )
+    dy = np.maximum(
+        0.0,
+        np.maximum(
+            a[:, None, 1] - b[None, :, 4], b[None, :, 1] - a[:, None, 4]
+        ),
+    )
+    dz = np.maximum(
+        0.0,
+        np.maximum(
+            a[:, None, 2] - b[None, :, 5], b[None, :, 2] - a[:, None, 5]
+        ),
+    )
+    return np.sqrt(dx * dx + dy * dy + dz * dz)
+
+
 class _ClaimedIds:
     """Membership view over the routed ids plus every shard's own
     registry, for :func:`~repro.queries.monitor.claim_query_id` (which
     only ever probes ``in``)."""
 
-    def __init__(
-        self, homes: dict[str, int], shards: list[QueryMonitor]
-    ) -> None:
+    def __init__(self, homes: dict[str, int], shards: list) -> None:
         self._homes = homes
         self._shards = shards
 
@@ -174,11 +270,31 @@ class _ShardReach:
     points, maximum radius); ``buckets`` is the tightened per-floor
     grid level.  An empty bucket tuple means "coarse only" (the
     ``bucketed_router=False`` ablation mode).
+
+    Single-box routing (insert/delete) uses the scalar two-level test;
+    batch routing packs the summary into numpy arrays once
+    (:attr:`_coarse_rows` / :attr:`_bucket_rows`, cached on the frozen
+    instance) and admits the whole batch in :meth:`admit_moves`.
     """
 
     box: Box3
     radius: float
     buckets: tuple[_ReachBucket, ...] = ()
+
+    @cached_property
+    def _coarse_rows(self) -> np.ndarray:
+        """``(1, 6)`` array of the coarse box."""
+        return _box_rows([self.box])
+
+    @cached_property
+    def _bucket_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(m, 6)`` bucket boxes and the ``(m, 1)`` column of their
+        skip thresholds (radius + eps), ready to broadcast."""
+        boxes = _box_rows([b.box for b in self.buckets])
+        radii = np.array(
+            [[b.radius + _EPS] for b in self.buckets], dtype=np.float64
+        ).reshape(len(self.buckets), 1)
+        return boxes, radii
 
     def coarse_may_affect(self, obj_box: Box3) -> bool:
         if math.isinf(self.radius):
@@ -224,6 +340,41 @@ class _ShardReach:
             stats.bucket_skips += 1
         return False
 
+    def admit_moves(
+        self,
+        old_rows: np.ndarray,
+        new_rows: np.ndarray,
+        stats: ShardStats | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`may_affect_move` over a whole batch.
+
+        ``old_rows``/``new_rows`` are the batch's ``(n, 6)`` box arrays
+        (:func:`_box_rows`); returns the boolean admission mask, in
+        batch order.  The caller handles the infinite-radius case (the
+        whole batch is relevant, no geometry needed).  Bucket skips are
+        counted exactly as the scalar test counts them: once per update
+        the coarse box admitted and the buckets excluded.
+        """
+        threshold = self.radius + _EPS
+        coarse = (
+            _box_min_distances(self._coarse_rows, old_rows)[0]
+            <= threshold
+        ) | (
+            _box_min_distances(self._coarse_rows, new_rows)[0]
+            <= threshold
+        )
+        if not self.buckets:
+            return coarse
+        boxes, radii = self._bucket_rows
+        in_reach = (
+            (_box_min_distances(boxes, old_rows) <= radii).any(axis=0)
+        ) | ((_box_min_distances(boxes, new_rows) <= radii).any(axis=0))
+        if stats is not None:
+            stats.bucket_skips += int(
+                np.count_nonzero(coarse & ~in_reach)
+            )
+        return coarse & in_reach
+
 
 class ShardedMonitor:
     """``n_shards`` query monitors over one shared composite index.
@@ -241,9 +392,18 @@ class ShardedMonitor:
     queries (one kiosk's iRQ and ikNNQ) tend to share both a shard and
     a session-cached Dijkstra.
 
-    ``workers > 1`` selects the parallel execution mode: routed
-    per-shard maintenance runs on a thread pool and the per-shard delta
-    batches are merged in shard-index order, bit-identical to serial.
+    ``backend`` selects how routed per-shard maintenance executes:
+
+    * ``"thread"`` (default) — shard monitors are in-process
+      :class:`QueryMonitor` instances; ``workers > 1`` fans the routed
+      work out on a thread pool, merged in shard-index order,
+      bit-identical to serial.
+    * ``"process"`` — shard monitors live in worker processes behind
+      parent-side proxies (see :mod:`repro.queries.procpool`); routed
+      work travels as messages and comes back as wire-encoded delta
+      batches, merged in the same shard-index order, still
+      bit-identical to serial.
+
     ``bucketed_router=False`` falls back to the coarse single-box reach
     summary (kept as an ablation for the benchmark's before/after
     skip-ratio comparison).
@@ -256,18 +416,21 @@ class ShardedMonitor:
         session: QuerySession | None = None,
         workers: int = 1,
         bucketed_router: bool = True,
+        backend: str = "thread",
+        proc_config: "ProcPoolConfig | None" = None,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
+        if backend not in ("thread", "process"):
+            raise QueryError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         self.index = index
         self.session = session or QuerySession(index)
-        self.shards = [
-            QueryMonitor(index, session=self.session)
-            for _ in range(n_shards)
-        ]
         self.workers = workers
+        self.backend = backend
         self.bucketed_router = bucketed_router
         self.routing = ShardStats()
         # Per-shard reach-table cache: (reach_epoch, topology_version,
@@ -279,24 +442,47 @@ class ShardedMonitor:
         self._id_counter = itertools.count(1)
         self._updates_seen = 0
         self._bounds: Rect = index.space.bounds()
-        self._executor: ThreadPoolExecutor | None = (
-            ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="shard"
+        self._executor: ThreadPoolExecutor | None = None
+        self._pool = None
+        if backend == "process":
+            # Imported lazily: procpool pulls in the wire codec, which
+            # lives above this module in the layering.
+            from repro.queries.procpool import ProcessShardPool
+
+            self._pool = ProcessShardPool(
+                index,
+                n_shards=n_shards,
+                workers=workers,
+                config=proc_config,
             )
-            if workers > 1
-            else None
-        )
+            self.shards = self._pool.proxies
+        else:
+            if proc_config is not None:
+                raise QueryError(
+                    "proc_config is only meaningful with backend='process'"
+                )
+            self.shards = [
+                QueryMonitor(index, session=self.session)
+                for _ in range(n_shards)
+            ]
+            if workers > 1:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="shard"
+                )
 
     # ------------------------------------------------------------------
-    # lifecycle (the thread pool is the only owned resource)
+    # lifecycle (the worker pool is the only owned resource)
     # ------------------------------------------------------------------
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; serial mode no-ops).
-        The monitor itself stays usable — it falls back to serial."""
+        A thread-backed monitor stays usable — it falls back to serial;
+        a process-backed monitor is unusable after close."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ShardedMonitor":
         return self
@@ -436,13 +622,13 @@ class ShardedMonitor:
         return merged
 
     # ------------------------------------------------------------------
-    # routed mutation paths
+    # routed mutation paths: build a plan, hand it to the backend
     # ------------------------------------------------------------------
 
     def apply_moves(self, moves: list[ObjectMove]) -> DeltaBatch:
         """Absorb a batch of position updates: one shared index update,
         then per-shard maintenance of only the updates that can affect
-        each shard (fanned out on the worker pool when ``workers > 1``)."""
+        each shard (fanned out on the selected worker backend)."""
         fh = self.index.space.floor_height
         old_boxes = {
             oid: _object_box(self.index.population.get(oid), fh)
@@ -456,46 +642,43 @@ class ShardedMonitor:
             # An idle tick is not a routing decision: flush parked
             # deltas but keep the skip statistics honest.
             return DeltaBatch.merge_all(
-                [head]
-                + [shard.drain_pending_deltas() for shard in self.shards]
+                [head] + self._execute(("drain", None), self._drain_plan())
             )
-        new_boxes = {
-            obj.object_id: _object_box(obj, fh) for obj in moved
-        }
         self._updates_seen += len(moved)
         self.routing.batches_routed += 1
-        tasks: list[Callable[[], DeltaBatch]] = []
-        for idx, shard in enumerate(self.shards):
+        old_rows = _box_rows(
+            [old_boxes[obj.object_id] for obj in moved]
+        )
+        new_rows = _box_rows([_object_box(obj, fh) for obj in moved])
+        plan: list[tuple[str, object]] = []
+        for idx in range(len(self.shards)):
             reach = self._reach_of(idx)
             if reach is None:
                 # No standing queries: nothing to route, but a parked
                 # delta (the last query's deregister) still flows.
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             if math.isinf(reach.radius):
-                relevant = moved
+                relevant = list(moved)
             else:
+                mask = reach.admit_moves(old_rows, new_rows, self.routing)
                 relevant = [
-                    obj
-                    for obj in moved
-                    if reach.may_affect_move(
-                        old_boxes[obj.object_id],
-                        new_boxes[obj.object_id],
-                        self.routing,
-                    )
+                    obj for obj, keep in zip(moved, mask) if keep
                 ]
             if not relevant:
                 # Skipped: no pair is evaluated, but parked deltas
                 # (registrations, out-of-band resyncs) still flow.
                 self.routing.shards_skipped += 1
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             self.routing.shard_visits += 1
             # Filtered updates are only counted for shards that
             # actually ran — a whole-shard skip is its own statistic.
             self.routing.updates_filtered += len(moved) - len(relevant)
-            tasks.append(self._moves_task(shard, relevant))
-        return DeltaBatch.merge_all([head] + self._run_tasks(tasks))
+            plan.append(("moves", relevant))
+        return DeltaBatch.merge_all(
+            [head] + self._execute(("moves", moved), plan)
+        )
 
     def apply_insert(self, obj: UncertainObject) -> DeltaBatch:
         """A brand-new object appears: only shards it can reach run."""
@@ -504,19 +687,19 @@ class ShardedMonitor:
         self._updates_seen += 1
         self.routing.batches_routed += 1
         box = _object_box(obj, fh)
-        tasks: list[Callable[[], DeltaBatch]] = []
-        for idx, shard in enumerate(self.shards):
+        plan: list[tuple[str, object]] = []
+        for idx in range(len(self.shards)):
             reach = self._reach_of(idx)
             if reach is None:
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             if not reach.may_affect(box, self.routing):
                 self.routing.shards_skipped += 1
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             self.routing.shard_visits += 1
-            tasks.append(self._insert_task(shard, obj))
-        return DeltaBatch.merge_all(self._run_tasks(tasks))
+            plan.append(("insert", obj))
+        return DeltaBatch.merge_all(self._execute(("insert", obj), plan))
 
     def apply_delete(self, object_id: str) -> DeltaBatch:
         """An object disappears: shards it provably never belonged to
@@ -528,19 +711,21 @@ class ShardedMonitor:
         self._updates_seen += 1
         self.routing.batches_routed += 1
         head = DeltaBatch(deleted=deleted)
-        tasks: list[Callable[[], DeltaBatch]] = []
-        for idx, shard in enumerate(self.shards):
+        plan: list[tuple[str, object]] = []
+        for idx in range(len(self.shards)):
             reach = self._reach_of(idx)
             if reach is None:
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             if not reach.may_affect(box, self.routing):
                 self.routing.shards_skipped += 1
-                tasks.append(shard.drain_pending_deltas)
+                plan.append(("drain", None))
                 continue
             self.routing.shard_visits += 1
-            tasks.append(self._delete_task(shard, object_id))
-        return DeltaBatch.merge_all([head] + self._run_tasks(tasks))
+            plan.append(("delete", object_id))
+        return DeltaBatch.merge_all(
+            [head] + self._execute(("delete", object_id), plan)
+        )
 
     def apply_event(self, event: TopologyEvent) -> DeltaBatch:
         """Topology events invalidate every cached search — all shards
@@ -548,60 +733,87 @@ class ShardedMonitor:
         result = self.index.apply_event(event)
         head = DeltaBatch(event_result=result)
         return DeltaBatch.merge_all(
-            [head]
-            + self._run_tasks(
-                [shard.drain_pending_deltas for shard in self.shards]
-            )
+            [head] + self._execute(("event", event), self._drain_plan())
         )
 
     def drain_pending_deltas(self) -> DeltaBatch:
         """Registration/deregistration/out-of-band resync deltas from
         every shard."""
         return DeltaBatch.merge_all(
-            shard.drain_pending_deltas() for shard in self.shards
+            self._execute(("drain", None), self._drain_plan())
         )
 
     # ------------------------------------------------------------------
-    # parallel fan-out
+    # backend execution
     # ------------------------------------------------------------------
+
+    def _drain_plan(self) -> list[tuple[str, object]]:
+        return [("drain", None)] * len(self.shards)
+
+    def _execute(
+        self,
+        mutation: tuple[str, object],
+        plan: list[tuple[str, object]],
+    ) -> list[DeltaBatch]:
+        """Run one routing plan on the selected backend, returning the
+        per-shard delta batches in shard-index order (the merge order,
+        every backend alike).
+
+        ``mutation`` names the index-level change the plan belongs to —
+        worker processes replay it against their world replicas before
+        ingesting their routed share; the in-process backends mutated
+        the shared index already and only consume the plan.
+        """
+        if self._pool is not None:
+            return self._pool.execute(mutation, plan)
+        return self._run_tasks(
+            [
+                self._shard_task(shard, action, payload)
+                for shard, (action, payload) in zip(self.shards, plan)
+            ]
+        )
 
     def _run_tasks(
         self, tasks: list[Callable[[], DeltaBatch]]
     ) -> list[DeltaBatch]:
         """Execute one thunk per shard, returning results in shard
-        order (the merge order, serial and parallel alike).  Routing
-        already proved the thunks touch disjoint monitors; the shared
-        session takes its own lock."""
+        order.  Routing already proved the thunks touch disjoint
+        monitors; the shared session takes its own lock."""
         if self._executor is None or len(tasks) <= 1:
             return [task() for task in tasks]
         futures = [self._executor.submit(task) for task in tasks]
         return [future.result() for future in futures]
 
-    def _moves_task(
-        self, shard: QueryMonitor, relevant: list[UncertainObject]
+    def _shard_task(
+        self, shard: QueryMonitor, action: str, payload
     ) -> Callable[[], DeltaBatch]:
-        def run() -> DeltaBatch:
-            # Keep only the deltas: `moved` is already carried once at
-            # the top level (shards each re-list their routed subset).
-            return DeltaBatch(deltas=shard.ingest_moves(relevant).deltas)
+        """One plan entry as a thunk over an in-process shard monitor."""
+        if action == "drain":
+            return shard.drain_pending_deltas
+        if action == "moves":
 
-        return run
+            def run_moves() -> DeltaBatch:
+                # Keep only the deltas: `moved` is already carried once
+                # at the top level (shards each re-list their routed
+                # subset).
+                return DeltaBatch(
+                    deltas=shard.ingest_moves(payload).deltas
+                )
 
-    def _insert_task(
-        self, shard: QueryMonitor, obj: UncertainObject
-    ) -> Callable[[], DeltaBatch]:
-        def run() -> DeltaBatch:
-            return shard.ingest_insert(obj)
+            return run_moves
+        if action == "insert":
 
-        return run
+            def run_insert() -> DeltaBatch:
+                return shard.ingest_insert(payload)
 
-    def _delete_task(
-        self, shard: QueryMonitor, object_id: str
-    ) -> Callable[[], DeltaBatch]:
-        def run() -> DeltaBatch:
-            return shard.ingest_delete(object_id)
+            return run_insert
+        if action == "delete":
 
-        return run
+            def run_delete() -> DeltaBatch:
+                return shard.ingest_delete(payload)
+
+            return run_delete
+        raise QueryError(f"unknown shard action {action!r}")
 
     # ------------------------------------------------------------------
 
@@ -644,14 +856,18 @@ class ShardedMonitor:
 
     def _build_reach(self, shard: QueryMonitor) -> _ShardReach | None:
         """Build one shard's influence summary from scratch: a cheap
-        O(queries-in-shard) pass of pure arithmetic."""
+        O(queries-in-shard) pass of pure arithmetic over a grid sized
+        by the shard's own standing-query density
+        (:func:`_buckets_per_side`)."""
         by_floor = shard.influence_radii_by_floor()
         if not by_floor:
             return None
         fh = self.index.space.floor_height
         b = self._bounds
-        cell_w = max(b.width, _EPS) / _BUCKETS_PER_SIDE
-        cell_h = max(b.height, _EPS) / _BUCKETS_PER_SIDE
+        n_queries = sum(len(entries) for entries in by_floor.values())
+        side = _buckets_per_side(n_queries)
+        cell_w = max(b.width, _EPS) / side
+        cell_h = max(b.height, _EPS) / side
         minx = miny = minz = math.inf
         maxx = maxy = maxz = -math.inf
         radius = 0.0
@@ -672,14 +888,8 @@ class ShardedMonitor:
                 radius = max(radius, reach)
                 if not self.bucketed_router:
                     continue
-                gx = min(
-                    max(int((q.x - b.minx) / cell_w), 0),
-                    _BUCKETS_PER_SIDE - 1,
-                )
-                gy = min(
-                    max(int((q.y - b.miny) / cell_h), 0),
-                    _BUCKETS_PER_SIDE - 1,
-                )
+                gx = min(max(int((q.x - b.minx) / cell_w), 0), side - 1)
+                gy = min(max(int((q.y - b.miny) / cell_h), 0), side - 1)
                 cell = cells.get((floor, gx, gy))
                 if cell is None:
                     cells[(floor, gx, gy)] = [

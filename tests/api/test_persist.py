@@ -177,8 +177,12 @@ class TestCheckpointFormat:
 class TestServiceRoundTrip:
     @pytest.mark.parametrize(
         "config",
-        [ServiceConfig(), ServiceConfig(n_shards=4, workers=2)],
-        ids=["single", "sharded-parallel"],
+        [
+            ServiceConfig(),
+            ServiceConfig(n_shards=4, workers=2),
+            ServiceConfig(n_shards=4, workers=2, backend="process"),
+        ],
+        ids=["single", "sharded-parallel", "sharded-process"],
     )
     def test_restore_is_bit_identical(self, tmp_path, config):
         """Same results, same subsequent delta sequences, same auto-id
