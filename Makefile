@@ -3,7 +3,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: tier1 tier2 test bench bench-stream bench-serving \
 	bench-serving-parallel bench-serving-process bench-serving-net \
-	bench-restart lint docs-check figures
+	bench-restart bench-grid bench-grid-quick lint docs-check figures
 
 # Fast correctness gate (default pytest run already excludes tier2).
 tier1:
@@ -53,6 +53,20 @@ bench-restart:
 	$(PYTHON) benchmarks/bench_serving.py --restart --workers 1
 	$(PYTHON) -m pytest -q -m tier2 \
 		benchmarks/bench_serving.py::test_serving_restart
+
+# Experiment grids (declarative sweeps; see benchmarks/grids/ and
+# docs/operations.md).  Resumable: cells with a verified result.json
+# are skipped, so rerunning a killed sweep picks up where it stopped.
+bench-grid:
+	$(PYTHON) -m repro.bench grid benchmarks/grids/serving_worker_scaling.xp \
+		--tables benchmarks/tables
+	$(PYTHON) -m repro.bench grid benchmarks/grids/scenario_fleet.xp \
+		--tables benchmarks/tables
+
+# CI-smoke grid: a tiny 2x2 scenario sweep, run twice to prove resume.
+bench-grid-quick:
+	$(PYTHON) -m repro.bench grid benchmarks/grids/quick_smoke.xp --quick
+	$(PYTHON) -m repro.bench grid benchmarks/grids/quick_smoke.xp --quick
 
 # Same checks the CI lint job runs (requires ruff, pinned in ci.yml).
 lint:

@@ -69,6 +69,7 @@ import pytest
 from repro.api.net import NetClient, ServerThread
 from repro.api.service import QueryService
 from repro.api.specs import KNNSpec, ProbRangeSpec, RangeSpec
+from repro.bench.grid import Axis, ExperimentGrid
 from repro.bench.workloads import ScaleProfile, WorkloadFactory
 from repro.persist import CheckpointStore
 from repro.queries import DeltaBatch, MonitorServer
@@ -133,18 +134,44 @@ class Variant:
     backend: str = "thread"
 
 
-#: The full sweep: router before/after, then worker scaling on both
-#: execution backends (threads share the GIL; processes escape it).
-FULL_VARIANTS = (
-    (
-        Variant("coarse", bucketed_router=False),
-        Variant("sharded"),
+#: The full sweep as a grid definition: router before/after, then
+#: worker scaling on both execution backends (threads share the GIL;
+#: processes escape it).  The same declarative machinery behind
+#: ``python -m repro.bench grid`` prunes the invalid corners (a coarse
+#: router is a serial ablation; one worker never leaves the serial
+#: path), and the product order reproduces the historical hand-rolled
+#: variant tuple exactly.
+VARIANT_GRID = ExperimentGrid(
+    name="serving_variants",
+    runner="serving",
+    axes=[
+        Axis("router", "{}", ("coarse", "bucketed")),
+        Axis("backend", "{}", ("thread", "process")),
+        Axis("workers", "w{}", WORKERS_GRID),
+    ],
+    constraints=[
+        lambda p: p["router"] == "bucketed"
+        or (p["workers"] == 1 and p["backend"] == "thread"),
+        lambda p: p["workers"] > 1 or p["backend"] == "thread",
+    ],
+)
+
+
+def _variant_of(params: dict) -> Variant:
+    if params["router"] == "coarse":
+        return Variant("coarse", bucketed_router=False)
+    if params["workers"] == 1:
+        return Variant("sharded")
+    kind = "workers" if params["backend"] == "thread" else "process"
+    return Variant(
+        f"{kind}={params['workers']}",
+        workers=params["workers"],
+        backend=params["backend"],
     )
-    + tuple(Variant(f"workers={w}", workers=w) for w in WORKERS_GRID[1:])
-    + tuple(
-        Variant(f"process={w}", workers=w, backend="process")
-        for w in WORKERS_GRID[1:]
-    )
+
+
+FULL_VARIANTS = tuple(
+    _variant_of(cell.params) for cell in VARIANT_GRID.cells()
 )
 
 
@@ -1113,6 +1140,13 @@ def main(argv: list[str] | None = None) -> int:
         "shard worker processes); implies --workers 2 when --workers "
         "is not given",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the profile's base seed (venue, population, "
+        "queries and stream all derive from it)",
+    )
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--batches", type=int, default=None)
     parser.add_argument("--batch-size", type=int, default=None)
@@ -1146,10 +1180,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        factory = WorkloadFactory(SMOKE)
+        factory = WorkloadFactory(SMOKE, seed=args.seed)
         n_batches, batch_size, n_irq, n_iknn, n_shards = QUICK
     else:
-        factory = WorkloadFactory()
+        factory = WorkloadFactory(seed=args.seed)
         n_batches, batch_size, n_irq, n_iknn, n_shards = FULL
     n_shards = args.shards or n_shards
     n_batches = args.batches or n_batches

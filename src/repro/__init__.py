@@ -72,6 +72,7 @@ _EXPORTS = {
     "KNNSpec": "repro.api",
     "ProbRangeSpec": "repro.api",
     "CountSpec": "repro.api",
+    "OccupancySpec": "repro.api",
     "QueryService": "repro.api",
     "ServiceConfig": "repro.api",
     "CheckpointStore": "repro.persist",
@@ -151,6 +152,7 @@ __all__ = [
     "KNNSpec",
     "ProbRangeSpec",
     "CountSpec",
+    "OccupancySpec",
     "QueryService",
     "ServiceConfig",
     "CheckpointStore",

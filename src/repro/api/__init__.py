@@ -126,6 +126,7 @@ _EXPORTS = {
     "KNNSpec": "repro.api.specs",
     "ProbRangeSpec": "repro.api.specs",
     "CountSpec": "repro.api.specs",
+    "OccupancySpec": "repro.api.specs",
     "SPEC_SCHEMA_VERSION": "repro.api.specs",
     "spec_from_dict": "repro.api.specs",
     "QueryService": "repro.api.service",

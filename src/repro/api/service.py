@@ -42,6 +42,7 @@ from typing import IO, Any, Awaitable, Callable
 from repro.api.specs import (
     CountSpec,
     KNNSpec,
+    OccupancySpec,
     ProbRangeSpec,
     QuerySpec,
     RangeSpec,
@@ -244,6 +245,11 @@ class QueryService:
                 "CountSpec is watch-only: a one-shot count is "
                 "len(run(RangeSpec(q, r)).objects); watch() it to get "
                 "threshold-crossing alerts"
+            )
+        if isinstance(spec, OccupancySpec):
+            raise QueryError(
+                "OccupancySpec is watch-only: watch() it to get "
+                "partition-occupancy threshold alerts"
             )
         raise QueryError(
             f"cannot run {type(spec).__name__}: not a known query spec"

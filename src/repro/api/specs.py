@@ -247,6 +247,65 @@ class CountSpec(QuerySpec):
         )
 
 
+@_spec_kind
+@dataclass(frozen=True)
+class OccupancySpec(QuerySpec):
+    """Per-partition occupancy watch: alert while the number of objects
+    located inside partition ``partition_id`` is at least ``threshold``.
+
+    The only *anchored* spec kind: it names a partition instead of
+    carrying a query point (the maintainer derives its spatial anchor —
+    and hence shard routing and reach — from the partition's footprint
+    at registration time).  Watch-only, like :class:`CountSpec`: the
+    standing variant, maintained by
+    :class:`~repro.queries.maintainers.OccupancyMaintainer`, publishes a
+    single synthetic ``"occupancy"`` member annotated with the current
+    population while the threshold is met — the natural evacuation /
+    crowd-crush alarm (*entered* when a room fills past ``threshold``,
+    re-annotations while it varies above, *left* when it drains back
+    down)."""
+
+    partition_id: str
+    threshold: int
+
+    kind: ClassVar[str] = "iocc"
+    watchable: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.partition_id, str)
+            or not self.partition_id
+        ):
+            raise QueryError(
+                f"partition_id must be a non-empty string, got "
+                f"{self.partition_id!r}"
+            )
+        object.__setattr__(
+            self, "threshold", _as_int(self.threshold, "threshold")
+        )
+        if self.threshold < 1:
+            raise QueryError(
+                f"threshold must be >= 1, got {self.threshold}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Anchored specs have no query point, so the base ``q`` field
+        is replaced by the partition name."""
+        return {
+            "v": SPEC_SCHEMA_VERSION,
+            "kind": self.kind,
+            "partition": self.partition_id,
+            "threshold": self.threshold,
+        }
+
+    def _params(self) -> dict[str, Any]:  # pragma: no cover - unused
+        raise AssertionError("unreachable: to_dict is overridden")
+
+    @classmethod
+    def _from_dict(cls, data: dict[str, Any]) -> "OccupancySpec":
+        return cls(data.get("partition"), data.get("threshold"))
+
+
 def spec_from_dict(data: Any) -> QuerySpec:
     """Rebuild a spec from its :meth:`QuerySpec.to_dict` form.
 

@@ -1,13 +1,18 @@
-"""Command-line harness: regenerate the paper's figures.
+"""Command-line harness: regenerate the paper's figures, run grids.
 
 Usage::
 
     python -m repro.bench                    # every panel, active profile
     python -m repro.bench fig12a fig15d      # selected panels
     REPRO_BENCH_SCALE=medium python -m repro.bench fig14a
+    python -m repro.bench grid benchmarks/grids/scenario_fleet.xp
 
 Each panel prints its series table (the same rows/series the paper
 plots) and, with ``--out DIR``, writes it to ``DIR/<figure>.txt``.
+
+``grid <xpfile>`` materialises a declarative experiment grid (see
+:mod:`repro.bench.grid`): one directory per cell under ``--out``,
+cached cells skipped — rerunning a killed sweep resumes it.
 """
 
 from __future__ import annotations
@@ -22,10 +27,15 @@ from repro.bench.workloads import WorkloadFactory, active_profile
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["grid"]:
+        return grid_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the evaluation figures of Xie et al., "
-        "ICDE 2013.",
+        "ICDE 2013 (or run an experiment grid: "
+        "`python -m repro.bench grid <xpfile>`).",
     )
     parser.add_argument(
         "figures",
@@ -38,6 +48,13 @@ def main(argv: list[str] | None = None) -> int:
         type=pathlib.Path,
         default=None,
         help="directory to write per-panel tables into",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the profile's base seed (space, population, "
+        "queries and movement all derive from it)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available panels and exit"
@@ -58,7 +75,7 @@ def main(argv: list[str] | None = None) -> int:
 
     profile = active_profile()
     print(f"profile: {profile.name} (override with REPRO_BENCH_SCALE)")
-    factory = WorkloadFactory(profile)
+    factory = WorkloadFactory(profile, seed=args.seed)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in selected:
@@ -71,6 +88,110 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  [{name} took {elapsed:.1f}s]")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+def grid_main(argv: list[str]) -> int:
+    """``python -m repro.bench grid <xpfile> [options]``."""
+    from repro.bench.grid import (
+        GridError,
+        GridInterrupted,
+        GridRunner,
+        load_xpfile,
+        write_cells_csv,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench grid",
+        description="Run (or resume) a declarative experiment grid.",
+    )
+    parser.add_argument("xpfile", type=pathlib.Path, help="grid xpfile")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/out"),
+        help="root directory for cell outputs (default: benchmarks/out)",
+    )
+    parser.add_argument(
+        "--tables",
+        type=pathlib.Path,
+        default=None,
+        help="also write each pivot table to DIR/<grid>_<n>.txt",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke scale: tiny venues and workloads",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2013, help="base seed (default 2013)"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell, ignoring cached results",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compute at most N missing cells, then stop (the sweep "
+        "stays resumable)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="write a flat all-cells CSV to this path",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        grid = load_xpfile(args.xpfile)
+    except GridError as exc:
+        parser.error(str(exc))
+    runner = GridRunner(
+        grid,
+        args.out,
+        quick=args.quick,
+        seed=args.seed,
+        force=args.force,
+        verbose=True,
+    )
+    print(
+        f"grid: {grid.name} ({len(grid.cells())} cells, "
+        f"runner={grid.runner}) -> {runner.out_dir}"
+    )
+    try:
+        report = runner.run(max_cells=args.max_cells)
+    except GridInterrupted as stopped:
+        report = stopped.report
+        print(
+            f"stopped after {len(report.ran)} computed cells "
+            "(rerun to resume)"
+        )
+        return 3
+    print(
+        f"cells: {len(report.ran)} computed, {len(report.skipped)} "
+        f"cached, {len(report.recomputed)} recomputed"
+    )
+    for table in report.tables():
+        print()
+        print(table.to_table())
+    if args.tables is not None:
+        args.tables.mkdir(parents=True, exist_ok=True)
+        tables = report.tables()
+        for i, table in enumerate(tables):
+            stem = (
+                grid.name if len(tables) == 1 else f"{grid.name}_{i}"
+            )
+            path = args.tables / f"{stem}.txt"
+            path.write_text(table.to_table() + "\n")
+            print(f"wrote {path}")
+    if args.csv is not None:
+        write_cells_csv(args.csv, report.cells)
+        print(f"wrote {args.csv}")
     return 0
 
 

@@ -143,8 +143,18 @@ class WorkloadFactory:
     by its parameter tuple.
     """
 
-    def __init__(self, profile: ScaleProfile | None = None) -> None:
+    def __init__(
+        self,
+        profile: ScaleProfile | None = None,
+        seed: int | None = None,
+    ) -> None:
         self.profile = profile or active_profile()
+        #: The single base seed every derived stream of randomness
+        #: (space layout, population, query points, movement) hangs off
+        #: — profile default unless the caller pins one (the grid
+        #: runner records it in each cell's ``params.json``, so a cell
+        #: is reproducible from that file alone).
+        self.seed = self.profile.seed if seed is None else int(seed)
         self._spaces: dict[int, IndoorSpace] = {}
         self._populations: dict[tuple[int, int, float], ObjectPopulation] = {}
         self._indexes: dict[tuple[int, int, float], CompositeIndex] = {}
@@ -162,7 +172,7 @@ class WorkloadFactory:
                 floor_size=p.floor_size,
                 hallway_width=p.hallway_width,
                 stair_size=p.stair_size,
-                seed=p.seed,
+                seed=self.seed,
             )
         return self._spaces[floors]
 
@@ -184,7 +194,7 @@ class WorkloadFactory:
                 space,
                 radius=key[2],
                 n_instances=p.n_instances,
-                seed=p.seed + key[1],
+                seed=self.seed + key[1],
             )
             self._populations[key] = gen.generate(key[1])
         return self._populations[key]
@@ -214,7 +224,7 @@ class WorkloadFactory:
     ) -> list[Point]:
         p = self.profile
         space = self.space(floors)
-        rng = random.Random(p.seed + 17)
+        rng = random.Random(self.seed + 17)
         return [
             space.random_point(rng=rng) for _ in range(n or p.n_queries)
         ]
@@ -239,6 +249,7 @@ class WorkloadFactory:
         workers: int = 1,
         bucketed_router: bool = True,
         backend: str = "thread",
+        seed: int | None = None,
     ) -> "StreamScenario":
         """A continuous-monitoring scenario: standing queries + stream.
 
@@ -256,23 +267,27 @@ class WorkloadFactory:
         ``"process"`` shard workers that escape the GIL).  ``n_iprq`` mixes standing
         probabilistic-threshold range queries (iPRQ, threshold
         ``p_min``, range = the profile's default range) into the
-        workload — the ``--prob`` serving variant.
+        workload — the ``--prob`` serving variant.  ``seed`` overrides
+        the factory's base seed for this scenario's population and
+        movement stream only (the shared space keeps the factory
+        seed — grid cells vary workloads without rebuilding venues).
         """
         p = self.profile
         space = self.space(floors)
         radius = radius or p.default_radius
+        base_seed = self.seed if seed is None else int(seed)
         gen = ObjectGenerator(
             space,
             radius=radius,
             n_instances=p.n_instances,
-            seed=p.seed + 4242,
+            seed=base_seed + 4242,
             id_prefix="s",
         )
         population = gen.generate(n_objects or p.default_objects)
         index = CompositeIndex.build(space, population, fanout=p.fanout)
         stream = MovementStream(
             space, population, gen,
-            hop_probability=hop_probability, seed=p.seed + 7,
+            hop_probability=hop_probability, seed=base_seed + 7,
         )
         if n_shards is None:
             monitor: QueryMonitor | ShardedMonitor = QueryMonitor(index)

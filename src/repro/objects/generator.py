@@ -258,3 +258,120 @@ class MovementStream:
             if partition.contains_xy(x, y):
                 return Point(x, y, partition.floor)
         return None
+
+
+@dataclass
+class DirectedMovementStream(MovementStream):
+    """Correlated movement toward target partitions (egress surge).
+
+    The evacuation/stadium-egress workload: each chosen object, with
+    probability ``compliance``, takes one door-hop along a shortest
+    door-count path toward the nearest partition in ``targets`` (exits,
+    gathering points); otherwise it falls back to the base random walk.
+    Objects already inside a target dwell there, re-observing their pdf
+    — so the population drains toward the targets and *stays* drained,
+    the mass-correlated pattern a uniform random walk never produces.
+
+    Routing hops are a multi-source BFS over the door-adjacency graph,
+    recomputed whenever the space's ``topology_version`` moves — a
+    door closure mid-scenario (``CloseDoor``) genuinely reroutes the
+    crowd, exactly the churn the evacuation scenario injects.  One-way
+    doors are honoured (the BFS expands against door direction, so a
+    hop is only suggested where the object could actually traverse).
+    An object standing where every target is unreachable falls back to
+    the random walk.
+    """
+
+    #: Partition ids the crowd converges on.  Must be non-empty.
+    targets: tuple[str, ...] = ()
+    #: Probability a move follows the route; the rest stays brownian.
+    compliance: float = 0.9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.targets:
+            raise ReproError("directed movement needs at least one target")
+        for pid in self.targets:
+            self.space.partition(pid)  # raises on unknown ids
+        if not 0.0 <= self.compliance <= 1.0:
+            raise ReproError("compliance must lie in [0, 1]")
+        self._hops: dict[str, int] = {}
+        self._hops_version = -1
+
+    # ------------------------------------------------------------------
+
+    def _ensure_routes(self) -> None:
+        if self._hops_version != self.space.topology_version:
+            self._hops = self._bfs_from_targets()
+            self._hops_version = self.space.topology_version
+
+    def _bfs_from_targets(self) -> dict[str, int]:
+        """Door-count distance to the nearest target, per partition.
+
+        Expands from the targets *backwards*: an edge ``other -> pid``
+        exists when ``other`` may exit through a shared open door into
+        ``pid``, so the stored hop counts always describe traversable
+        forward routes."""
+        from collections import deque
+
+        dist = {pid: 0 for pid in self.targets}
+        queue = deque(self.targets)
+        while queue:
+            pid = queue.popleft()
+            for door in self.space.doors_of(pid):
+                other = door.other_side(pid)
+                if other not in dist and door.allows_exit(other):
+                    dist[other] = dist[pid] + 1
+                    queue.append(other)
+        return dist
+
+    def _step_toward(self, current: Partition) -> Partition | None:
+        """The door-adjacent partition one routed hop closer to a
+        target, staircases traversed like the base walk; ``None`` when
+        no open route exists."""
+        here = self._hops.get(current.partition_id)
+        if here is None:
+            return None
+        best, best_d = None, here
+        for nbr in self.space.adjacent_partitions(current.partition_id):
+            d = self._hops.get(nbr)
+            if d is not None and d < best_d:
+                best, best_d = nbr, d
+        if best is None:
+            return None
+        choice = self.space.partition(best)
+        if not choice.is_staircase:
+            return choice
+        exits = [
+            x
+            for x in self.space.adjacent_partitions(choice.partition_id)
+            if x != current.partition_id
+            and not self.space.partition(x).is_staircase
+            and self._hops.get(x) is not None
+        ]
+        if not exits:
+            return None
+        return self.space.partition(
+            min(exits, key=lambda x: (self._hops[x], x))
+        )
+
+    def move_for(self, object_id: str) -> ObjectMove:
+        obj = self.population.get(object_id)
+        center = obj.region.center
+        current = self.space.locate(center)
+        if current is None or self._rng.random() >= self.compliance:
+            return super().move_for(object_id)
+        self._ensure_routes()
+        if current.partition_id in self.targets:
+            target: Partition | None = current  # dwell at the exit
+        else:
+            target = self._step_toward(current)
+        if target is None:
+            return super().move_for(object_id)
+        new_center = self._point_inside(target)
+        if new_center is None:
+            new_center = center
+        region = Circle(new_center, obj.region.radius)
+        return ObjectMove(
+            object_id, region, self.generator.sample_instances(region)
+        )

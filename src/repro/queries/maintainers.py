@@ -86,6 +86,7 @@ from typing import TYPE_CHECKING, Any, Callable, ClassVar
 from repro.api.specs import (
     CountSpec,
     KNNSpec,
+    OccupancySpec,
     ProbRangeSpec,
     QuerySpec,
     RangeSpec,
@@ -526,6 +527,37 @@ class ProbRangeMaintainer(StandingQuery):
         self.result = result
 
 
+def partition_anchor(space: Any, partition_id: str) -> Point:
+    """The spatial anchor of a partition: its bounds center when the
+    footprint contains it, else the first attached door's midpoint.
+
+    Anchored (point-free) specs like :class:`OccupancySpec` need a
+    :class:`Point` for the surrounding machinery — shard placement,
+    session pinning, the router's reach tables — and this is the single
+    derivation every surface shares, so a sharded engine places and
+    routes the watch exactly like a single monitor reasons about it."""
+    partition = space.partition(partition_id)
+    b = partition.bounds
+    cx, cy = (b.minx + b.maxx) / 2.0, (b.miny + b.maxy) / 2.0
+    if partition.contains_xy(cx, cy):
+        return Point(cx, cy, partition.floor)
+    for door_id in sorted(partition.door_ids):
+        mid = space.doors[door_id].midpoint
+        return Point(mid.x, mid.y, partition.floor)
+    return Point(cx, cy, partition.floor)
+
+
+def spec_anchor(spec: QuerySpec, space: Any) -> Point:
+    """A spec's spatial anchor: its query point when it has one, else
+    the watched partition's :func:`partition_anchor`.  The shard router
+    uses this for placement, so anchored specs co-locate with point
+    queries in the same zone."""
+    q = getattr(spec, "q", None)
+    if q is not None:
+        return q
+    return partition_anchor(space, spec.partition_id)  # type: ignore[attr-defined]
+
+
 #: The single synthetic member id a count watch publishes.
 COUNT_KEY = "count"
 
@@ -630,4 +662,140 @@ class CountMaintainer(StandingQuery):
 
     def restore(self, state: Any) -> None:
         self._inner.result = dict(state["members"])
+        self.result = dict(state["result"])
+
+
+#: The single synthetic member id an occupancy watch publishes.
+OCCUPANCY_KEY = "occupancy"
+
+
+@register_maintainer(OccupancySpec)
+class OccupancyMaintainer(StandingQuery):
+    """Per-partition occupancy watch (standing ``iocc``): alert while
+    the number of objects whose region center lies inside the watched
+    partition is at least ``threshold``.
+
+    Membership is purely geometric — an object is *in* the partition
+    iff the partition grid locates its region center there — so every
+    update is decided without any distance work (all pairs count as
+    ``pairs_skipped``).  The published result is derived, like
+    :class:`CountMaintainer`'s: ``{"occupancy": float(n)}`` while
+    ``n >= threshold``, empty otherwise, so delta subscribers get
+    *entered* when the room fills past the threshold, re-annotations
+    while the population varies above it, and *left* when it drains
+    back down — the evacuation-scenario alarm.
+
+    Reach: the spec carries no query point, so the maintainer anchors
+    itself at :func:`partition_anchor` and reaches to the footprint's
+    circumradius plus the largest object uncertainty radius seen (the
+    router measures an object's *instance box*, whose gap from the
+    region center is at most that radius).  The pad is taken over the
+    population at registration/recompute and grown monotonically on
+    updates; an object *inserted* with a strictly larger radius than
+    any ever seen could in principle be mis-skipped by a cached shard
+    reach table — workloads with uniform radii (every built-in
+    generator) are exact.
+
+    Topology: door-closure churn is transparent (a resync just
+    recomputes membership); removing the watched partition itself
+    (split/merge) raises from the next recompute — deregister the
+    watch before restructuring the room it watches."""
+
+    def __init__(
+        self, query_id: str, spec: OccupancySpec, host: "QueryMonitor"
+    ) -> None:
+        super().__init__(query_id, spec, host)
+        self.partition_id = spec.partition_id
+        self.threshold = spec.threshold
+        space = host.index.space
+        partition = space.partition(spec.partition_id)
+        self._anchor = partition_anchor(space, spec.partition_id)
+        b = partition.bounds
+        self._reach = max(
+            math.hypot(x - self._anchor.x, y - self._anchor.y)
+            for x in (b.minx, b.maxx)
+            for y in (b.miny, b.maxy)
+        )
+        self._members: set[str] = set()
+        self._radius_pad = max(
+            (o.region.radius for o in host.index.population), default=0.0
+        )
+
+    @property
+    def q(self) -> Point:
+        """The derived anchor (anchored specs have no query point)."""
+        return self._anchor
+
+    def influence_radius(self) -> float:
+        return self._reach + self._radius_pad
+
+    def _inside(self, obj: UncertainObject) -> bool:
+        located = self.host.index.population.grid.locate(obj.region.center)
+        return (
+            located is not None
+            and located.partition_id == self.partition_id
+        )
+
+    def _republish(self) -> None:
+        n = len(self._members)
+        if n >= self.threshold:
+            self.result = {OCCUPANCY_KEY: float(n)}
+        else:
+            self.result = {}
+
+    def on_update(self, obj: UncertainObject) -> None:
+        host = self.host
+        host.stats.pairs_skipped += 1  # decided without distance work
+        if obj.region.radius > self._radius_pad:
+            self._radius_pad = obj.region.radius
+        was = obj.object_id in self._members
+        now = self._inside(obj)
+        if was == now:
+            return
+        host.touch(self)
+        if now:
+            self._members.add(obj.object_id)
+        else:
+            self._members.discard(obj.object_id)
+        self._republish()
+
+    def on_delete(self, object_id: str) -> None:
+        self.host.stats.pairs_skipped += 1
+        if object_id not in self._members:
+            return
+        self.host.touch(self)
+        self._members.discard(object_id)
+        self._republish()
+
+    def _delete_member(
+        self, object_id: str
+    ) -> None:  # pragma: no cover - on_delete fully overridden
+        raise AssertionError("unreachable: on_delete is overridden")
+
+    def recompute(self) -> None:
+        host = self.host
+        host.touch(self)
+        grid = host.index.population.grid
+        members: set[str] = set()
+        pad = 0.0
+        for obj in host.index.population:
+            pad = max(pad, obj.region.radius)
+            located = grid.locate(obj.region.center)
+            if (
+                located is not None
+                and located.partition_id == self.partition_id
+            ):
+                members.add(obj.object_id)
+        self._members = members
+        self._radius_pad = max(self._radius_pad, pad)
+        self._republish()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "members": sorted(self._members),
+            "result": dict(self.result),
+        }
+
+    def restore(self, state: Any) -> None:
+        self._members = set(state["members"])
         self.result = dict(state["result"])

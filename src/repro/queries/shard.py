@@ -107,6 +107,7 @@ from repro.index.composite import CompositeIndex
 from repro.objects.population import ObjectMove
 from repro.objects.uncertain import UncertainObject
 from repro.queries.deltas import DeltaBatch
+from repro.queries.maintainers import spec_anchor
 from repro.queries.monitor import (
     MonitorStats,
     QueryMonitor,
@@ -518,7 +519,7 @@ class ShardedMonitor:
         query point hashes to; returns its id."""
         spec = standing_spec(spec)
         query_id = self._claim_id(query_id, spec.kind)
-        shard = self.shard_of(spec.q)
+        shard = self.shard_of(spec_anchor(spec, self.index.space))
         self.shards[shard].register(spec, query_id=query_id)
         self._homes[query_id] = shard
         return query_id
@@ -537,7 +538,7 @@ class ShardedMonitor:
         spec = standing_spec(spec)
         if query_id in _ClaimedIds(self._homes, self.shards):
             raise QueryError(f"standing query id {query_id!r} already used")
-        shard = self.shard_of(spec.q)
+        shard = self.shard_of(spec_anchor(spec, self.index.space))
         self.shards[shard].restore_query(spec, query_id, state)
         self._homes[query_id] = shard
 

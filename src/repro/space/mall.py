@@ -53,6 +53,14 @@ class MallParameters:
     #: paper's experiments, available for topology-sensitivity studies.
     one_way_fraction: float = 0.0
     seed: int | None = None
+    #: Planar offset of the building's south-west corner — several
+    #: buildings generated into one shared builder (a campus) each get
+    #: their own origin so footprints never overlap.
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    #: Prepended to every partition/door id; distinct prefixes keep
+    #: multi-building ids collision-free (e.g. ``"b0_"``).
+    id_prefix: str = ""
 
     @property
     def rooms_per_floor(self) -> int:
@@ -92,28 +100,36 @@ def build_mall(
 
 
 def generate_mall(params: MallParameters) -> IndoorSpace:
+    builder = SpaceBuilder(floor_height=params.floor_height)
+    add_mall(builder, params)
+    return builder.build(validate=True)
+
+
+def add_mall(builder: SpaceBuilder, params: MallParameters) -> None:
+    """Generate one mall *into* an existing builder.
+
+    The composition primitive behind multi-building campuses
+    (:func:`repro.bench.scenarios.build_campus`): each building is
+    offset by its ``origin_x``/``origin_y`` and namespaced by its
+    ``id_prefix``, and the caller wires the buildings together (e.g.
+    with walkway hallways) before building the space.
+    """
     if params.floors < 1:
         raise SpaceError("need at least one floor")
     if params.bands < 1:
         raise SpaceError("need at least one room band")
     wh = params.hallway_width
-    size = params.floor_size
-    s = params.stair_size
     bands = params.bands
-    strip_height = (size - (bands + 1) * wh) / bands
+    strip_height = (params.floor_size - (bands + 1) * wh) / bands
     if strip_height <= 0:
         raise SpaceError("hallways too wide for the floor size")
     rng = random.Random(params.seed)
-
-    builder = SpaceBuilder(floor_height=params.floor_height)
 
     for floor in range(params.floors):
         _build_floor(builder, params, floor, strip_height, rng)
 
     for floor in range(params.floors - 1):
         _build_staircases(builder, params, floor)
-
-    return builder.build(validate=True)
 
 
 # ---------------------------------------------------------------------------
@@ -127,16 +143,24 @@ def _strip_height(params: MallParameters) -> float:
     ) / params.bands
 
 
-def _hallway_id(floor: int, band: int) -> str:
-    return f"f{floor}_hall{band}"
+def _rect(params: MallParameters, x0: float, y0: float, x1: float, y1: float) -> Rect:
+    """A building-local rect, shifted to the building's origin."""
+    ox, oy = params.origin_x, params.origin_y
+    return Rect(ox + x0, oy + y0, ox + x1, oy + y1)
 
 
-def _spine_id(floor: int, band: int) -> str:
-    return f"f{floor}_spine{band}"
+def _hallway_id(params: MallParameters, floor: int, band: int) -> str:
+    return f"{params.id_prefix}f{floor}_hall{band}"
 
 
-def _room_id(floor: int, band: int, side: str, index: int) -> str:
-    return f"f{floor}_room_{band}{side}{index}"
+def _spine_id(params: MallParameters, floor: int, band: int) -> str:
+    return f"{params.id_prefix}f{floor}_spine{band}"
+
+
+def _room_id(
+    params: MallParameters, floor: int, band: int, side: str, index: int
+) -> str:
+    return f"{params.id_prefix}f{floor}_room_{band}{side}{index}"
 
 
 def _build_floor(
@@ -168,31 +192,35 @@ def _build_floor(
     for band in range(bands + 1):
         y0 = band * (wh + strip_height)
         if shorten and band in (0, bands):
-            rect = Rect(s, y0, size - s, y0 + wh)
+            rect = _rect(params, s, y0, size - s, y0 + wh)
         else:
-            rect = Rect(0.0, y0, size, y0 + wh)
+            rect = _rect(params, 0.0, y0, size, y0 + wh)
         hallway_rects.append(rect)
-        builder.add_hallway(_hallway_id(floor, band), rect, floor)
+        builder.add_hallway(_hallway_id(params, floor, band), rect, floor)
 
     # Room strips + spine segments.
     for band in range(bands):
         y0 = wh + band * (wh + strip_height)
         y1 = y0 + strip_height
-        spine = Rect(left_max, y0, right_min, y1)
-        builder.add_hallway(_spine_id(floor, band), spine, floor)
+        spine = _rect(params, left_max, y0, right_min, y1)
+        builder.add_hallway(_spine_id(params, floor, band), spine, floor)
         builder.connect(
-            _spine_id(floor, band), _hallway_id(floor, band), floor=floor
+            _spine_id(params, floor, band),
+            _hallway_id(params, floor, band),
+            floor=floor,
         )
         builder.connect(
-            _spine_id(floor, band), _hallway_id(floor, band + 1), floor=floor
+            _spine_id(params, floor, band),
+            _hallway_id(params, floor, band + 1),
+            floor=floor,
         )
         for side, x_start in (("L", 0.0), ("R", right_min)):
             for i in range(k):
                 x0 = x_start + i * room_w
-                room = Rect(x0, y0, x0 + room_w, y1)
-                rid = _room_id(floor, band, side, i)
+                room = _rect(params, x0, y0, x0 + room_w, y1)
+                rid = _room_id(params, floor, band, side, i)
                 builder.add_room(rid, room, floor)
-                hall = _hallway_id(floor, band)
+                hall = _hallway_id(params, floor, band)
                 direction = (
                     DoorDirection.ONE_WAY
                     if rng.random() < params.one_way_fraction
@@ -235,18 +263,22 @@ def _build_staircases(
     wh = params.hallway_width
     top_y = params.bands * (wh + _strip_height(params))
     corners = {
-        "sw": (Rect(0.0, 0.0, s, wh), 0),  # attaches to bottom hallway
-        "se": (Rect(size - s, 0.0, size, wh), 0),
-        "nw": (Rect(0.0, top_y, s, top_y + wh), params.bands),
-        "ne": (Rect(size - s, top_y, size, top_y + wh), params.bands),
+        # attaches to bottom hallway
+        "sw": (_rect(params, 0.0, 0.0, s, wh), 0),
+        "se": (_rect(params, size - s, 0.0, size, wh), 0),
+        "nw": (_rect(params, 0.0, top_y, s, top_y + wh), params.bands),
+        "ne": (
+            _rect(params, size - s, top_y, size, top_y + wh),
+            params.bands,
+        ),
     }
     for name, (rect, band) in corners.items():
-        sid = f"stair_{name}_{floor}"
+        sid = f"{params.id_prefix}stair_{name}_{floor}"
         builder.add_staircase(sid, rect, floor, floor + 1)
         for entrance_floor in (floor, floor + 1):
             builder.connect(
                 sid,
-                _hallway_id(entrance_floor, band),
+                _hallway_id(params, entrance_floor, band),
                 floor=entrance_floor,
                 door_id=f"{sid}_e{entrance_floor}",
             )

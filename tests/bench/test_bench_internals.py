@@ -94,7 +94,13 @@ class TestRunner:
             run_queries(tiny_factory.index(), [], "bogus", 1)
 
     def test_time_call(self):
-        assert time_call(lambda: None, repeat=3) >= 0
+        t = time_call(lambda: None, repeat=3)
+        assert t.repeat == 3
+        assert 0 <= t.min_s <= t.mean_s
+        assert t >= 0 and float(t) == t.min_s
+        assert t.to_dict() == {
+            "min_s": t.min_s, "mean_s": t.mean_s, "repeat": 3
+        }
 
 
 class TestReporting:

@@ -19,6 +19,7 @@ API_SURFACE_SNAPSHOT = [
     "KNNSpec",
     "NetClient",
     "NetServer",
+    "OccupancySpec",
     "ProbRangeSpec",
     "QueryService",
     "QuerySpec",
