@@ -52,6 +52,8 @@ def print_series(
 
 
 def _fmt(v: float) -> str:
+    if isinstance(v, str):
+        return v
     if isinstance(v, bool):
         return str(v)
     if isinstance(v, int):

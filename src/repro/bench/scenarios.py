@@ -192,6 +192,9 @@ def _drive(
         "deltas_per_sec": deltas / elapsed if elapsed else 0.0,
         "pairs_evaluated": stats.pairs_evaluated,
         "pairs_skipped": stats.pairs_skipped,
+        "kernel_pairs": stats.kernel_pairs,
+        "kernel_pruned": stats.kernel_pruned,
+        "kernel_fallbacks": stats.kernel_fallbacks,
     }
 
 
@@ -228,6 +231,7 @@ def run_stream_cell(params: dict, ctx: CellContext) -> dict:
             n_shards=params.get("shards"),
             workers=int(params.get("workers", 1)),
             backend=str(params.get("backend", "thread")),
+            kernel=str(params.get("kernel", "scalar")),
             seed=ctx.seed,
         )
         try:
@@ -274,6 +278,7 @@ def run_serving_cell(params: dict, ctx: CellContext) -> dict:
         n_shards=int(params.get("n_shards", 4)),
         workers=int(params["workers"]),
         backend=str(params["backend"]),
+        kernel=str(params.get("kernel", "scalar")),
         seed=ctx.seed,
     )
     try:

@@ -91,7 +91,12 @@ from repro.api.specs import (
     QuerySpec,
     RangeSpec,
 )
-from repro.distances.bounds import object_bounds
+from repro.distances.batch import (
+    ObjectBlock,
+    block_object_bounds,
+    block_probability_bounds,
+)
+from repro.distances.bounds import DistanceInterval, object_bounds
 from repro.distances.expected import expected_indoor_distance
 from repro.errors import QueryError
 from repro.geometry.point import Point
@@ -167,6 +172,13 @@ class StandingQuery:
     annotates: ClassVar[str] = "distance"
     #: Whether influence_radius() can move when the result changes.
     dynamic_reach: ClassVar[bool] = False
+    #: Whether :meth:`on_update_batch` implements the vectorized bounds
+    #: kernel.  The monitor's ``kernel="vector"`` path dispatches a
+    #: packed :class:`~repro.distances.batch.ObjectBlock` to batch-aware
+    #: maintainers and falls back to per-object :meth:`on_update` for
+    #: the rest (counted in ``MonitorStats.kernel_fallbacks``), so
+    #: third-party maintainers keep working unchanged.
+    supports_batch: ClassVar[bool] = False
 
     def __init__(
         self, query_id: str, spec: QuerySpec, host: "QueryMonitor"
@@ -212,8 +224,24 @@ class StandingQuery:
     ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def on_update_batch(self, block: ObjectBlock) -> None:
+        """Absorb one packed batch of moved objects (see
+        :mod:`repro.distances.batch`).  Only called when
+        :attr:`supports_batch` is set; the default is the scalar loop,
+        so an override only has to beat it, never to exist."""
+        for obj in block.objects:
+            self.on_update(obj)
+
     def recompute(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def holds(self, object_id: str) -> bool:
+        """Whether this query currently holds ``object_id`` in its
+        result/candidate set — the monitor's delete path only routes
+        (and counts) a deletion to queries that do.  Maintainers whose
+        membership lives outside ``result`` (derived/aggregate results)
+        override this."""
+        return object_id in self.result
 
     def on_delete(self, object_id: str) -> None:
         """Absorb one deletion.  A non-member is free for every kind;
@@ -253,6 +281,8 @@ class RangeMaintainer(StandingQuery):
         change the result: the query radius itself."""
         return self.r
 
+    supports_batch: ClassVar[bool] = True
+
     def on_update(self, obj: UncertainObject) -> None:
         """Membership of the moved object is re-decided in isolation —
         the cached full search makes the interval machinery of Table III
@@ -262,6 +292,27 @@ class RangeMaintainer(StandingQuery):
         interval = object_bounds(
             self.q, obj, dd, host.index.space, host.index.population.grid
         )
+        self._decide(obj, interval, dd)
+
+    def on_update_batch(self, block: ObjectBlock) -> None:
+        """Vectorized twin of :meth:`on_update`: one whole-block bounds
+        evaluation, then the identical per-pair decision sequence —
+        only undecided pairs fall through to exact refinement."""
+        host = self.host
+        pack = host.session.kernel_pack(self.q)
+        intervals = block_object_bounds(
+            pack, block, self.q, host.index.space
+        )
+        for obj, interval in zip(block.objects, intervals):
+            self._decide(obj, interval, pack.dd)
+
+    def _decide(
+        self,
+        obj: UncertainObject,
+        interval: DistanceInterval,
+        dd: DoorDistances,
+    ) -> None:
+        host = self.host
         oid = obj.object_id
         if interval.entirely_within(self.r):
             # A moved member's stored exact distance is stale either
@@ -341,9 +392,34 @@ class KNNMaintainer(StandingQuery):
         result (members always are; an unfull result reaches forever)."""
         return self.kth_distance()
 
+    supports_batch: ClassVar[bool] = True
+
     def on_update(self, obj: UncertainObject) -> None:
         host = self.host
         dd = host.session.door_distances(self.q)
+        self._decide(obj, None, dd)
+
+    def on_update_batch(self, block: ObjectBlock) -> None:
+        """Vectorized twin of :meth:`on_update`.  Only the
+        position-dependent geometry — the pruning intervals — is
+        precomputed for the block; membership decisions stay strictly
+        sequential per object, because ``tau`` evolves *within* a batch
+        and the scalar path's decisions depend on that evolution."""
+        host = self.host
+        pack = host.session.kernel_pack(self.q)
+        intervals = block_object_bounds(
+            pack, block, self.q, host.index.space
+        )
+        for obj, interval in zip(block.objects, intervals):
+            self._decide(obj, interval, pack.dd)
+
+    def _decide(
+        self,
+        obj: UncertainObject,
+        interval: DistanceInterval | None,
+        dd: DoorDistances,
+    ) -> None:
+        host = self.host
         oid = obj.object_id
         tau = self.kth_distance()
         if oid in self.result:
@@ -365,10 +441,11 @@ class KNNMaintainer(StandingQuery):
                 self.recompute()
             return
         if len(self.result) >= self.k:
-            interval = object_bounds(
-                self.q, obj, dd, host.index.space,
-                host.index.population.grid,
-            )
+            if interval is None:
+                interval = object_bounds(
+                    self.q, obj, dd, host.index.space,
+                    host.index.population.grid,
+                )
             if interval.lower > tau:
                 # Certainly no closer than the current k-th member.
                 host.stats.pairs_skipped += 1
@@ -454,12 +531,37 @@ class ProbRangeMaintainer(StandingQuery):
         bounding box the router measures against."""
         return self.r
 
+    supports_batch: ClassVar[bool] = True
+
     def on_update(self, obj: UncertainObject) -> None:
         host = self.host
         dd = host.session.door_distances(self.q)
         lo, hi = probability_bounds(
             host.index, self.q, obj, dd, self.r
         )
+        self._decide(obj, lo, hi, dd)
+
+    def on_update_batch(self, block: ObjectBlock) -> None:
+        """Vectorized twin of :meth:`on_update`: whole-block
+        probability bounds (Eq. 8 ingredients), the same per-pair
+        threshold decisions, exact refinement only when ``p_min`` falls
+        strictly between the bounds."""
+        host = self.host
+        pack = host.session.kernel_pack(self.q)
+        los, his = block_probability_bounds(
+            pack, block, self.q, host.index.space, self.r
+        )
+        for obj, lo, hi in zip(block.objects, los, his):
+            self._decide(obj, lo, hi, pack.dd)
+
+    def _decide(
+        self,
+        obj: UncertainObject,
+        lo: float,
+        hi: float,
+        dd: DoorDistances,
+    ) -> None:
+        host = self.host
         oid = obj.object_id
         if lo >= self.p_min:
             # Provably still (or newly) qualifying: the stored exact
@@ -637,9 +739,23 @@ class CountMaintainer(StandingQuery):
         else:
             self.result = {}
 
+    supports_batch: ClassVar[bool] = True
+
     def on_update(self, obj: UncertainObject) -> None:
         self._inner.on_update(obj)
         self._republish()
+
+    def on_update_batch(self, block: ObjectBlock) -> None:
+        """The inner range maintainer absorbs the block with its own
+        kernel; republishing once at the end is equivalent to per
+        object, because deltas diff the scope's end state."""
+        self._inner.on_update_batch(block)
+        self._republish()
+
+    def holds(self, object_id: str) -> bool:
+        """Membership lives in the inner range maintainer, not in the
+        published (derived) count result."""
+        return object_id in self._inner.result
 
     def on_delete(self, object_id: str) -> None:
         self._inner.on_delete(object_id)
@@ -758,6 +874,11 @@ class OccupancyMaintainer(StandingQuery):
         else:
             self._members.discard(obj.object_id)
         self._republish()
+
+    def holds(self, object_id: str) -> bool:
+        """Membership is the private geometric set, not the published
+        (derived) occupancy result."""
+        return object_id in self._members
 
     def on_delete(self, object_id: str) -> None:
         self.host.stats.pairs_skipped += 1

@@ -74,6 +74,7 @@ import threading
 from dataclasses import dataclass, fields
 
 from repro.api.specs import QuerySpec, standing_spec
+from repro.distances.batch import pack_block
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
@@ -141,6 +142,18 @@ class MonitorStats:
     event_recomputes: int = 0
     topology_invalidations: int = 0
     deltas_emitted: int = 0
+    #: Pairs dispatched through the vectorized bounds kernel
+    #: (``kernel="vector"`` move batches hitting batch-aware
+    #: maintainers).  Always 0 under ``kernel="scalar"``.
+    kernel_pairs: int = 0
+    #: Of :attr:`kernel_pairs`, those the kernel's bounds decided
+    #: without exact refinement (the batch-path share of
+    #: ``pairs_skipped``).
+    kernel_pruned: int = 0
+    #: Pairs a ``kernel="vector"`` monitor had to absorb through the
+    #: scalar per-object path because the maintainer does not implement
+    #: the batch hook (e.g. occupancy watches).
+    kernel_fallbacks: int = 0
 
     @property
     def recompute_ratio(self) -> float:
@@ -215,11 +228,19 @@ class QueryMonitor:
     """
 
     def __init__(
-        self, index: CompositeIndex, session: QuerySession | None = None
+        self,
+        index: CompositeIndex,
+        session: QuerySession | None = None,
+        kernel: str = "scalar",
     ) -> None:
         if session is not None and session.index is not index:
             raise QueryError("session must wrap the monitor's own index")
+        if kernel not in ("scalar", "vector"):
+            raise QueryError(
+                f"kernel must be 'scalar' or 'vector', got {kernel!r}"
+            )
         self.index = index
+        self.kernel = kernel
         self.session = session or QuerySession(index)
         self.stats = MonitorStats()
         self._queries: dict[str, StandingQuery] = {}
@@ -473,14 +494,26 @@ class QueryMonitor:
     # maintenance-only ingestion (the sharded front-end's entry points)
     # ------------------------------------------------------------------
 
-    def ingest_moves(self, moved: list[UncertainObject]) -> DeltaBatch:
+    def ingest_moves(
+        self, moved: list[UncertainObject], block=None
+    ) -> DeltaBatch:
         """Maintain standing results for objects the *shared* index
         already moved (no index mutation here).  Thread-safe: shards run
-        their hooks concurrently under the parallel front-end."""
+        their hooks concurrently under the parallel front-end.
+
+        ``block`` is an optional pre-packed
+        :class:`~repro.distances.batch.ObjectBlock` covering exactly
+        ``moved`` (the sharded front-end packs the batch once and hands
+        each shard its routed subset); only consulted under
+        ``kernel="vector"``, which otherwise packs the batch itself.
+        """
         with self._ingest_lock:
             self._ensure_topology_current()
-            for obj in moved:
-                self._absorb_update(obj)
+            if self.kernel == "vector":
+                self._absorb_block(moved, block)
+            else:
+                for obj in moved:
+                    self._absorb_update(obj)
             return DeltaBatch(
                 deltas=self._drain_pending() + self._collect("move"),
                 moved=tuple(moved),
@@ -498,11 +531,21 @@ class QueryMonitor:
     def ingest_delete(
         self, object_id: str, deleted: UncertainObject | None = None
     ) -> DeltaBatch:
-        """Maintain standing results for an already-deleted object."""
+        """Maintain standing results for an already-deleted object.
+
+        Only queries that actually *hold* the id (result/candidate
+        set membership, per
+        :meth:`~repro.queries.maintainers.StandingQuery.holds`) are
+        dispatched — and counted: a deletion touching none of a query's
+        members is no evaluated pair, so the pair counters (and the
+        recompute-ratio columns derived from them) measure real work.
+        """
         with self._ingest_lock:
             self._ensure_topology_current()
             self.stats.updates_seen += 1
             for sq in self._queries.values():
+                if not sq.holds(object_id):
+                    continue
                 self.stats.pairs_evaluated += 1
                 sq.on_delete(object_id)
             return DeltaBatch(
@@ -551,16 +594,20 @@ class QueryMonitor:
 
     def _collect(self, cause: str) -> tuple[ResultDelta, ...]:
         """Close the current mutation scope: diff every touched query
-        against its recorded pre-state.  A result change of a
-        dynamic-reach maintainer bumps :attr:`reach_epoch` (its
+        against its recorded pre-state, in query *registration* order —
+        not first-touch order, which would differ between the scalar
+        path (object-major) and the batch kernel (query-major).  One
+        emission order for every engine keeps delta histories
+        bit-comparable across kernels and backends.  A result change of
+        a dynamic-reach maintainer bumps :attr:`reach_epoch` (its
         influence radius may have moved with the result)."""
         if not self._before:
             return ()
         out = []
         reach_moved = False
-        for qid, before in self._before.items():
-            sq = self._queries.get(qid)
-            if sq is None:  # deregistered while touched
+        for qid, sq in self._queries.items():
+            before = self._before.get(qid)
+            if before is None:  # untouched this scope
                 continue
             delta = diff_results(
                 qid,
@@ -607,3 +654,49 @@ class QueryMonitor:
         for sq in self._queries.values():
             self.stats.pairs_evaluated += 1
             sq.on_update(obj)
+
+    def _absorb_block(self, moved: list[UncertainObject], block) -> None:
+        """Vector-kernel absorption: pack the moved batch once, then
+        dispatch the whole block to each batch-aware maintainer.  A
+        maintainer without the batch hook falls back to the scalar
+        per-object loop (counted in ``kernel_fallbacks``), so the two
+        kernels are behaviourally identical — the property suite in
+        ``tests/properties/test_prop_kernel.py`` holds them to
+        bit-identical delta histories.
+
+        ``kernel_pruned`` is measured as the ``pairs_skipped`` delta
+        around each batch dispatch: the kernel and the scalar path feed
+        the same per-pair decision code, so the counter partition
+        (evaluated = skipped + refined + recomputed) is preserved
+        exactly."""
+        if not moved:
+            return
+        self.stats.updates_seen += len(moved)
+        if not self._queries:
+            return
+        space = self.index.space
+        if block is None or (
+            block.layout.topology_version != space.topology_version
+        ):
+            # Not pre-packed by a sharded front-end (or packed against a
+            # topology that has since changed): pack here.
+            block = pack_block(
+                moved,
+                space,
+                self.index.population.grid,
+                self.session.door_layout(),
+            )
+        n = len(moved)
+        for sq in self._queries.values():
+            self.stats.pairs_evaluated += n
+            if sq.supports_batch:
+                self.stats.kernel_pairs += n
+                skipped_before = self.stats.pairs_skipped
+                sq.on_update_batch(block)
+                self.stats.kernel_pruned += (
+                    self.stats.pairs_skipped - skipped_before
+                )
+            else:
+                self.stats.kernel_fallbacks += n
+                for obj in moved:
+                    sq.on_update(obj)

@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.distances.batch import DoorLayout, QueryPack
 from repro.geometry.point import Point
 from repro.index.composite import CompositeIndex
 from repro.queries.engine import QueryResult, locate_source
@@ -45,6 +46,11 @@ class QuerySession:
     """A reuse context for queries issued from recurring locations."""
 
     index: CompositeIndex
+    #: LRU capacity for *unpinned* entries (ad-hoc query points).
+    #: Pinned entries — standing queries — are exempt and uncounted, so
+    #: a long-running server with churning one-shot queries stays
+    #: bounded while its standing queries keep their searches forever.
+    max_unpinned: int = 256
     _cache: dict[tuple[float, float, int], DoorDistances] = field(
         default_factory=dict
     )
@@ -52,6 +58,16 @@ class QuerySession:
     _cached_version: int = -1
     hits: int = 0
     misses: int = 0
+    #: Unpinned entries dropped by the LRU bound (topology
+    #: invalidations and pin-lifecycle evictions are not counted here).
+    evictions: int = 0
+    #: Per-point :class:`~repro.distances.batch.QueryPack` views of the
+    #: cached searches (the batch kernel's query-side operand), managed
+    #: by the same pin/evict/invalidate lifecycle as ``_cache``.
+    _packs: dict[tuple[float, float, int], QueryPack] = field(
+        default_factory=dict, repr=False
+    )
+    _layout: DoorLayout | None = field(default=None, repr=False)
     # Shards of a parallel ShardedMonitor share one session and call in
     # from pool threads; the lock keeps the cache/pin maps consistent.
     # The Dijkstra itself runs outside the lock, so concurrent searches
@@ -73,10 +89,13 @@ class QuerySession:
             if self._cached_version != space.topology_version:
                 # Any topology change invalidates every cached search.
                 self._cache.clear()
+                self._packs.clear()
                 self._cached_version = space.topology_version
             dd = self._cache.get(key)
             if dd is not None:
                 self.hits += 1
+                # Refresh LRU recency (dict order is the eviction order).
+                self._cache[key] = self._cache.pop(key)
                 return dd
             self.misses += 1
             searched_version = self._cached_version
@@ -88,11 +107,25 @@ class QuerySession:
                 and space.topology_version == searched_version
             ):
                 # First writer wins, so every caller shares one object.
-                return self._cache.setdefault(key, dd)
+                cached = self._cache.setdefault(key, dd)
+                self._evict_overflow()
+                return cached
             # Topology moved mid-search (the version this search ran
             # under is gone): usable for this caller, stale for the
             # cache.
             return dd
+
+    def _evict_overflow(self) -> None:
+        """Drop least-recently-used *unpinned* entries past the bound.
+        Caller holds the lock.  Pinned entries are exempt and do not
+        count toward the bound."""
+        unpinned = [
+            k for k in self._cache if self._pins.get(k, 0) == 0
+        ]
+        for key in unpinned[: max(0, len(unpinned) - self.max_unpinned)]:
+            del self._cache[key]
+            self._packs.pop(key, None)
+            self.evictions += 1
 
     def evict(self, q: Point) -> bool:
         """Drop the cached search from ``q``, if any; returns whether an
@@ -102,6 +135,7 @@ class QuerySession:
         with self._lock:
             if self._pins.get(key, 0) > 0:
                 return False
+            self._packs.pop(key, None)
             return self._cache.pop(key, None) is not None
 
     def pin(self, q: Point) -> None:
@@ -131,12 +165,59 @@ class QuerySession:
                 self._pins[key] = count - 1
                 return False
             del self._pins[key]
+            self._packs.pop(key, None)
             return self._cache.pop(key, None) is not None
 
     @property
     def cache_size(self) -> int:
         """Number of memoised single-source searches currently held."""
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # batch-kernel operands (see repro.distances.batch)
+    # ------------------------------------------------------------------
+
+    def door_layout(self) -> DoorLayout:
+        """The partition-indexed door layout for the current topology,
+        shared by every query pack and object block in a batch.  Cached
+        per ``topology_version``."""
+        space = self.index.space
+        with self._lock:
+            layout = self._layout
+            if (
+                layout is not None
+                and layout.topology_version == space.topology_version
+            ):
+                return layout
+        layout = DoorLayout(space)
+        with self._lock:
+            if space.topology_version == layout.topology_version:
+                self._layout = layout
+        return layout
+
+    def kernel_pack(self, q: Point) -> QueryPack:
+        """The query-side operand of the batched bounds kernel: the
+        memoised search from ``q`` flattened into a door-weight vector
+        (:class:`~repro.distances.batch.QueryPack`).  Cached alongside
+        the search and dropped with it — same pin/unpin/evict/topology
+        lifecycle, so a pinned standing query keeps its pack until it
+        deregisters and an ad-hoc point's pack leaves with its LRU
+        slot."""
+        key = (q.x, q.y, q.floor)
+        layout = self.door_layout()
+        with self._lock:
+            pack = self._packs.get(key)
+            if pack is not None and pack.layout is layout:
+                return pack
+        dd = self.door_distances(q)
+        pack = QueryPack(dd, layout)
+        with self._lock:
+            if (
+                self._cache.get(key) is dd
+                and self._cached_version == layout.topology_version
+            ):
+                self._packs[key] = pack
+        return pack
 
     # ------------------------------------------------------------------
 

@@ -100,6 +100,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.api.specs import QuerySpec, standing_spec
+from repro.distances.batch import pack_block
 from repro.errors import QueryError
 from repro.geometry.point import Point
 from repro.geometry.rect import Box3, Rect
@@ -419,6 +420,7 @@ class ShardedMonitor:
         bucketed_router: bool = True,
         backend: str = "thread",
         proc_config: "ProcPoolConfig | None" = None,
+        kernel: str = "scalar",
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be >= 1, got {n_shards}")
@@ -428,7 +430,12 @@ class ShardedMonitor:
             raise QueryError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
+        if kernel not in ("scalar", "vector"):
+            raise QueryError(
+                f"kernel must be 'scalar' or 'vector', got {kernel!r}"
+            )
         self.index = index
+        self.kernel = kernel
         self.session = session or QuerySession(index)
         self.workers = workers
         self.backend = backend
@@ -455,6 +462,7 @@ class ShardedMonitor:
                 n_shards=n_shards,
                 workers=workers,
                 config=proc_config,
+                kernel=kernel,
             )
             self.shards = self._pool.proxies
         else:
@@ -463,7 +471,7 @@ class ShardedMonitor:
                     "proc_config is only meaningful with backend='process'"
                 )
             self.shards = [
-                QueryMonitor(index, session=self.session)
+                QueryMonitor(index, session=self.session, kernel=kernel)
                 for _ in range(n_shards)
             ]
             if workers > 1:
@@ -652,31 +660,63 @@ class ShardedMonitor:
         )
         new_rows = _box_rows([_object_box(obj, fh) for obj in moved])
         plan: list[tuple[str, object]] = []
+        routed: list[list[int] | None] = []  # kept batch indices/shard
         for idx in range(len(self.shards)):
             reach = self._reach_of(idx)
             if reach is None:
                 # No standing queries: nothing to route, but a parked
                 # delta (the last query's deregister) still flows.
                 plan.append(("drain", None))
+                routed.append(None)
                 continue
             if math.isinf(reach.radius):
-                relevant = list(moved)
+                keep = list(range(len(moved)))
             else:
                 mask = reach.admit_moves(old_rows, new_rows, self.routing)
-                relevant = [
-                    obj for obj, keep in zip(moved, mask) if keep
-                ]
-            if not relevant:
+                keep = [i for i, k in enumerate(mask) if k]
+            if not keep:
                 # Skipped: no pair is evaluated, but parked deltas
                 # (registrations, out-of-band resyncs) still flow.
                 self.routing.shards_skipped += 1
                 plan.append(("drain", None))
+                routed.append(None)
                 continue
             self.routing.shard_visits += 1
             # Filtered updates are only counted for shards that
             # actually ran — a whole-shard skip is its own statistic.
-            self.routing.updates_filtered += len(moved) - len(relevant)
-            plan.append(("moves", relevant))
+            self.routing.updates_filtered += len(moved) - len(keep)
+            plan.append(("moves", [moved[i] for i in keep]))
+            routed.append(keep)
+        if self.kernel == "vector" and self._pool is None and any(
+            keep is not None for keep in routed
+        ):
+            # Pack the whole batch's subregion stats ONCE and hand each
+            # visited shard its routed view — the per-object packing
+            # work is shared across shards instead of repeated inside
+            # each shard monitor.  The process backend skips this: ids
+            # travel the wire and each worker packs its own routed
+            # subset locally (the block holds numpy arrays, not wire
+            # records).
+            block = pack_block(
+                moved,
+                self.index.space,
+                self.index.population.grid,
+                self.session.door_layout(),
+            )
+            plan = [
+                (action, payload)
+                if keep is None
+                else (
+                    "moves",
+                    (
+                        payload,
+                        block
+                        if len(keep) == len(moved)
+                        else block.subset(keep),
+                    ),
+                )
+                for (action, payload), keep in zip(plan, routed)
+            ]
         return DeltaBatch.merge_all(
             [head] + self._execute(("moves", moved), plan)
         )
@@ -796,7 +836,15 @@ class ShardedMonitor:
             def run_moves() -> DeltaBatch:
                 # Keep only the deltas: `moved` is already carried once
                 # at the top level (shards each re-list their routed
-                # subset).
+                # subset).  Under kernel="vector" the payload carries
+                # the pre-packed block view alongside the objects.
+                if isinstance(payload, tuple):
+                    relevant, subblock = payload
+                    return DeltaBatch(
+                        deltas=shard.ingest_moves(
+                            relevant, block=subblock
+                        ).deltas
+                    )
                 return DeltaBatch(
                     deltas=shard.ingest_moves(payload).deltas
                 )

@@ -654,3 +654,48 @@ class TestStreamedEquivalence:
                 assert exact[oid] == pytest.approx(d, abs=1e-6)
         assert monitor.stats.recompute_ratio < 1.0
         assert monitor.stats.pairs_skipped > 0
+
+
+class TestDeleteCounting:
+    """Regression: ``ingest_delete`` must count ``pairs_evaluated``
+    only for queries that actually held the departing object — a
+    deletion a maintainer never sees is not an evaluated pair."""
+
+    def test_delete_of_unheld_object_counts_nothing(
+        self, five_rooms_index
+    ):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register(RangeSpec(Q1, 10.0))  # near, mid only
+        monitor.drain_pending_deltas()
+        base = monitor.stats.pairs_evaluated
+        batch = monitor.apply_delete("far")  # no query holds it
+        assert monitor.stats.pairs_evaluated == base
+        assert monitor.stats.updates_seen == 1
+        assert batch.for_query(a) == ()
+        assert monitor.result_ids(a) == {"near", "mid"}
+
+    def test_delete_counts_one_pair_per_holder(self, five_rooms_index):
+        monitor = QueryMonitor(five_rooms_index)
+        a = monitor.register(RangeSpec(Q1, 10.0))   # holds near, mid
+        b = monitor.register(RangeSpec(Q1, 2.0))    # holds near only
+        monitor.drain_pending_deltas()
+        base = monitor.stats.pairs_evaluated
+        monitor.apply_delete("mid")   # held by a, not by b
+        assert monitor.stats.pairs_evaluated == base + 1
+        batch = monitor.apply_delete("near")  # held by both
+        assert monitor.stats.pairs_evaluated == base + 3
+        assert {d.query_id for d in batch.deltas} == {a, b}
+        assert all(d.left == ("near",) for d in batch.deltas)
+
+    def test_knn_member_delete_still_counted_and_refilled(
+        self, five_rooms_index
+    ):
+        """Deleting an ikNNQ result member is real maintenance work
+        (the vacated slot refills from scratch) and must be counted."""
+        monitor = QueryMonitor(five_rooms_index)
+        b = monitor.register(KNNSpec(Q1, 2))  # result: near, mid
+        monitor.drain_pending_deltas()
+        base = monitor.stats.pairs_evaluated
+        monitor.apply_delete("near")
+        assert monitor.stats.pairs_evaluated > base
+        assert monitor.result_ids(b) == {"mid", "far"}  # refilled

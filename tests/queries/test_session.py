@@ -75,3 +75,56 @@ class TestReuse:
         stats = QueryStats()
         session.irq(q, 40.0, stats=stats)
         assert stats.t_subgraph == 0.0  # phase 2 served from the cache
+
+
+class TestLRUBound:
+    """The unpinned side of the session cache is LRU-bounded
+    (``max_unpinned``); pinned standing-query entries are exempt."""
+
+    def _fresh(self, setup, max_unpinned):
+        index, _ = setup
+        return QuerySession(index, max_unpinned=max_unpinned)
+
+    def test_overflow_evicts_least_recent(self, setup, small_mall):
+        session = self._fresh(setup, max_unpinned=2)
+        a, b, c = (small_mall.random_point(seed=s) for s in (31, 32, 33))
+        session.irq(a, 20.0)
+        session.irq(b, 20.0)
+        session.irq(c, 20.0)  # over the bound: `a` is the LRU entry
+        assert session.cache_size == 2
+        assert session.evictions == 1
+        session.irq(a, 20.0)  # must re-search
+        assert session.misses == 4
+
+    def test_recent_use_refreshes_lru_order(self, setup, small_mall):
+        session = self._fresh(setup, max_unpinned=2)
+        a, b, c = (small_mall.random_point(seed=s) for s in (34, 35, 36))
+        session.irq(a, 20.0)
+        session.irq(b, 20.0)
+        session.irq(a, 20.0)  # refresh: `b` becomes least recent
+        session.irq(c, 20.0)
+        session.irq(a, 20.0)  # still cached
+        assert session.evictions == 1
+        assert (session.hits, session.misses) == (2, 3)
+
+    def test_pinned_entries_exempt_from_bound(self, setup, small_mall):
+        session = self._fresh(setup, max_unpinned=1)
+        pinned = small_mall.random_point(seed=37)
+        session.pin(pinned)
+        session.irq(pinned, 20.0)
+        for s in (38, 39, 40):  # churn of ad-hoc points
+            session.irq(small_mall.random_point(seed=s), 20.0)
+        assert session.evictions == 2
+        session.irq(pinned, 20.0)  # survived the churn
+        assert session.hits == 1
+        assert session.cache_size == 2  # the pin + one LRU slot
+
+    def test_pin_eviction_not_counted_as_lru_eviction(
+        self, setup, small_mall
+    ):
+        session = self._fresh(setup, max_unpinned=8)
+        q = small_mall.random_point(seed=41)
+        session.pin(q)
+        session.irq(q, 20.0)
+        assert session.unpin(q) is True  # last pin drops the entry
+        assert session.evictions == 0
